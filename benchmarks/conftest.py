@@ -1,0 +1,22 @@
+"""Shared benchmark plumbing.
+
+Benchmarks print the same rows/series the paper's figures plot; ``emit``
+writes through pytest's capture (including the default fd-level capture) so
+the tables land on the real stdout — the terminal, or ``bench_output.txt``
+when the run is tee'd.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capfd):
+    """Print a report table bypassing pytest's output capture."""
+
+    def _emit(text: str) -> None:
+        with capfd.disabled():
+            print("\n" + text, flush=True)
+
+    return _emit

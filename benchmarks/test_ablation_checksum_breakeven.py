@@ -1,0 +1,61 @@
+"""Ablation — the §4.2 checksum break-even rule: γ < β/4.
+
+"Assuming a system that has the communication cost per byte of β and
+computation cost of γ per byte, the difference in cost of the two schemes is
+(β − 4γ) × n.  Hence, using the checksum shows benefits only when γ < β/4."
+
+We sweep the compute/communication cost ratio and verify the cost model's
+preferred detection method flips exactly where the rule says it should.
+"""
+
+from repro.harness.report import format_table
+from repro.network.allocation import intrepid_allocation
+from repro.network.costs import CheckpointProfile, CostModel, MachineConstants
+from repro.network.mapping import build_mapping
+from repro.util.units import MiB
+
+
+def _sweep():
+    """Vary gamma/beta via the serialization bandwidth; compare methods."""
+    profile = CheckpointProfile(nbytes_per_node=16 * MiB)
+    alloc = intrepid_allocation(16384)
+    rows = []
+    link_bw = 167e6
+    for ratio in (0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 16.0):
+        # gamma = 1 / (ratio * link_bw)  =>  gamma/beta = 1/ratio.
+        machine = MachineConstants(link_bandwidth=link_bw,
+                                   serialization_bandwidth=ratio * link_bw,
+                                   compare_bandwidth=ratio * link_bw,
+                                   sync_per_stage=0.0, alpha=0.0)
+        cost = CostModel(machine)
+        mapping = build_mapping(alloc.torus, "column")
+        full = cost.checkpoint_breakdown(profile, mapping, use_checksum=False)
+        digest = cost.checkpoint_breakdown(profile, mapping, use_checksum=True)
+        rule_says_checksum = cost.checksum_beneficial()
+        rows.append([ratio, round(1.0 / ratio, 3), round(full.total, 4),
+                     round(digest.total, 4), digest.total < full.total,
+                     rule_says_checksum])
+    return rows
+
+
+def test_ablation_checksum_breakeven(benchmark, emit):
+    rows = benchmark(_sweep)
+
+    emit(format_table(
+        ["serialize_bw / link_bw", "gamma/beta", "full compare (s)",
+         "checksum (s)", "checksum faster?", "rule: gamma < beta/4"],
+        rows,
+        title="Ablation: checksum vs full-checkpoint comparison break-even "
+              "(column mapping, 16 MiB/node)",
+    ))
+
+    # The model's winner agrees with the analytical rule at every point
+    # away from the exact break-even (ratio == 4 -> tie).
+    for ratio, _, full, digest, checksum_faster, rule in rows:
+        if ratio == 4.0:
+            assert abs(full - digest) / full < 0.35  # near-tie at break-even
+        else:
+            assert checksum_faster == rule, ratio
+    # Far ends behave as the paper argues.
+    assert rows[0][4] is False      # gamma = 2*beta: transfer wins
+    assert rows[-1][4] is True      # gamma = beta/16: checksum wins

@@ -1,0 +1,32 @@
+"""Figure 6 — inter-replica link loads under the three mapping schemes.
+
+Paper (512 BG/P nodes, front plane shown): default mapping funnels up to 4
+checkpoint messages through the bisection links; column mapping gives every
+buddy message a private link (max 1); mixed mapping bounds the overlap at the
+chunk width (2).
+"""
+
+from repro.harness.figures import fig6_data
+from repro.harness.report import format_table
+
+
+def test_fig06_mapping_loads(benchmark, emit):
+    rows = benchmark(fig6_data, (8, 8, 8))
+
+    emit(format_table(
+        ["mapping", "max msgs/link", "buddy hops", "total bytes*hops",
+         "per-column profile (Z axis)"],
+        [[r.mapping, r.max_link_load, r.buddy_hops_max, r.total_bytes_hops,
+          str(list(r.plane_profile))] for r in rows],
+        title="Figure 6: checkpoint messages per link, 512-node partition (8x8x8)",
+    ))
+
+    by = {r.mapping: r for r in rows}
+    assert by["default"].max_link_load == 4       # the paper's [0-4] tags
+    assert by["column"].max_link_load == 1
+    assert by["mixed"].max_link_load == 2
+    # Default routes every message Z/2 = 4 hops; column only one.
+    assert by["default"].buddy_hops_max == 4
+    assert by["column"].buddy_hops_max == 1
+    # The per-column profile of Fig. 6(a): 1,2,3,4,3,2,1 across the bisection.
+    assert list(by["default"].plane_profile) == [1, 2, 3, 4, 3, 2, 1, 0]

@@ -1,0 +1,71 @@
+"""Figure 8 — single-checkpoint overhead decomposition (all six mini-apps).
+
+Paper, per panel (1K–64K cores/replica; default/mixed/column/checksum):
+
+* default mapping: overhead grows ~4x from 1K to 4K cores/replica (the Z
+  dimension grows 8→32), then stays constant to 64K — e.g. Jacobi3D 0.6 s→2 s;
+* column/mixed mappings remove the congestion and stay flat;
+* checksum is flat but compute-bound — worse than column for the high-memory
+  apps, best overall for the MD apps (LeanMD, miniMD);
+* only the transfer component grows; local packing and comparison are flat;
+* LULESH pays the largest local-checkpoint time (nested data structures).
+"""
+
+import pytest
+
+from repro.apps.registry import MINIAPP_NAMES
+from repro.harness.figures import fig8_data
+from repro.harness.report import format_table
+
+
+def test_fig08_checkpoint_overhead(benchmark, emit):
+    rows = benchmark(fig8_data, MINIAPP_NAMES, (1024, 4096, 16384, 65536))
+
+    for app in MINIAPP_NAMES:
+        emit(format_table(
+            ["cores/replica", "method", "local(s)", "transfer(s)",
+             "compare(s)", "total(s)"],
+            [[r.cores_per_replica, r.method, round(r.local, 4),
+              round(r.transfer, 4), round(r.compare, 4), round(r.total, 4)]
+             for r in rows if r.app == app],
+            title=f"Figure 8 ({app}): single checkpoint overhead",
+        ))
+
+    def pick(app, cores, method):
+        for r in rows:
+            if (r.app, r.cores_per_replica, r.method) == (app, cores, method):
+                return r
+        raise KeyError
+
+    # Jacobi3D (Charm++): 0.6 s -> ~2 s under default mapping.
+    j1 = pick("jacobi3d-charm", 1024, "default")
+    j64 = pick("jacobi3d-charm", 65536, "default")
+    assert j1.total == pytest.approx(0.6, rel=0.25)
+    assert j64.total == pytest.approx(2.0, rel=0.25)
+    # Growth happens between 1K and 4K, flat afterwards.
+    j4 = pick("jacobi3d-charm", 4096, "default")
+    assert j64.total == pytest.approx(j4.total, rel=0.1)
+    # Optimized variants flat across scale for the high-memory apps; the MD
+    # apps' tiny checkpoints let the log-scaling collective sync show through
+    # (visible in the paper's Fig. 8c/8f too), so allow a gentle slope there.
+    for app in MINIAPP_NAMES:
+        md = app in ("leanmd", "minimd")
+        for method in ("column", "mixed", "checksum"):
+            lo = pick(app, 1024, method).total
+            hi = pick(app, 65536, method).total
+            assert hi == pytest.approx(lo, rel=0.6 if md else 0.15), (app, method)
+            assert hi - lo < 0.02  # absolute sync growth stays tiny
+    # Checksum loses to column for high-memory apps, wins for MD apps.
+    for app in ("jacobi3d-charm", "jacobi3d-ampi", "hpccg", "lulesh"):
+        assert pick(app, 65536, "checksum").total > pick(app, 65536, "column").total
+    for app in ("leanmd", "minimd"):
+        totals = {m: pick(app, 65536, m).total
+                  for m in ("default", "mixed", "column", "checksum")}
+        assert totals["checksum"] == min(totals.values())
+    # LULESH has the slowest local checkpoint of the suite.
+    locals_at_64k = {app: pick(app, 65536, "default").local
+                     for app in MINIAPP_NAMES}
+    assert max(locals_at_64k, key=locals_at_64k.get) == "lulesh"
+    # MD apps live in the sub-second regime (paper: 100-200 ms).
+    assert pick("leanmd", 65536, "default").total < 0.2
+    assert pick("minimd", 65536, "default").total < 0.1

@@ -1,0 +1,65 @@
+"""Figure 9 — forward-path (checkpointing) overhead at the optimal period.
+
+Paper (M_H = 50 years/socket, SDC 10,000 FIT/socket; Jacobi3D and LeanMD;
+1K/4K/16K sockets per replica):
+
+* optimal checkpoint period at 16K sockets, default mapping: ~133 s for
+  Jacobi3D and ~24 s for LeanMD;
+* the default-mapping overhead (~1.5%) is halved by either the checksum or
+  the topology-mapping optimization;
+* strong resilience shows slightly higher overhead (it checkpoints more
+  often to bound its extra rework);
+* overhead grows with socket count (failure rate grows with the machine).
+"""
+
+import pytest
+
+from repro.harness.figures import FIG9_VARIANTS, fig9_fig11_data
+from repro.harness.report import format_table
+
+
+def test_fig09_forward_path_overhead(benchmark, emit):
+    rows = benchmark(fig9_fig11_data, ("jacobi3d-charm", "leanmd"),
+                     (1024, 4096, 16384))
+
+    for app in ("jacobi3d-charm", "leanmd"):
+        emit(format_table(
+            ["sockets/replica", "variant", "scheme", "delta(s)", "tau_opt(s)",
+             "ckpt overhead %"],
+            [[r.sockets_per_replica, r.variant, r.scheme, round(r.delta, 3),
+              round(r.tau_opt, 1), round(r.checkpoint_overhead_pct, 3)]
+             for r in rows if r.app == app],
+            title=f"Figure 9 ({app}): forward-path overhead per replica",
+        ))
+
+    def pick(app, sockets, scheme, variant):
+        for r in rows:
+            if (r.app, r.sockets_per_replica, r.scheme, r.variant) == (
+                    app, sockets, scheme, variant):
+                return r
+        raise KeyError
+
+    # The paper's stated optimal intervals at 16K sockets, default mapping.
+    assert pick("jacobi3d-charm", 16384, "strong", "default").tau_opt == \
+        pytest.approx(133.0, rel=0.25)
+    assert pick("leanmd", 16384, "strong", "default").tau_opt == \
+        pytest.approx(24.0, rel=0.45)
+    # Default-mapping overhead is low (paper: ~1.5%) ...
+    base = pick("jacobi3d-charm", 16384, "weak", "default")
+    assert base.checkpoint_overhead_pct < 2.5
+    # ... and either optimization halves it.
+    for variant in ("column", "default+checksum"):
+        opt = pick("jacobi3d-charm", 16384, "weak", variant)
+        assert opt.checkpoint_overhead_pct < 0.7 * base.checkpoint_overhead_pct
+    # Strong >= medium/weak overhead everywhere.
+    for app in ("jacobi3d-charm", "leanmd"):
+        for sockets in (1024, 4096, 16384):
+            for variant in FIG9_VARIANTS:
+                strong = pick(app, sockets, "strong", variant)
+                for other in ("medium", "weak"):
+                    assert strong.checkpoint_overhead_pct >= \
+                        pick(app, sockets, other, variant).checkpoint_overhead_pct - 1e-9
+    # Overhead grows with socket count.
+    small = pick("jacobi3d-charm", 1024, "strong", "default")
+    large = pick("jacobi3d-charm", 16384, "strong", "default")
+    assert large.checkpoint_overhead_pct > small.checkpoint_overhead_pct

@@ -1,0 +1,53 @@
+"""Figure 11 — overall ACR overhead (checkpoint + restart + rework).
+
+Paper (same configuration as Fig. 9): despite its faster restarts, the strong
+scheme ends up costliest overall — its extra checkpoints and hard-error
+rework dominate — yet stays under ~3% for Jacobi3D and well under 1% for
+LeanMD; the optimizations cut it roughly in half (1.4% / 0.2%).
+"""
+
+import pytest
+
+from repro.harness.figures import fig9_fig11_data
+from repro.harness.report import format_table
+
+
+def test_fig11_overall_overhead(benchmark, emit):
+    rows = benchmark(fig9_fig11_data, ("jacobi3d-charm", "leanmd"),
+                     (1024, 4096, 16384))
+
+    for app in ("jacobi3d-charm", "leanmd"):
+        emit(format_table(
+            ["sockets/replica", "variant", "scheme", "overall overhead %"],
+            [[r.sockets_per_replica, r.variant, r.scheme,
+              round(r.overall_overhead_pct, 3)]
+             for r in rows if r.app == app],
+            title=f"Figure 11 ({app}): overall overhead per replica",
+        ))
+
+    def pick(app, sockets, scheme, variant):
+        for r in rows:
+            if (r.app, r.sockets_per_replica, r.scheme, r.variant) == (
+                    app, sockets, scheme, variant):
+                return r
+        raise KeyError
+
+    # Strong is the worst overall despite the cheapest restart (§6.3).
+    for app in ("jacobi3d-charm", "leanmd"):
+        for sockets in (4096, 16384):
+            strong = pick(app, sockets, "strong", "default").overall_overhead_pct
+            for other in ("medium", "weak"):
+                assert strong >= pick(app, sockets, other,
+                                      "default").overall_overhead_pct - 1e-9
+
+    # Absolute levels: <3% Jacobi3D, <1% LeanMD (paper: ~0.45%).
+    jac = pick("jacobi3d-charm", 16384, "strong", "default")
+    lean = pick("leanmd", 16384, "strong", "default")
+    assert jac.overall_overhead_pct < 3.0
+    assert lean.overall_overhead_pct < 1.0
+
+    # Optimizations roughly halve the overall overhead (paper: 1.4% / 0.2%).
+    jac_opt = pick("jacobi3d-charm", 16384, "strong", "column")
+    assert jac_opt.overall_overhead_pct < 0.75 * jac.overall_overhead_pct
+    lean_opt = pick("leanmd", 16384, "strong", "default+checksum")
+    assert lean_opt.overall_overhead_pct < lean.overall_overhead_pct

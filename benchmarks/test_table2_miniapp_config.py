@@ -1,0 +1,49 @@
+"""Table 2 — mini-application configurations and memory pressure.
+
+Paper: per-core configurations (Jacobi3D 64*64*128 grid points, HPCCG
+40*40*40, LULESH 32*32*64 elements, LeanMD 4000 atoms, miniMD 1000 atoms)
+with the first three classed high memory pressure and the MD apps low.
+The checkpoint footprints drive every timing figure, so we report declared
+bytes/core alongside a measured functional checkpoint from live state.
+"""
+
+from repro.apps.registry import MINIAPP_NAMES, descriptor, make_app
+from repro.harness.report import format_table
+from repro.pup import pack
+
+
+def _build_rows():
+    rows = []
+    for name in MINIAPP_NAMES:
+        d = descriptor(name)
+        app = make_app(name, 2, scale=1e-4, seed=0)
+        measured = sum(pack(app.shard(r)).nbytes for r in range(2))
+        rows.append([name, d.programming_model, d.table2_configuration,
+                     d.memory_pressure, d.declared_bytes_per_core, measured])
+    return rows
+
+
+def test_table2_miniapp_config(benchmark, emit):
+    rows = benchmark(_build_rows)
+
+    emit(format_table(
+        ["mini-app", "model", "config (per core)", "memory pressure",
+         "declared bytes/core", "measured bytes (scaled, 2 nodes)"],
+        rows,
+        title="Table 2: mini-application configuration",
+    ))
+
+    by = {r[0]: r for r in rows}
+    assert by["jacobi3d-charm"][3] == "high"
+    assert by["hpccg"][3] == "high"
+    assert by["lulesh"][3] == "high"
+    assert by["leanmd"][3] == "low"
+    assert by["minimd"][3] == "low"
+    # Declared footprints follow Table 2's configurations.
+    assert by["jacobi3d-charm"][4] == 64 * 64 * 128 * 8
+    assert by["leanmd"][4] == 4000 * 6 * 8
+    assert by["minimd"][4] == 1000 * 6 * 8
+    # High-pressure apps dwarf the MD apps by orders of magnitude.
+    assert by["jacobi3d-charm"][4] > 20 * by["leanmd"][4]
+    # Functional state really exists (scaled-down but non-trivial).
+    assert all(r[5] > 100 for r in rows)

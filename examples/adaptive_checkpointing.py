@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Adaptive checkpoint intervals under a decreasing failure rate (Fig. 12).
+
+Failures are injected from a Weibull process with shape 0.6 — the
+decreasing-hazard behaviour Schroeder & Gibson observed in real HPC failure
+logs.  ACR fits the observed failure stream online (Crow-AMSAA maximum
+likelihood) and re-derives the Daly period from the *current* MTBF estimate:
+checkpoints come every few seconds during the early failure burst and stretch
+out as the machine calms down.
+
+Run:  python examples/adaptive_checkpointing.py
+"""
+
+from repro.harness import format_table
+from repro.harness.figures import fig12_data
+
+
+def main() -> None:
+    result = fig12_data(
+        nodes_per_replica=8,
+        horizon=900.0,
+        failures=14,
+        shape=0.6,
+        seed=3,
+        initial_interval=6.0,
+    )
+    report = result.report
+
+    print("=== Adaptivity of ACR to a changing failure rate ===")
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["failures injected", report.hard_injected],
+            ["failures detected & survived", report.hard_detected],
+            ["recoveries", str(report.recoveries)],
+            ["checkpoints completed", report.checkpoints_completed],
+            ["mean checkpoint gap, first fifth (s)",
+             round(result.early_mean_interval, 2)],
+            ["mean checkpoint gap, last fifth (s)",
+             round(result.late_mean_interval, 2)],
+        ],
+    ))
+    print()
+    print("timeline ('X' failure injected, '|' checkpoint performed):")
+    print(result.ascii_timeline)
+    print()
+    trajectory = [v for _, v in result.intervals]
+    print(f"fitted interval trajectory: starts {trajectory[0]:.1f} s, "
+          f"dips to {min(trajectory):.1f} s during the burst, "
+          f"ends {trajectory[-1]:.1f} s")
+    print()
+    print("More failures at the beginning -> more checkpoints at the beginning;")
+    print("fewer towards the end, exactly the behaviour of the paper's Figure 12.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Explore the Section-5 performance/reliability model.
+
+Answers the model's central questions for a machine you describe:
+how often to checkpoint, what each resilience scheme costs, and how much
+undetected-SDC risk the weaker schemes carry (Table 1, Fig. 7).
+
+Run:  python examples/model_explorer.py
+"""
+
+from repro import ModelParams, ResilienceScheme, optimal_tau
+from repro.harness import format_table
+from repro.model import solve_scheme, undetected_sdc_probability
+from repro.util.units import HOURS
+
+
+def explore(sockets_per_replica: int, delta: float) -> list[list]:
+    params = ModelParams(
+        work=24 * HOURS,
+        delta=delta,
+        sockets_per_replica=sockets_per_replica,
+        sdc_fit_socket=100.0,
+    )
+    rows = []
+    for scheme in ResilienceScheme:
+        tau = optimal_tau(params, scheme)
+        sol = solve_scheme(params, scheme, tau)
+        rows.append([
+            sockets_per_replica, delta, str(scheme), round(tau, 1),
+            round(sol.total_time / HOURS, 2),
+            round(sol.utilization, 4),
+            f"{undetected_sdc_probability(params, scheme, tau):.2e}",
+        ])
+    return rows
+
+
+def main() -> None:
+    rows = []
+    for sockets in (1024, 16384, 262144):
+        for delta in (15.0, 180.0):
+            rows += explore(sockets, delta)
+    print(format_table(
+        ["sockets/replica", "delta (s)", "scheme", "tau_opt (s)",
+         "total time (h)", "utilization", "P(undetected SDC)"],
+        rows,
+        title="Section-5 model: 24 h job, M_H = 50 y/socket, 100 FIT/socket",
+    ))
+    print()
+    print("Reading the table like the paper does:")
+    print(" * strong checkpoints most often (smallest tau) - it pays rework")
+    print("   of (tau+delta)/2 per hard error;")
+    print(" * with delta = 15 s every scheme keeps > 45% utilization at scale;")
+    print(" * with delta = 180 s strong sinks below 40% while weak/medium hold;")
+    print(" * only strong keeps P(undetected SDC) identically zero.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Render the paper's evaluation figures as terminal charts, end to end.
+
+One command walks the full evaluation: the Figure-6 link-load maps, the
+Figure-7 utilization curves from the Section-5 model, a Figure-8 checkpoint
+decomposition panel, a Figure-10 restart panel, and the Figure-12 adaptivity
+run on the live discrete-event stack.  (The benchmark suite asserts the
+numbers; this script is for looking at them.)
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.harness.figures import fig8_data, fig10_data, fig12_data
+from repro.model.surfaces import fig7_curves
+from repro.viz import (
+    plot_fig6_heatmap,
+    plot_fig7_utilization,
+    plot_fig8_bars,
+    plot_fig10_bars,
+    plot_fig12_intervals,
+)
+
+
+def rule(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def main() -> None:
+    rule("Figure 6 - inter-replica link loads on 512 BG/P nodes")
+    for scheme in ("default", "column", "mixed"):
+        print(plot_fig6_heatmap(scheme=scheme))
+        print()
+
+    rule("Figure 7(a) - model utilization vs machine size")
+    points = fig7_curves(sockets_axis=(1024, 4096, 16384, 65536, 262144))
+    for delta in (15.0, 180.0):
+        print(plot_fig7_utilization(points, delta))
+        print()
+
+    rule("Figure 8 - single-checkpoint overhead decomposition (64K cores/replica)")
+    rows8 = fig8_data(apps=("jacobi3d-charm", "lulesh", "leanmd"),
+                      cores_axis=(65536,))
+    for app in ("jacobi3d-charm", "lulesh", "leanmd"):
+        print(plot_fig8_bars(rows8, app, 65536))
+        print()
+
+    rule("Figure 10 - single-restart overhead decomposition (64K cores/replica)")
+    rows10 = fig10_data(apps=("jacobi3d-charm", "leanmd"), cores_axis=(65536,))
+    for app in ("jacobi3d-charm", "leanmd"):
+        print(plot_fig10_bars(rows10, app, 65536))
+        print()
+
+    rule("Figure 12 - adaptivity to a decreasing failure rate (live DES run)")
+    result = fig12_data(nodes_per_replica=8, horizon=600.0, failures=10, seed=3)
+    print(plot_fig12_intervals(result))
+    report = result.report
+    print(f"\n({report.hard_detected}/{report.hard_injected} failures survived, "
+          f"{report.checkpoints_completed} checkpoints, recoveries: "
+          f"{report.recoveries})")
+
+
+if __name__ == "__main__":
+    main()

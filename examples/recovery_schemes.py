@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The three resilience schemes head-to-head (paper §2.3, Figures 4 & 5).
+
+One fault scenario — an SDC in the soon-to-be-healthy replica followed by a
+node crash in the other — run under strong, medium, and weak recovery.  The
+output shows the paper's trade-off live:
+
+* strong: detects the SDC (it compares against the pre-crash checkpoint),
+  reworks the most, finishes correct;
+* medium: recovers fast from its immediate post-crash checkpoint, but the
+  corruption inside the window is silently adopted by both replicas;
+* weak: zero-overhead recovery at the next periodic checkpoint, same window.
+
+LeanMD is used because molecular-dynamics trajectories are chaotic — a single
+flipped bit visibly diverges the final state (in a contracting solver like
+Jacobi the corruption can be numerically forgiven).
+
+Run:  python examples/recovery_schemes.py
+"""
+
+from repro import FaultEvent, FaultKind, InjectionPlan, run_acr_experiment
+from repro.harness import format_table
+
+
+def main() -> None:
+    plan = InjectionPlan([
+        FaultEvent(time=5.0, kind=FaultKind.SDC, replica=0, node_id=1),
+        FaultEvent(time=6.0, kind=FaultKind.HARD, replica=1, node_id=2),
+    ])
+
+    rows = []
+    for scheme in ("strong", "medium", "weak"):
+        report = run_acr_experiment(
+            "leanmd",
+            nodes_per_replica=4,
+            scheme=scheme,
+            checkpoint_interval=10.0,
+            total_iterations=400,
+            app_scale=2e-3,
+            injection_plan=plan,
+            seed=11,
+        ).report
+        rows.append([
+            scheme,
+            f"{report.final_time:.1f}",
+            report.checkpoints_completed,
+            report.sdc_detected,
+            report.rework_iterations,
+            str(report.recoveries),
+            report.result_correct,
+        ])
+
+    print(format_table(
+        ["scheme", "time (s)", "ckpts", "SDC detected", "rework iters",
+         "recoveries", "result correct"],
+        rows,
+        title="Recovery schemes under the same fault scenario "
+              "(SDC at t=5 in the healthy replica, crash at t=6)",
+    ))
+    print()
+    print("Strong pays rework for 100% SDC protection; medium and weak trade a")
+    print("detection window (tau/2 and tau on average) for faster forward progress -")
+    print("here the corruption landed inside that window and survived undetected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Topology-aware replica mapping on the 3D torus (paper §4.2, Figs. 6 & 8).
+
+Shows (1) the per-link message counts of Figure 6 on a 512-node partition and
+(2) how the mapping choice changes a full 16 MiB/node checkpoint exchange
+across machine sizes — the default TXYZ split funnels all buddy traffic
+through the bisection (load grows with the Z dimension), while column/mixed
+interleavings keep it flat.
+
+Run:  python examples/topology_mapping.py
+"""
+
+from repro import CheckpointProfile, CostModel, Torus3D, build_mapping, intrepid_allocation
+from repro.harness import format_table
+from repro.util.units import MiB
+
+
+def figure6_link_counts() -> None:
+    torus = Torus3D((8, 8, 8))
+    rows = []
+    for scheme in ("default", "column", "mixed"):
+        mapping = build_mapping(torus, scheme)
+        loads = mapping.exchange_loads(1)
+        rows.append([scheme, loads.max_load(),
+                     int(mapping.buddy_distance().max()),
+                     str(list(loads.plane_loads(2)))])
+    print(format_table(
+        ["mapping", "max msgs/link", "buddy hops", "per-column link profile"],
+        rows,
+        title="Figure 6: inter-replica messages per link (512 nodes, 8x8x8)",
+    ))
+
+
+def figure8_checkpoint_costs() -> None:
+    cost = CostModel()
+    profile = CheckpointProfile(nbytes_per_node=16 * MiB)  # Jacobi3D-class
+    rows = []
+    for cores in (1024, 4096, 16384, 65536):
+        alloc = intrepid_allocation(cores)
+        entry = [f"{cores // 1024}K", str(alloc.torus.dims)]
+        for scheme in ("default", "mixed", "column"):
+            mapping = build_mapping(alloc.torus, scheme)
+            entry.append(round(cost.exchange_time(
+                mapping, profile.nbytes_per_node), 3))
+        rows.append(entry)
+    print(format_table(
+        ["cores/replica", "torus", "default (s)", "mixed (s)", "column (s)"],
+        rows,
+        title="Checkpoint transfer time by mapping (16 MiB per node)",
+    ))
+    print()
+    print("Default grows ~4x from 1K to 4K cores/replica (Z: 8 -> 32) then")
+    print("saturates; column and mixed stay flat - the Figure 8 shape.")
+
+
+def main() -> None:
+    figure6_link_counts()
+    print()
+    figure8_checkpoint_costs()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""AMPI: MPI-style rank programs virtualized on the simulated runtime."""
+
+from repro.ampi.mpi import (
+    Allreduce,
+    AMPIWorld,
+    Barrier,
+    Compute,
+    MPIDeadlockError,
+    RankContext,
+    Recv,
+    Send,
+    run_world,
+)
+
+__all__ = [
+    "Allreduce",
+    "AMPIWorld",
+    "Barrier",
+    "Compute",
+    "MPIDeadlockError",
+    "RankContext",
+    "Recv",
+    "Send",
+    "run_world",
+]

@@ -1,0 +1,292 @@
+"""AMPI — MPI-style virtualized ranks on the simulated runtime (paper §6.1).
+
+"The MPI based programs were executed using AMPI, which is Charm++'s
+interface for MPI programs."  This module provides the same idea for the
+reproduction: *rank programs* written against a small MPI vocabulary run as
+virtualized entities on the discrete-event simulator, so the MPI-flavoured
+mini-apps (Jacobi3D-AMPI, HPCCG, miniMD) execute through the same machinery
+as the Charm++-style tasks.
+
+Rank programs are Python generators that ``yield`` operations::
+
+    def program(rank: RankContext):
+        token = rank.rank
+        for _ in range(10):
+            yield Send((rank.rank + 1) % rank.size, token)
+            token = yield Recv((rank.rank - 1) % rank.size)
+            yield Compute(0.01)
+
+Blocking semantics (send/recv matching, collectives as synchronizing trees)
+are honoured in simulated time; the engine detects global quiescence with
+undelivered matches (deadlock) and reports it instead of hanging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.runtime.des import Simulator
+from repro.util.errors import ACRError, ConfigurationError
+
+
+class MPIDeadlockError(ACRError):
+    """All ranks are blocked and no message can unblock them."""
+
+
+# -- operations a rank program may yield -------------------------------------------
+
+
+@dataclass(frozen=True)
+class Send:
+    """Blocking standard-mode send (completes when matched and buffered)."""
+
+    dest: int
+    data: Any
+    tag: int = 0
+    nbytes: int = 1024
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive; the yield evaluates to the received data."""
+
+    source: int | None = None   # None = MPI_ANY_SOURCE
+    tag: int | None = None      # None = MPI_ANY_TAG
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Advance simulated time doing local work."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Synchronize all ranks."""
+
+
+@dataclass(frozen=True)
+class Allreduce:
+    """Combine one value from every rank; the yield evaluates to the result."""
+
+    value: Any
+    op: Callable[[Any, Any], Any] = lambda a, b: a + b
+
+
+@dataclass(frozen=True)
+class _Envelope:
+    source: int
+    tag: int
+    data: Any
+
+
+class RankContext:
+    """What a rank program knows about itself."""
+
+    def __init__(self, rank: int, size: int):
+        self.rank = rank
+        self.size = size
+
+
+class _RankState:
+    def __init__(self, rank: int, gen: Generator):
+        self.rank = rank
+        self.gen = gen
+        self.mailbox: deque[_Envelope] = deque()
+        self.blocked_on: Any = None
+        self.finished = False
+        self.result: Any = None
+
+
+class AMPIWorld:
+    """An MPI communicator of virtualized ranks on one simulator.
+
+    ``wildcard_mode`` controls MPI_ANY_SOURCE matching: ``"free"`` (default)
+    matches the first compatible envelope, while ``"follow"`` only matches
+    according to directives pushed via :meth:`push_match_directive` — the
+    hook replicated-execution layers (rMPI-style, §3.1 of the paper) use to
+    force both replicas to observe identical message orders.
+
+    ``compute_jitter(rank, seq) -> factor`` perturbs Compute durations, which
+    lets experiments create genuinely different message races between two
+    replicas of the same program.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        size: int,
+        program: Callable[[RankContext], Generator],
+        *,
+        latency: float = 5e-6,
+        bandwidth: float = 167e6,
+        wildcard_mode: str = "free",
+        compute_jitter: Callable[[int, int], float] | None = None,
+        on_wildcard_match: Callable[[int, int, int], None] | None = None,
+    ):
+        if size < 1:
+            raise ConfigurationError("communicator size must be >= 1")
+        if wildcard_mode not in ("free", "follow"):
+            raise ConfigurationError(f"unknown wildcard_mode {wildcard_mode!r}")
+        self.sim = sim
+        self.size = size
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.wildcard_mode = wildcard_mode
+        self.compute_jitter = compute_jitter
+        #: Called as (rank, matched_source, matched_tag) after every wildcard
+        #: match in "free" mode - the leader side of an rMPI-style protocol.
+        self.on_wildcard_match = on_wildcard_match
+        self.ranks = [
+            _RankState(r, program(RankContext(r, size))) for r in range(size)
+        ]
+        self._directives: dict[int, deque[tuple[int, int]]] = {
+            r: deque() for r in range(size)
+        }
+        self._compute_seq = [0] * size
+        self._barrier_waiting: set[int] = set()
+        self._allreduce_values: dict[int, Any] = {}
+        self._allreduce_op: Callable[[Any, Any], Any] | None = None
+        self._live = size
+        self.deadlocked = False
+
+    # -- driving ------------------------------------------------------------------
+    def start(self) -> None:
+        for state in self.ranks:
+            self.sim.schedule(0.0, self._step, state, None)
+
+    def run(self, until: float | None = None) -> None:
+        self.start()
+        self.sim.run(until=until)
+        if self._live > 0 and not self.deadlocked:
+            blocked = [s.rank for s in self.ranks if not s.finished]
+            if blocked:
+                self.deadlocked = True
+                raise MPIDeadlockError(f"ranks {blocked} blocked at quiescence")
+
+    def results(self) -> list[Any]:
+        return [s.result for s in self.ranks]
+
+    # -- engine ---------------------------------------------------------------------
+    def _step(self, state: _RankState, send_value: Any) -> None:
+        if state.finished:
+            return
+        try:
+            op = state.gen.send(send_value)
+        except StopIteration as stop:
+            state.finished = True
+            state.result = stop.value
+            self._live -= 1
+            return
+        self._dispatch(state, op)
+
+    def _dispatch(self, state: _RankState, op: Any) -> None:
+        if isinstance(op, Compute):
+            if op.seconds < 0:
+                raise ConfigurationError("compute time must be >= 0")
+            seconds = op.seconds
+            if self.compute_jitter is not None:
+                seq = self._compute_seq[state.rank]
+                self._compute_seq[state.rank] += 1
+                seconds *= self.compute_jitter(state.rank, seq)
+            self.sim.schedule(seconds, self._step, state, None)
+        elif isinstance(op, Send):
+            if not (0 <= op.dest < self.size):
+                raise ConfigurationError(f"bad destination {op.dest}")
+            delay = self.latency + op.nbytes / self.bandwidth
+            self.sim.schedule(delay, self._deliver, op.dest,
+                              _Envelope(state.rank, op.tag, op.data))
+            # Standard-mode send with buffering: the sender proceeds after
+            # the injection overhead.
+            self.sim.schedule(self.latency, self._step, state, None)
+        elif isinstance(op, Recv):
+            state.blocked_on = op
+            self._try_receive(state)
+        elif isinstance(op, Barrier):
+            self._barrier_waiting.add(state.rank)
+            state.blocked_on = op
+            if len(self._barrier_waiting) == self.size:
+                waiting, self._barrier_waiting = self._barrier_waiting, set()
+                for r in waiting:
+                    st = self.ranks[r]
+                    st.blocked_on = None
+                    self.sim.schedule(self.latency, self._step, st, None)
+        elif isinstance(op, Allreduce):
+            if self._allreduce_op is None:
+                self._allreduce_op = op.op
+            self._allreduce_values[state.rank] = op.value
+            state.blocked_on = op
+            if len(self._allreduce_values) == self.size:
+                acc = None
+                for r in range(self.size):
+                    v = self._allreduce_values[r]
+                    acc = v if acc is None else self._allreduce_op(acc, v)
+                values, self._allreduce_values = self._allreduce_values, {}
+                self._allreduce_op = None
+                # A tree allreduce costs ~2 log2(size) latency stages.
+                import math
+
+                stages = 2 * max(1, math.ceil(math.log2(max(self.size, 2))))
+                for r in values:
+                    st = self.ranks[r]
+                    st.blocked_on = None
+                    self.sim.schedule(stages * self.latency, self._step, st, acc)
+        else:
+            raise ConfigurationError(f"unknown MPI operation {op!r}")
+
+    def _deliver(self, dest: int, env: _Envelope) -> None:
+        state = self.ranks[dest]
+        state.mailbox.append(env)
+        if isinstance(state.blocked_on, Recv):
+            self._try_receive(state)
+
+    def push_match_directive(self, rank: int, source: int, tag: int) -> None:
+        """Tell a "follow"-mode rank which envelope its next wildcard
+        receive must match (the mirror side of an rMPI-style protocol)."""
+        self._directives[rank].append((source, tag))
+        state = self.ranks[rank]
+        if isinstance(state.blocked_on, Recv):
+            self._try_receive(state)
+
+    def _try_receive(self, state: _RankState) -> None:
+        want = state.blocked_on
+        if not isinstance(want, Recv):
+            return
+        is_wildcard = want.source is None
+        need_source, need_tag = want.source, want.tag
+        if is_wildcard and self.wildcard_mode == "follow":
+            queue = self._directives[state.rank]
+            if not queue:
+                return  # must wait for the leader's match decision
+            need_source, need_tag = queue[0]
+        for i, env in enumerate(state.mailbox):
+            if need_source is not None and env.source != need_source:
+                continue
+            if need_tag is not None and env.tag != need_tag:
+                continue
+            if is_wildcard and self.wildcard_mode == "follow":
+                self._directives[state.rank].popleft()
+            del state.mailbox[i]
+            state.blocked_on = None
+            if is_wildcard and self.wildcard_mode == "free"                     and self.on_wildcard_match is not None:
+                self.on_wildcard_match(state.rank, env.source, env.tag)
+            self.sim.schedule(0.0, self._step, state, env.data)
+            return
+
+
+def run_world(
+    size: int,
+    program: Callable[[RankContext], Generator],
+    *,
+    until: float | None = None,
+    latency: float = 5e-6,
+    bandwidth: float = 167e6,
+) -> list[Any]:
+    """Convenience: run one communicator to completion, return rank results."""
+    sim = Simulator()
+    world = AMPIWorld(sim, size, program, latency=latency, bandwidth=bandwidth)
+    world.run(until=until)
+    return world.results()

@@ -1,0 +1,188 @@
+"""rMPI-style message-cloning replication — the alternative ACR rejects (§3.1).
+
+"Libraries such as rMPI and P2P-MPI ... provide reliability support by
+ensuring that if an MPI rank dies, its corresponding MPI rank in the other
+replica performs the communication operations in its place.  This approach
+requires the progress of every rank in one replica to be completely
+synchronized with the corresponding rank in the other replica ... Such a
+fine-grained synchronization approach may hurt application performance,
+especially if a dynamic application performs a large number of receives from
+unknown sources.  In fact, in such scenarios the progress of corresponding
+ranks in the two replicas must be serialized to maintain consistency."
+
+This module implements exactly that protocol on the AMPI layer so the claim
+can be measured instead of asserted:
+
+* a **leader** world runs the program with free wildcard matching, reporting
+  every ``MPI_ANY_SOURCE`` match it performs;
+* a **mirror** world runs the same program in *follow* mode: each wildcard
+  receive blocks until the leader's match decision arrives (one cross-replica
+  directive message per wildcard receive) — the serialization ACR avoids by
+  never synchronizing its replicas outside checkpoints.
+
+The contrast is observable on both axes:
+
+* **consistency** — with different compute jitter per replica, free-running
+  replicas of a racy (wildcard-heavy) program genuinely diverge; the
+  message-cloning protocol forces identical results;
+* **performance** — the mirror pays at least one directive latency per
+  wildcard receive, and the run completes when *both* worlds do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.ampi.mpi import AMPIWorld, RankContext
+from repro.runtime.des import Simulator
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+
+@dataclass
+class ReplicatedRunResult:
+    """Outcome of one replicated (message-cloning) execution."""
+
+    leader_results: list[Any]
+    mirror_results: list[Any]
+    finish_time: float           # when BOTH replicas completed
+    leader_finish_time: float
+    directives_sent: int
+
+    @property
+    def consistent(self) -> bool:
+        return self.leader_results == self.mirror_results
+
+    @property
+    def mirror_lag(self) -> float:
+        """Extra time the synchronized mirror needed beyond the leader."""
+        return self.finish_time - self.leader_finish_time
+
+
+class MessageCloningReplication:
+    """Run one MPI program in two rank-synchronized replicas (rMPI-style)."""
+
+    def __init__(
+        self,
+        size: int,
+        program: Callable[[RankContext], Generator],
+        *,
+        directive_latency: float = 5e-4,
+        latency: float = 5e-6,
+        bandwidth: float = 167e6,
+        jitter_amplitude: float = 0.3,
+        seed: int = 0,
+    ):
+        """
+        Parameters
+        ----------
+        directive_latency:
+            Cross-replica delivery time of one match decision (inter-replica
+            traffic crosses the partition bisection, so it is slower than
+            intra-replica latency).
+        jitter_amplitude:
+            Per-replica compute-time perturbation amplitude; nonzero values
+            make the two replicas race differently, which is what the
+            protocol must survive.
+        """
+        if directive_latency < 0:
+            raise ConfigurationError("directive_latency must be >= 0")
+        if not (0 <= jitter_amplitude < 1):
+            raise ConfigurationError("jitter_amplitude must be in [0, 1)")
+        self.size = size
+        self.program = program
+        self.directive_latency = directive_latency
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.jitter_amplitude = jitter_amplitude
+        self.seed = seed
+
+    def _jitter(self, which: str) -> Callable[[int, int], float]:
+        rng = RngStream(self.seed, f"rmpi/{which}")
+        amplitude = self.jitter_amplitude
+
+        def jitter(rank: int, seq: int) -> float:
+            # Deterministic per-(replica, rank, seq) factor in [1-a, 1+a].
+            h = RngStream(rng.root_seed, f"rmpi/{which}/{rank}/{seq}")
+            return 1.0 + amplitude * (2.0 * float(h.uniform()) - 1.0)
+
+        return jitter
+
+    def run(self, *, until: float | None = None) -> ReplicatedRunResult:
+        """Execute both replicas under the message-cloning protocol."""
+        sim = Simulator()
+        directives = {"count": 0}
+        mirror: dict[str, AMPIWorld] = {}
+
+        def on_match(rank: int, source: int, tag: int) -> None:
+            directives["count"] += 1
+            sim.schedule(self.directive_latency,
+                         mirror["world"].push_match_directive, rank, source, tag)
+
+        leader = AMPIWorld(sim, self.size, self.program,
+                           latency=self.latency, bandwidth=self.bandwidth,
+                           wildcard_mode="free",
+                           compute_jitter=self._jitter("leader"),
+                           on_wildcard_match=on_match)
+        mirror["world"] = AMPIWorld(sim, self.size, self.program,
+                                    latency=self.latency,
+                                    bandwidth=self.bandwidth,
+                                    wildcard_mode="follow",
+                                    compute_jitter=self._jitter("mirror"))
+        leader.start()
+        mirror["world"].start()
+        leader_done = {"t": None}
+
+        # Drain the simulation, noting when the leader finished.
+        while True:
+            next_t = sim.peek_time()
+            if next_t is None or (until is not None and next_t > until):
+                break
+            sim.run(until=next_t)
+            if leader_done["t"] is None and all(
+                    s.finished for s in leader.ranks):
+                leader_done["t"] = sim.now
+        finish = sim.now
+        return ReplicatedRunResult(
+            leader_results=leader.results(),
+            mirror_results=mirror["world"].results(),
+            finish_time=finish,
+            leader_finish_time=leader_done["t"] if leader_done["t"] is not None
+            else finish,
+            directives_sent=directives["count"],
+        )
+
+    def run_independent(self, *, until: float | None = None
+                        ) -> ReplicatedRunResult:
+        """The ACR-style counterfactual: two replicas, zero coordination.
+
+        Both replicas match wildcards freely and never exchange directives —
+        fast, but racy programs may produce different results (which is why
+        ACR pairs independence with checkpoint *comparison* instead of
+        message-order enforcement).
+        """
+        sim = Simulator()
+        a = AMPIWorld(sim, self.size, self.program, latency=self.latency,
+                      bandwidth=self.bandwidth, wildcard_mode="free",
+                      compute_jitter=self._jitter("leader"))
+        b = AMPIWorld(sim, self.size, self.program, latency=self.latency,
+                      bandwidth=self.bandwidth, wildcard_mode="free",
+                      compute_jitter=self._jitter("mirror"))
+        a.start()
+        b.start()
+        a_done = {"t": None}
+        while True:
+            next_t = sim.peek_time()
+            if next_t is None or (until is not None and next_t > until):
+                break
+            sim.run(until=next_t)
+            if a_done["t"] is None and all(s.finished for s in a.ranks):
+                a_done["t"] = sim.now
+        return ReplicatedRunResult(
+            leader_results=a.results(),
+            mirror_results=b.results(),
+            finish_time=sim.now,
+            leader_finish_time=a_done["t"] if a_done["t"] is not None else sim.now,
+            directives_sent=0,
+        )

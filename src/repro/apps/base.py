@@ -1,0 +1,153 @@
+"""Mini-application substrate.
+
+Each application models one replica's numeric state *globally* and exposes
+per-node **shards** for checkpointing: shard ``rank`` pups the contiguous
+block of state owned by that node, so a node's local checkpoint is exactly the
+serialization of its partition (paper §2.1).  The two replicas run the same
+deterministic computation from the same seed, which is what makes bit-exact
+checkpoint comparison meaningful.
+
+Timing and numerics are deliberately separable: ``scale`` shrinks the *actual*
+arrays so functional experiments stay laptop-sized, while
+``declared_bytes_per_core`` always reflects the paper's Table 2 configuration
+and feeds the topology-aware cost model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.allocation import CORES_PER_NODE
+from repro.network.costs import CheckpointProfile
+from repro.pup.puper import PUPer
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class AppDescriptor:
+    """Static facts about a mini-app (the row it occupies in Table 2)."""
+
+    name: str
+    programming_model: str      # "charm++" or "mpi" (via AMPI)
+    table2_configuration: str   # e.g. "64*64*128 grid points" (per core)
+    memory_pressure: str        # "high" or "low"
+    declared_bytes_per_core: int
+    serialize_factor: float     # PUP traversal slowdown (nested/scattered data)
+    base_iteration_seconds: float  # forward-path time per iteration per task
+
+
+class ShardRef:
+    """Pupable view of one node's partition of a replica's state."""
+
+    def __init__(self, app: "ReplicaApp", rank: int):
+        self.app = app
+        self.rank = rank
+
+    def pup(self, p: PUPer) -> None:
+        self.app.pup_shard(p, self.rank)
+
+
+class ReplicaApp(ABC):
+    """One replica's full application instance.
+
+    Subclasses hold the numeric state, implement one deterministic
+    ``advance()`` step, and describe each node's partition via ``pup_shard``.
+    """
+
+    descriptor: AppDescriptor
+
+    def __init__(self, nodes_per_replica: int, *, scale: float = 1.0,
+                 seed: int = 0):
+        if nodes_per_replica < 1:
+            raise ConfigurationError("nodes_per_replica must be >= 1")
+        if not (0 < scale <= 1.0):
+            raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+        self.nodes_per_replica = int(nodes_per_replica)
+        self.scale = float(scale)
+        self.seed = int(seed)
+        self.iteration = 0
+        self.rng = RngStream(seed, f"app/{self.descriptor.name}")
+
+    # -- numerics ----------------------------------------------------------------
+    @abstractmethod
+    def advance(self) -> None:
+        """Run one deterministic iteration of the application."""
+
+    def advance_to(self, iteration: int) -> None:
+        """Advance the global state to ``iteration`` (no-op if already there)."""
+        if iteration < self.iteration:
+            raise ConfigurationError(
+                f"cannot advance backwards: at {self.iteration}, asked {iteration}"
+            )
+        while self.iteration < iteration:
+            self.advance()
+            self.iteration += 1
+
+    @abstractmethod
+    def pup_shard(self, p: PUPer, rank: int) -> None:
+        """Serialize / restore / compare node ``rank``'s partition.
+
+        Must include the iteration counter so a restored shard knows where the
+        replica resumes.
+        """
+
+    def shard(self, rank: int) -> ShardRef:
+        if not (0 <= rank < self.nodes_per_replica):
+            raise ConfigurationError(f"rank {rank} out of range")
+        return ShardRef(self, rank)
+
+    @abstractmethod
+    def result_digest(self) -> np.ndarray:
+        """A small deterministic summary of the state, for correctness checks."""
+
+    # -- cost-model hooks ----------------------------------------------------------
+    def checkpoint_profile(self) -> CheckpointProfile:
+        """Declared (Table-2 scale) checkpoint footprint of one node."""
+        d = self.descriptor
+        return CheckpointProfile(
+            nbytes_per_node=d.declared_bytes_per_core * CORES_PER_NODE,
+            serialize_factor=d.serialize_factor,
+        )
+
+    def iteration_time(self, task_id: int, iteration: int) -> float:
+        """Per-task compute time model with deterministic per-task jitter.
+
+        The skew between tasks is what exercises the consensus protocol: tasks
+        progress at different rates during application execution (§2.2).
+        """
+        base = self.descriptor.base_iteration_seconds
+        jitter = 0.05 * _hash_unit(self.seed, task_id, iteration)
+        return base * (1.0 + jitter)
+
+    # -- helpers -----------------------------------------------------------------
+    def _scaled(self, per_core: int, minimum: int = 2) -> int:
+        """Scale a per-core element count down for functional runs."""
+        return max(int(round(per_core * self.scale)), minimum)
+
+
+def _hash_unit(*keys: int) -> float:
+    """Deterministic pseudo-random float in [0, 1) from integer keys."""
+    h = 0x9E3779B97F4A7C15
+    for k in keys:
+        h ^= (int(k) + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        h = (h * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        h ^= h >> 31
+    return (h & 0xFFFFFFFFFFFF) / float(1 << 48)
+
+
+def partition_bounds(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``total`` items into ``parts`` contiguous, balanced ranges."""
+    if parts < 1 or total < parts:
+        raise ConfigurationError(f"cannot split {total} items into {parts} parts")
+    base, extra = divmod(total, parts)
+    bounds = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds

@@ -1,0 +1,70 @@
+"""Registry of the paper's five mini-applications (six configurations).
+
+Figure 8 evaluates six variants: Jacobi3D in both Charm++ and AMPI flavours,
+HPCCG, LULESH, LeanMD, and miniMD.  ``make_app`` builds a replica instance by
+name; ``MINIAPP_NAMES`` lists them in the paper's figure order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import AppDescriptor, ReplicaApp
+from repro.apps.hpccg import HPCCG, HPCCG_DESCRIPTOR
+from repro.apps.jacobi3d import JACOBI_AMPI, JACOBI_CHARM, Jacobi3D
+from repro.apps.leanmd import LEANMD_DESCRIPTOR, LeanMD
+from repro.apps.lulesh import LULESH, LULESH_DESCRIPTOR
+from repro.apps.minimd import MINIMD_DESCRIPTOR, MiniMD
+from repro.apps.synthetic import SyntheticApp
+from repro.util.errors import ConfigurationError
+
+#: Figure-8 panel order: (a) Jacobi3D Charm++, (b) LULESH, (c) LeanMD,
+#: (d) Jacobi3D AMPI, (e) HPCCG, (f) miniMD.
+MINIAPP_NAMES = (
+    "jacobi3d-charm",
+    "lulesh",
+    "leanmd",
+    "jacobi3d-ampi",
+    "hpccg",
+    "minimd",
+)
+
+_FACTORIES: dict[str, Callable[..., ReplicaApp]] = {
+    "jacobi3d-charm": lambda n, **kw: Jacobi3D(n, programming_model="charm++", **kw),
+    "jacobi3d-ampi": lambda n, **kw: Jacobi3D(n, programming_model="mpi", **kw),
+    "hpccg": HPCCG,
+    "lulesh": LULESH,
+    "leanmd": LeanMD,
+    "minimd": MiniMD,
+    "synthetic": SyntheticApp,
+}
+
+DESCRIPTORS: dict[str, AppDescriptor] = {
+    "jacobi3d-charm": JACOBI_CHARM,
+    "jacobi3d-ampi": JACOBI_AMPI,
+    "hpccg": HPCCG_DESCRIPTOR,
+    "lulesh": LULESH_DESCRIPTOR,
+    "leanmd": LEANMD_DESCRIPTOR,
+    "minimd": MINIMD_DESCRIPTOR,
+}
+
+
+def make_app(name: str, nodes_per_replica: int, *, scale: float = 1.0,
+             seed: int = 0, **kwargs) -> ReplicaApp:
+    """Instantiate one replica of a registered mini-application."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown app {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(nodes_per_replica, scale=scale, seed=seed, **kwargs)
+
+
+def descriptor(name: str) -> AppDescriptor:
+    try:
+        return DESCRIPTORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no descriptor for {name!r}; known: {sorted(DESCRIPTORS)}"
+        ) from None

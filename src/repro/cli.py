@@ -1,0 +1,304 @@
+"""Command-line interface: run experiments and regenerate paper figures.
+
+Usage (also via ``python -m repro``):
+
+    python -m repro apps
+    python -m repro run --app jacobi3d-charm --nodes 4 --scheme strong \
+        --iterations 200 --hard-mtbf 30 --sdc-mtbf 50 --seed 1
+    python -m repro model --sockets 16384 --delta 15 --fit 100
+    python -m repro figure fig8 --apps jacobi3d-charm leanmd
+    python -m repro figure fig12 --nodes 8 --horizon 600
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.apps.registry import MINIAPP_NAMES, descriptor
+from repro.harness.experiment import run_acr_experiment
+from repro.harness.figures import (
+    fig6_data,
+    fig8_data,
+    fig9_fig11_data,
+    fig10_data,
+    fig12_data,
+)
+from repro.harness.report import format_table
+from repro.model.params import ModelParams
+from repro.model.schemes import ResilienceScheme, optimal_tau, solve_scheme
+from repro.model.vulnerability import undetected_sdc_probability
+from repro.util.units import HOURS, YEARS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ACR (SC'13) reproduction: automatic checkpoint/restart "
+                    "for soft and hard error protection.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the paper's mini-applications")
+
+    run_p = sub.add_parser("run", help="run an application under ACR")
+    run_p.add_argument("--app", default="jacobi3d-charm", choices=MINIAPP_NAMES)
+    run_p.add_argument("--nodes", type=int, default=4,
+                       help="nodes per replica")
+    run_p.add_argument("--scheme", default="strong",
+                       choices=[s.value for s in ResilienceScheme])
+    run_p.add_argument("--mapping", default="default",
+                       choices=["default", "column", "mixed"])
+    run_p.add_argument("--iterations", type=int, default=200)
+    run_p.add_argument("--interval", type=float, default=5.0,
+                       help="checkpoint period in simulated seconds")
+    run_p.add_argument("--hard-mtbf", type=float, default=None,
+                       help="inject Poisson hard faults at this MTBF (s)")
+    run_p.add_argument("--sdc-mtbf", type=float, default=None,
+                       help="inject Poisson bit flips at this MTBF (s)")
+    run_p.add_argument("--checksum", action="store_true",
+                       help="compare Fletcher digests instead of full state")
+    run_p.add_argument("--seed", type=int, default=0)
+
+    model_p = sub.add_parser("model", help="query the Section-5 model")
+    model_p.add_argument("--sockets", type=int, default=16384,
+                         help="sockets per replica")
+    model_p.add_argument("--delta", type=float, default=15.0,
+                         help="checkpoint time (s)")
+    model_p.add_argument("--fit", type=float, default=100.0,
+                         help="SDC rate per socket (FIT)")
+    model_p.add_argument("--mtbf-years", type=float, default=50.0,
+                         help="per-socket hard-error MTBF (years)")
+    model_p.add_argument("--hours", type=float, default=24.0,
+                         help="job length (hours)")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure's data")
+    fig_p.add_argument("name",
+                       choices=["fig6", "fig7", "fig8", "fig9", "fig10",
+                                "fig11", "fig12"])
+    fig_p.add_argument("--plot", action="store_true",
+                       help="render terminal charts instead of raw tables")
+    fig_p.add_argument("--apps", nargs="+", default=None,
+                       help="restrict to these mini-apps (fig8/9/10/11)")
+    fig_p.add_argument("--nodes", type=int, default=8,
+                       help="nodes per replica (fig12)")
+    fig_p.add_argument("--horizon", type=float, default=600.0,
+                       help="run length in simulated seconds (fig12)")
+    fig_p.add_argument("--failures", type=int, default=12,
+                       help="expected failure count (fig12)")
+    fig_p.add_argument("--seed", type=int, default=3)
+
+    sub.add_parser("table2", help="print Table 2 (mini-app configurations)")
+    return parser
+
+
+def _cmd_apps() -> int:
+    rows = []
+    for name in MINIAPP_NAMES:
+        d = descriptor(name)
+        rows.append([name, d.programming_model, d.table2_configuration,
+                     d.memory_pressure, d.declared_bytes_per_core])
+    print(format_table(
+        ["mini-app", "model", "config (per core)", "memory pressure",
+         "bytes/core"],
+        rows, title="Mini-applications (paper Table 2)"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_acr_experiment(
+        args.app,
+        nodes_per_replica=args.nodes,
+        scheme=args.scheme,
+        mapping=args.mapping,
+        use_checksum=args.checksum,
+        total_iterations=args.iterations,
+        checkpoint_interval=args.interval,
+        hard_mtbf=args.hard_mtbf,
+        sdc_mtbf=args.sdc_mtbf,
+        seed=args.seed,
+    )
+    r = result.report
+    rows = [
+        ["completed", r.completed],
+        ["simulated time (s)", round(r.final_time, 3)],
+        ["checkpoints", r.checkpoints_completed],
+        ["SDC injected / detected", f"{r.sdc_injected} / {r.sdc_detected}"],
+        ["hard faults injected / detected",
+         f"{r.hard_injected} / {r.hard_detected}"],
+        ["recoveries", str(r.recoveries)],
+        ["rework iterations", r.rework_iterations],
+        ["result bit-correct", r.result_correct],
+    ]
+    if r.aborted_reason:
+        rows.append(["aborted", r.aborted_reason])
+    print(format_table(["metric", "value"], rows,
+                       title=f"ACR run: {args.app}, {args.scheme} scheme, "
+                             f"{args.nodes} nodes/replica"))
+    print("\ntimeline ('X' failure, '|' checkpoint):")
+    print(r.timeline.render_ascii(width=80))
+    return 0 if (r.completed and r.aborted_reason is None) else 1
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    params = ModelParams(
+        work=args.hours * HOURS,
+        delta=args.delta,
+        sockets_per_replica=args.sockets,
+        hard_mtbf_socket=args.mtbf_years * YEARS,
+        sdc_fit_socket=args.fit,
+    )
+    rows = []
+    for scheme in ResilienceScheme:
+        tau = optimal_tau(params, scheme)
+        sol = solve_scheme(params, scheme, tau)
+        rows.append([
+            str(scheme), round(tau, 1), round(sol.total_time / HOURS, 3),
+            round(sol.utilization, 4),
+            f"{undetected_sdc_probability(params, scheme, tau):.3e}",
+        ])
+    print(format_table(
+        ["scheme", "tau_opt (s)", "total time (h)", "utilization",
+         "P(undetected SDC)"],
+        rows,
+        title=(f"Section-5 model: {args.sockets} sockets/replica, "
+               f"delta={args.delta}s, {args.fit} FIT/socket, "
+               f"M_H={args.mtbf_years}y/socket, {args.hours}h job")))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    apps = tuple(args.apps) if args.apps else MINIAPP_NAMES
+    if args.name == "fig6":
+        if args.plot:
+            from repro.viz import plot_fig6_heatmap
+
+            for scheme in ("default", "column", "mixed"):
+                print(plot_fig6_heatmap(scheme=scheme))
+                print()
+            return 0
+        rows = fig6_data()
+        print(format_table(
+            ["mapping", "max msgs/link", "buddy hops", "profile"],
+            [[r.mapping, r.max_link_load, r.buddy_hops_max,
+              str(list(r.plane_profile))] for r in rows],
+            title="Figure 6"))
+    elif args.name == "fig7":
+        from repro.model.surfaces import fig7_curves
+
+        points = fig7_curves()
+        if args.plot:
+            from repro.viz import plot_fig7_utilization
+
+            for delta in (15.0, 180.0):
+                print(plot_fig7_utilization(points, delta))
+                print()
+            return 0
+        print(format_table(
+            ["sockets/replica", "delta(s)", "scheme", "tau_opt(s)",
+             "utilization", "P(undetected SDC)"],
+            [[pt.sockets_per_replica, pt.delta, str(pt.scheme),
+              round(pt.tau_opt, 1), round(pt.utilization, 4),
+              f"{pt.undetected_sdc_probability:.3e}"] for pt in points],
+            title="Figure 7"))
+    elif args.name == "fig8":
+        rows = fig8_data(apps=apps)
+        if args.plot:
+            from repro.viz import plot_fig8_bars
+
+            for app in apps:
+                print(plot_fig8_bars(rows, app, 65536))
+                print()
+            return 0
+        print(format_table(
+            ["app", "cores/replica", "method", "local", "transfer",
+             "compare", "total"],
+            [[r.app, r.cores_per_replica, r.method, round(r.local, 4),
+              round(r.transfer, 4), round(r.compare, 4), round(r.total, 4)]
+             for r in rows],
+            title="Figure 8: single checkpoint overhead (s)"))
+    elif args.name in ("fig9", "fig11"):
+        apps9 = tuple(args.apps) if args.apps else ("jacobi3d-charm", "leanmd")
+        rows = fig9_fig11_data(apps=apps9)
+        attr = ("checkpoint_overhead_pct" if args.name == "fig9"
+                else "overall_overhead_pct")
+        print(format_table(
+            ["app", "sockets/replica", "scheme", "variant", "tau_opt (s)",
+             "overhead %"],
+            [[r.app, r.sockets_per_replica, r.scheme, r.variant,
+              round(r.tau_opt, 1), round(getattr(r, attr), 3)]
+             for r in rows],
+            title=f"Figure {args.name[3:]}: overhead at optimal period"))
+    elif args.name == "fig10":
+        rows = fig10_data(apps=apps)
+        if args.plot:
+            from repro.viz import plot_fig10_bars
+
+            for app in apps:
+                print(plot_fig10_bars(rows, app, 65536))
+                print()
+            return 0
+        print(format_table(
+            ["app", "cores/replica", "variant", "transfer", "reconstruction",
+             "total"],
+            [[r.app, r.cores_per_replica, r.variant, round(r.transfer, 4),
+              round(r.reconstruction, 4), round(r.total, 4)] for r in rows],
+            title="Figure 10: single restart overhead (s)"))
+    else:  # fig12
+        result = fig12_data(nodes_per_replica=args.nodes,
+                            horizon=args.horizon, failures=args.failures,
+                            seed=args.seed)
+        if args.plot:
+            from repro.viz import plot_fig12_intervals
+
+            print(plot_fig12_intervals(result))
+            return 0
+        r = result.report
+        print(format_table(
+            ["metric", "value"],
+            [["failures detected", r.hard_detected],
+             ["checkpoints", r.checkpoints_completed],
+             ["mean gap, first fifth (s)", round(result.early_mean_interval, 2)],
+             ["mean gap, last fifth (s)", round(result.late_mean_interval, 2)]],
+            title="Figure 12: adaptivity"))
+        print(result.ascii_timeline)
+    return 0
+
+
+def _cmd_table2() -> int:
+    from repro.apps.registry import make_app
+    from repro.pup import pack
+
+    rows = []
+    for name in MINIAPP_NAMES:
+        d = descriptor(name)
+        app = make_app(name, 2, scale=1e-4, seed=0)
+        measured = sum(pack(app.shard(r)).nbytes for r in range(2))
+        rows.append([name, d.table2_configuration, d.memory_pressure,
+                     d.declared_bytes_per_core, measured])
+    print(format_table(
+        ["mini-app", "config (per core)", "pressure", "declared bytes/core",
+         "measured bytes (scaled)"],
+        rows, title="Table 2"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "apps":
+        return _cmd_apps()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "model":
+        return _cmd_model(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "table2":
+        return _cmd_table2()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The ACR framework — the paper's primary contribution.
+
+Replication-enhanced checkpointing, consensus-driven checkpoint decisions,
+SDC detection, three hard-error recovery schemes, and adaptive checkpoint
+intervals, orchestrated over the simulated runtime.
+"""
+
+from repro.core.adaptive import AdaptiveIntervalController, FitResult
+from repro.core.checkpoint import CheckpointGeneration, CheckpointStore
+from repro.core.config import ACRConfig
+from repro.core.consensus import ConsensusController
+from repro.core.events import Timeline, TimelineEvent, TimelineKind
+from repro.core.framework import ACR, RunReport
+from repro.core.sdc import SDCScanResult, detect_sdc
+
+__all__ = [
+    "AdaptiveIntervalController",
+    "FitResult",
+    "CheckpointGeneration",
+    "CheckpointStore",
+    "ACRConfig",
+    "ConsensusController",
+    "Timeline",
+    "TimelineEvent",
+    "TimelineKind",
+    "ACR",
+    "RunReport",
+    "SDCScanResult",
+    "detect_sdc",
+]

@@ -1,0 +1,117 @@
+"""Double-buffered in-memory checkpoint store (paper §2.1).
+
+Each node keeps its **local checkpoint** in memory; the same bytes act as the
+**remote checkpoint** of its buddy in the other replica.  The store keeps two
+generations per replica:
+
+* the **safe** generation — the newest checkpoint that survived SDC
+  comparison (or was installed by a recovery), the rollback target;
+* a **candidate** generation — freshly packed, not yet validated.
+
+A successful comparison *commits* the candidate (it becomes safe); a detected
+mismatch *discards* it and the run rolls back to the safe generation.  The
+initial application state is stored as generation zero so "restart from the
+beginning of execution" (§2.3, weak-scheme worst case) is just another
+rollback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pup.puper import PackedState
+from repro.util.errors import SimulationError
+
+
+@dataclass
+class CheckpointGeneration:
+    """One coordinated checkpoint of one replica: every rank's packed shard."""
+
+    iteration: int
+    shards: dict[int, PackedState] = field(default_factory=dict)
+    wallclock: float = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self.shards.values())
+
+    def complete(self, nodes_per_replica: int) -> bool:
+        return len(self.shards) == nodes_per_replica
+
+
+class CheckpointStore:
+    """Safe + candidate checkpoint generations for both replicas."""
+
+    def __init__(self, nodes_per_replica: int):
+        if nodes_per_replica < 1:
+            raise SimulationError("nodes_per_replica must be >= 1")
+        self.nodes_per_replica = nodes_per_replica
+        self._safe: dict[int, CheckpointGeneration] = {}
+        self._candidate: dict[int, CheckpointGeneration] = {}
+        self.commits = 0
+        self.discards = 0
+
+    # -- candidate lifecycle -----------------------------------------------------
+    def begin_candidate(self, replica: int, iteration: int, wallclock: float) -> None:
+        self._candidate[replica] = CheckpointGeneration(iteration, wallclock=wallclock)
+
+    def put_shard(self, replica: int, rank: int, state: PackedState) -> None:
+        gen = self._candidate.get(replica)
+        if gen is None:
+            raise SimulationError(f"no candidate open for replica {replica}")
+        gen.shards[rank] = state
+
+    def candidate(self, replica: int) -> CheckpointGeneration | None:
+        return self._candidate.get(replica)
+
+    def commit(self, replica: int) -> CheckpointGeneration:
+        gen = self._candidate.pop(replica, None)
+        if gen is None:
+            raise SimulationError(f"no candidate to commit for replica {replica}")
+        if not gen.complete(self.nodes_per_replica):
+            raise SimulationError(
+                f"candidate for replica {replica} has {len(gen.shards)} of "
+                f"{self.nodes_per_replica} shards"
+            )
+        self._safe[replica] = gen
+        self.commits += 1
+        return gen
+
+    def discard(self, replica: int) -> None:
+        if self._candidate.pop(replica, None) is not None:
+            self.discards += 1
+
+    # -- safe generation access ------------------------------------------------------
+    def install_safe(self, replica: int, gen: CheckpointGeneration) -> None:
+        """Adopt a checkpoint generation as the rollback target (used when a
+        recovery ships the healthy replica's checkpoint to the crashed one)."""
+        if not gen.complete(self.nodes_per_replica):
+            raise SimulationError("cannot install an incomplete generation")
+        self._safe[replica] = gen
+
+    def safe(self, replica: int) -> CheckpointGeneration | None:
+        return self._safe.get(replica)
+
+    def safe_iteration(self, replica: int) -> int | None:
+        gen = self._safe.get(replica)
+        return gen.iteration if gen is not None else None
+
+    def memory_bytes(self) -> int:
+        """Bytes of checkpoint data currently held in memory across both
+        replicas (safe generations plus any open candidates).  The paper's
+        in-memory double checkpointing trades exactly this footprint for
+        disk-free recovery ("at the possible cost of memory overhead", §1).
+        """
+        total = 0
+        for gen in list(self._safe.values()) + list(self._candidate.values()):
+            total += gen.nbytes
+        return total
+
+    def clone_generation(self, gen: CheckpointGeneration) -> CheckpointGeneration:
+        """Deep-copy a generation (installing one replica's checkpoint as the
+        other's must not alias buffers that later get restored in place)."""
+        return CheckpointGeneration(
+            iteration=gen.iteration,
+            shards={r: s.copy() for r, s in gen.shards.items()},
+            wallclock=gen.wallclock,
+        )

@@ -1,0 +1,81 @@
+"""Configuration of the ACR framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.model.schemes import ResilienceScheme
+from repro.network.mapping import MappingScheme
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ACRConfig:
+    """Everything a user chooses when launching a job under ACR.
+
+    Mirrors the paper's knobs: the resilience scheme (§2.3), the replica
+    mapping and checksum optimizations (§4.2), fixed vs. adaptive
+    checkpoint period (§2.2), and the spare-node pool (§2.1).
+    """
+
+    #: Recovery scheme: strong / medium / weak (§2.3).
+    scheme: ResilienceScheme = ResilienceScheme.STRONG
+    #: Fixed checkpoint period in simulated seconds (ignored when adaptive).
+    checkpoint_interval: float = 60.0
+    #: Adapt the period online from the observed failure stream (§2.2).
+    adaptive: bool = False
+    #: Initial period used by the adaptive controller before it has data.
+    adaptive_initial_interval: float = 10.0
+    #: Clamp for the adaptive period.
+    adaptive_min_interval: float = 1.0
+    adaptive_max_interval: float = 600.0
+    #: Compare full checkpoints or Fletcher digests (§4.2).
+    use_checksum: bool = False
+    #: Semi-blocking (asynchronous) checkpointing — the future work named in
+    #: §4.2: tasks resume right after the local snapshot and the inter-replica
+    #: transfer + comparison overlap execution.  Cuts the blocking overhead to
+    #: the pack time at the cost of a longer SDC-detection latency.
+    async_checkpointing: bool = False
+    #: Replica placement on the torus (§4.2, Fig. 6).
+    mapping: MappingScheme = MappingScheme.DEFAULT
+    #: Chunk width for the mixed mapping.
+    mapping_chunk: int = 2
+    #: Simulated application tasks hosted per node (over-decomposition).
+    tasks_per_node: int = 1
+    #: Heartbeat period and silence threshold (in periods) for fail-stop
+    #: detection (§6.1).
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout_factor: float = 4.0
+    #: Spare nodes reserved at job launch (§2.1).
+    spare_nodes: int = 4
+    #: Time for a spare node to take over a dead node's identity.
+    spare_boot_time: float = 1.0
+    #: Floating-point tolerance for checkpoint comparison (0 = bit exact;
+    #: §4.1 lets users widen this for round-off-tolerant comparison).
+    compare_rtol: float = 0.0
+    #: Stop once every task completes this many iterations (None = run until
+    #: the requested sim duration).
+    total_iterations: int | None = None
+    #: Root seed for all stochastic streams.
+    seed: int = 0
+    #: Functional state scale for the mini-apps (1.0 = full Table-2 size).
+    app_scale: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval <= 0:
+            raise ConfigurationError("checkpoint_interval must be positive")
+        if self.adaptive_min_interval <= 0 or (
+            self.adaptive_max_interval < self.adaptive_min_interval
+        ):
+            raise ConfigurationError("bad adaptive interval clamp")
+        if self.tasks_per_node < 1:
+            raise ConfigurationError("tasks_per_node must be >= 1")
+        if self.spare_nodes < 0:
+            raise ConfigurationError("spare_nodes must be >= 0")
+        if self.total_iterations is not None and self.total_iterations < 1:
+            raise ConfigurationError("total_iterations must be >= 1")
+        if not (0 < self.app_scale <= 1.0):
+            raise ConfigurationError("app_scale must be in (0, 1]")
+
+    def with_overrides(self, **kwargs) -> "ACRConfig":
+        return replace(self, **kwargs)

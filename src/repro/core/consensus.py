@@ -1,0 +1,227 @@
+"""Distributed asynchronous checkpoint consensus (paper §2.2, Fig. 3).
+
+Deciding *when* everyone checkpoints cannot be a simple broadcast: tasks
+progress at different rates, and checkpointing task ``a`` at iteration ``i``
+while task ``b`` already sent its iteration-``i+1`` messages would lose
+in-flight traffic and hang the restart (the paper's motivating example).
+
+The four phases, implemented entirely with control messages over the
+simulated transport (so latency and fail-stop semantics apply):
+
+1. every node tracks the maximum progress of its local tasks;
+2. on a checkpoint request, an asynchronous tree reduction finds the global
+   maximum progress; tasks that reach their node's local maximum pause so
+   nobody runs past the possible checkpoint iteration;
+3. the decided checkpoint iteration (the global max) is broadcast; tasks
+   below it resume and run exactly up to it, tasks at it stay paused;
+4. when every task has reached the checkpoint iteration, a second reduction
+   reports readiness and checkpointing begins.
+
+A *round* can be aborted (e.g. a node died mid-reduction); stale messages
+from dead rounds are ignored by round-id filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.runtime.messages import Message, MsgKind
+from repro.runtime.node import Node
+from repro.runtime.task import TaskState
+from repro.util.errors import SimulationError
+
+
+@dataclass
+class _AgentState:
+    """Per-node protocol state for one consensus round."""
+
+    parent: int | None
+    children: list[int]
+    pending_max: set[int] = field(default_factory=set)
+    local_bound: int = 0
+    subtree_max: int = 0
+    decided: int | None = None
+    pending_ready: set[int] = field(default_factory=set)
+    local_ready_sent: bool = False
+    ready_sent_up: bool = False
+
+
+class ConsensusController:
+    """Drives consensus rounds over an arbitrary scope of nodes."""
+
+    def __init__(self, nodes: dict[int, Node]):
+        self.nodes = nodes
+        self.round_id = 0
+        self.active = False
+        self.scope: list[int] = []
+        self._agents: dict[int, _AgentState] = {}
+        self.on_complete: Callable[[int, int], None] | None = None
+        self.decided_iteration: int | None = None
+        self.rounds_started = 0
+        self.rounds_completed = 0
+        self.rounds_aborted = 0
+        for node in nodes.values():
+            node.control_handler = self._on_control
+            node.on_all_tasks_ready = self._on_node_all_ready
+
+    # -- round lifecycle --------------------------------------------------------
+    def start_round(self, scope: list[int],
+                    on_complete: Callable[[int, int], None]) -> int:
+        """Begin a consensus round over ``scope`` (list of node ids).
+
+        ``on_complete(round_id, iteration)`` fires when every task in scope is
+        paused at the decided iteration.  Returns the round id.
+        """
+        if self.active:
+            raise SimulationError("consensus round already active")
+        if not scope:
+            raise SimulationError("empty consensus scope")
+        self.round_id += 1
+        self.rounds_started += 1
+        self.active = True
+        self.scope = list(scope)
+        self.on_complete = on_complete
+        self.decided_iteration = None
+        self._agents = {}
+        index_of = {nid: i for i, nid in enumerate(self.scope)}
+        for nid in self.scope:
+            i = index_of[nid]
+            parent = self.scope[(i - 1) // 2] if i > 0 else None
+            children = [self.scope[c] for c in (2 * i + 1, 2 * i + 2)
+                        if c < len(self.scope)]
+            self._agents[nid] = _AgentState(parent=parent, children=children,
+                                            pending_max=set(children))
+        # Kick off Phase 1/2 at the root; the request floods down the tree.
+        root = self.scope[0]
+        self._send(root, root, "cons-start", self.round_id)
+        return self.round_id
+
+    def abort_round(self) -> None:
+        """Abandon the active round (a node died mid-protocol); paused tasks
+        are released so the application can drain or recover."""
+        if not self.active:
+            return
+        self.active = False
+        self.rounds_aborted += 1
+        for nid in self.scope:
+            for t in self.nodes[nid].tasks:
+                t.resume()
+        self._agents = {}
+
+    # -- message plumbing ----------------------------------------------------------
+    def _send(self, src: int, dst: int, tag: str, payload) -> None:
+        self.nodes[src].transport.send(
+            Message(kind=MsgKind.CONTROL, src=src, dst=dst,
+                    payload=payload, nbytes=64, tag=tag)
+        )
+
+    def _on_control(self, msg: Message) -> None:
+        handler = {
+            "cons-start": self._on_start,
+            "cons-max": self._on_max,
+            "cons-decision": self._on_decision,
+            "cons-ready": self._on_ready,
+        }.get(msg.tag)
+        if handler is None:
+            raise SimulationError(f"unknown control tag {msg.tag!r}")
+        handler(msg)
+
+    def _stale(self, payload) -> bool:
+        rid = payload[0] if isinstance(payload, tuple) else payload
+        return (not self.active) or rid != self.round_id
+
+    # -- Phase 1 + 2: flood down, pause at local max, reduce max up -------------------
+    def _on_start(self, msg: Message) -> None:
+        if self._stale(msg.payload):
+            return
+        nid = msg.dst
+        agent = self._agents[nid]
+        node = self.nodes[nid]
+        for child in agent.children:
+            self._send(nid, child, "cons-start", self.round_id)
+        # Local bound: no local task can end up past this iteration (a task
+        # mid-iteration may still complete the one it is computing).
+        bound = 0
+        for t in node.tasks:
+            eff = t.progress + (1 if t.state is TaskState.COMPUTING else 0)
+            bound = max(bound, eff)
+        agent.local_bound = bound
+        agent.subtree_max = bound
+        for t in node.tasks:
+            t.request_pause_at(bound)
+        self._maybe_send_max_up(nid)
+
+    def _on_max(self, msg: Message) -> None:
+        if self._stale(msg.payload):
+            return
+        _, child_max = msg.payload
+        nid = msg.dst
+        agent = self._agents[nid]
+        agent.pending_max.discard(msg.src)
+        agent.subtree_max = max(agent.subtree_max, child_max)
+        self._maybe_send_max_up(nid)
+
+    def _maybe_send_max_up(self, nid: int) -> None:
+        agent = self._agents[nid]
+        if agent.pending_max:
+            return
+        if agent.parent is not None:
+            self._send(nid, agent.parent, "cons-max",
+                       (self.round_id, agent.subtree_max))
+        else:
+            # Root: Phase 3 — the checkpoint iteration is decided.
+            self.decided_iteration = agent.subtree_max
+            self._send(nid, nid, "cons-decision",
+                       (self.round_id, agent.subtree_max))
+
+    # -- Phase 3: broadcast decision, run/pause to it ---------------------------------
+    def _on_decision(self, msg: Message) -> None:
+        if self._stale(msg.payload):
+            return
+        _, decided = msg.payload
+        nid = msg.dst
+        agent = self._agents[nid]
+        node = self.nodes[nid]
+        agent.decided = decided
+        agent.pending_ready = set(agent.children)
+        for child in agent.children:
+            self._send(nid, child, "cons-decision", (self.round_id, decided))
+        for t in node.tasks:
+            t.request_pause_at(decided)
+            t.resume_if_below()
+        if node.all_tasks_ready():
+            self._on_node_all_ready(node)
+
+    # -- Phase 4: readiness reduction ---------------------------------------------------
+    def _on_node_all_ready(self, node: Node) -> None:
+        if not self.active:
+            return
+        agent = self._agents.get(node.node_id)
+        if agent is None or agent.decided is None or agent.local_ready_sent:
+            return
+        agent.local_ready_sent = True
+        self._maybe_send_ready_up(node.node_id)
+
+    def _on_ready(self, msg: Message) -> None:
+        if self._stale(msg.payload):
+            return
+        nid = msg.dst
+        agent = self._agents[nid]
+        agent.pending_ready.discard(msg.src)
+        self._maybe_send_ready_up(nid)
+
+    def _maybe_send_ready_up(self, nid: int) -> None:
+        agent = self._agents[nid]
+        if not agent.local_ready_sent or agent.pending_ready:
+            return
+        if agent.ready_sent_up:
+            return
+        agent.ready_sent_up = True
+        if agent.parent is not None:
+            self._send(nid, agent.parent, "cons-ready", (self.round_id,))
+        else:
+            self.active = False
+            self.rounds_completed += 1
+            if self.on_complete is not None:
+                self.on_complete(self.round_id, self.decided_iteration)

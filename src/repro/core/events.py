@@ -1,0 +1,83 @@
+"""Timeline recording — the raw material of Figure 12.
+
+Every interesting moment of a run (checkpoints, failures, detections,
+rollbacks, recoveries, interval adaptations) is recorded as a typed event so
+benchmarks and tests can reconstruct exactly the paper's timeline view:
+"Black lines show when failures are injected.  White lines indicate when
+checkpoints are performed."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class TimelineKind(str, Enum):
+    JOB_START = "job_start"
+    CHECKPOINT_START = "checkpoint_start"
+    CHECKPOINT_DONE = "checkpoint_done"
+    SDC_INJECTED = "sdc_injected"
+    SDC_DETECTED = "sdc_detected"
+    HARD_FAULT_INJECTED = "hard_fault_injected"
+    HARD_FAULT_DETECTED = "hard_fault_detected"
+    ROLLBACK = "rollback"
+    RECOVERY_DONE = "recovery_done"
+    INTERVAL_ADAPTED = "interval_adapted"
+    CONSENSUS_START = "consensus_start"
+    CONSENSUS_DECIDED = "consensus_decided"
+    JOB_END = "job_end"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    time: float
+    kind: TimelineKind
+    detail: dict = field(default_factory=dict)
+
+
+class Timeline:
+    """Append-only, time-ordered record of one simulated run."""
+
+    def __init__(self) -> None:
+        self.events: list[TimelineEvent] = []
+
+    def record(self, time: float, kind: TimelineKind, **detail) -> None:
+        self.events.append(TimelineEvent(time, kind, detail))
+
+    def of_kind(self, kind: TimelineKind) -> list[TimelineEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def times_of(self, kind: TimelineKind) -> list[float]:
+        return [e.time for e in self.events if e.kind is kind]
+
+    # -- Figure-12 helpers --------------------------------------------------------
+    def checkpoint_intervals(self) -> list[float]:
+        """Gaps between consecutive completed checkpoints."""
+        times = self.times_of(TimelineKind.CHECKPOINT_DONE)
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def render_ascii(self, *, width: int = 100, horizon: float | None = None) -> str:
+        """A textual Figure 12: '|' checkpoints, 'X' failures, '.' progress."""
+        if not self.events:
+            return "(empty timeline)"
+        end = horizon if horizon is not None else max(e.time for e in self.events)
+        end = max(end, 1e-9)
+        lane = ["."] * width
+
+        def put(t: float, ch: str) -> None:
+            i = min(int(t / end * (width - 1)), width - 1)
+            # Failures dominate checkpoints visually when they collide.
+            if ch == "X" or lane[i] == ".":
+                lane[i] = ch
+
+        for e in self.events:
+            if e.kind is TimelineKind.CHECKPOINT_DONE:
+                put(e.time, "|")
+        for e in self.events:
+            if e.kind in (TimelineKind.HARD_FAULT_INJECTED, TimelineKind.SDC_INJECTED):
+                put(e.time, "X")
+        return "".join(lane)

@@ -1,0 +1,803 @@
+"""The ACR framework: replication-enhanced automatic checkpoint/restart.
+
+This wires every substrate together on the discrete-event runtime:
+
+* two replicas of the application on a mapped torus partition (§2.1),
+* buddy heartbeat failure detection (§6.1),
+* consensus-driven coordinated checkpointing (§2.2, Fig. 3),
+* SDC detection by buddy checkpoint comparison or Fletcher digests (§2.1, §4.2),
+* the strong / medium / weak hard-error recovery schemes (§2.3, Figs. 4–5),
+* adaptive checkpoint-period control from the live failure stream (§2.2),
+
+and runs the whole thing under injected faults, producing a
+:class:`RunReport` with the timeline that Figure 12 visualizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import ReplicaApp
+from repro.apps.registry import make_app
+from repro.core.adaptive import AdaptiveIntervalController
+from repro.core.checkpoint import CheckpointGeneration, CheckpointStore
+from repro.core.config import ACRConfig
+from repro.core.consensus import ConsensusController
+from repro.core.events import Timeline, TimelineKind
+from repro.core.prediction import PredictionTrace
+from repro.core.sdc import detect_sdc
+from repro.faults.bitflip import BitFlipInjector
+from repro.faults.injector import FaultEvent, FaultKind, InjectionPlan
+from repro.model.schemes import ResilienceScheme
+from repro.network.allocation import torus_for_nodes
+from repro.network.costs import CostModel, MachineConstants
+from repro.network.mapping import build_mapping
+from repro.pup.puper import pack, unpack
+from repro.runtime.des import EventHandle, Simulator
+from repro.runtime.heartbeat import HeartbeatMonitor
+from repro.runtime.messages import Transport
+from repro.runtime.node import Node
+from repro.runtime.task import Task
+from repro.util.errors import ConfigurationError, SimulationError
+from repro.util.rng import RngStream
+
+
+@dataclass
+class RunReport:
+    """Outcome and accounting of one simulated ACR run."""
+
+    final_time: float = 0.0
+    completed: bool = False
+    aborted_reason: str | None = None
+    iterations_completed: int = 0
+    checkpoints_completed: int = 0
+    sdc_injected: int = 0
+    sdc_detected: int = 0
+    hard_injected: int = 0
+    hard_detected: int = 0
+    rollbacks: int = 0
+    #: Dynamic checkpoints requested by failure-prediction alarms (§2.2).
+    prediction_alarms: int = 0
+    recoveries: dict[str, int] = field(default_factory=dict)
+    spare_nodes_used: int = 0
+    checkpoint_time: float = 0.0
+    #: Time the application was actually blocked by checkpointing (equals
+    #: checkpoint_time in blocking mode; only the local-pack time in
+    #: asynchronous mode).
+    checkpoint_blocking_time: float = 0.0
+    recovery_time: float = 0.0
+    #: High-water mark of in-memory checkpoint storage (bytes, both replicas).
+    peak_checkpoint_memory: int = 0
+    rework_iterations: int = 0
+    digests: dict[int, np.ndarray] = field(default_factory=dict)
+    reference_digest: np.ndarray | None = None
+    result_correct: bool | None = None
+    timeline: Timeline = field(default_factory=Timeline)
+    interval_history: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def overhead_fraction(self) -> float:
+        busy = self.checkpoint_time + self.recovery_time
+        return busy / self.final_time if self.final_time > 0 else 0.0
+
+
+class ACR:
+    """One replicated, fault-tolerant application run under ACR."""
+
+    def __init__(
+        self,
+        app_name: str = "jacobi3d-charm",
+        *,
+        nodes_per_replica: int = 8,
+        config: ACRConfig | None = None,
+        machine: MachineConstants | None = None,
+        injection_plan: InjectionPlan | None = None,
+        prediction_trace: PredictionTrace | None = None,
+    ):
+        self.config = config or ACRConfig()
+        self.app_name = app_name
+        self.n = int(nodes_per_replica)
+        if self.n < 1:
+            raise ConfigurationError("nodes_per_replica must be >= 1")
+
+        # --- machine & costs ---------------------------------------------------
+        self.torus = torus_for_nodes(2 * self.n)
+        self.mapping = build_mapping(self.torus, self.config.mapping,
+                                     chunk=self.config.mapping_chunk)
+        self.cost = CostModel(machine or MachineConstants())
+
+        # --- runtime -----------------------------------------------------------
+        self.sim = Simulator()
+        self.transport = Transport(self.sim)
+        self.nodes: dict[int, Node] = {}
+        self.buddy_of: dict[int, int] = {}
+        for replica in (0, 1):
+            for rank in range(self.n):
+                nid = self._node_id(replica, rank)
+                self.nodes[nid] = Node(nid, replica, rank, self.sim, self.transport)
+        for rank in range(self.n):
+            a, b = self._node_id(0, rank), self._node_id(1, rank)
+            self.buddy_of[a] = b
+            self.buddy_of[b] = a
+
+        # --- applications (same seed => bit-identical replicas) ------------------
+        self.apps: dict[int, ReplicaApp] = {
+            r: make_app(app_name, self.n, scale=self.config.app_scale,
+                        seed=self.config.seed)
+            for r in (0, 1)
+        }
+        self.profile = self.apps[0].checkpoint_profile()
+
+        # --- tasks: a ring per replica, dependency-gated -------------------------
+        tpn = self.config.tasks_per_node
+        self.tasks: dict[int, list[Task]] = {0: [], 1: []}
+        total_tasks = self.n * tpn
+        for replica in (0, 1):
+            app = self.apps[replica]
+            for rank in range(self.n):
+                node = self.nodes[self._node_id(replica, rank)]
+                for j in range(tpn):
+                    tid = rank * tpn + j
+                    left, right = (tid - 1) % total_tasks, (tid + 1) % total_tasks
+                    neighbors = [
+                        (self._node_id(replica, left // tpn), left),
+                        (self._node_id(replica, right // tpn), right),
+                    ]
+                    task = Task(tid, node, neighbors=neighbors,
+                                iteration_time=app.iteration_time)
+                    node.add_task(task)
+                    self.tasks[replica].append(task)
+
+        # --- protocol machinery ---------------------------------------------------
+        self.consensus = ConsensusController(self.nodes)
+        self.heartbeat = HeartbeatMonitor(
+            list(self.nodes.values()),
+            self.buddy_of,
+            interval=self.config.heartbeat_interval,
+            timeout_factor=self.config.heartbeat_timeout_factor,
+            on_death=self._on_death_detected,
+        )
+        self.store = CheckpointStore(self.n)
+        self.adaptive: AdaptiveIntervalController | None = None
+        if self.config.adaptive:
+            delta = self.cost.checkpoint_breakdown(
+                self.profile, self.mapping, use_checksum=self.config.use_checksum
+            ).total
+            self.adaptive = AdaptiveIntervalController(
+                delta=delta,
+                initial_interval=self.config.adaptive_initial_interval,
+                min_interval=self.config.adaptive_min_interval,
+                max_interval=self.config.adaptive_max_interval,
+            )
+
+        # --- faults -----------------------------------------------------------------
+        self.plan = injection_plan or InjectionPlan()
+        self.prediction_trace = prediction_trace
+        self.bitflip = BitFlipInjector(RngStream(self.config.seed, "acr/bitflip"))
+
+        # --- run state --------------------------------------------------------------
+        self.timeline = Timeline()
+        self.report = RunReport(timeline=self.timeline)
+        self.phase = "idle"  # idle|running|consensus|checkpointing|recovering|done
+        self._checkpoint_timer: EventHandle | None = None
+        self._phase_events: list[EventHandle] = []
+        self._background_event: EventHandle | None = None
+        self._checkpoint_deferred = False
+        self._final_requested = False
+        self._weak_pending: Node | None = None
+        self._recovering_node: Node | None = None
+        self._initial_gen: dict[int, CheckpointGeneration] = {}
+        self._spares_left = self.config.spare_nodes
+        self._handled_deaths: set[tuple[int, int]] = set()
+        self._sdc_rollback_streak = 0
+        self._started = False
+
+    # -- identifiers ------------------------------------------------------------------
+    def _node_id(self, replica: int, rank: int) -> int:
+        return replica * self.n + rank
+
+    def _replica_scope(self, replica: int) -> list[int]:
+        return [self._node_id(replica, r) for r in range(self.n)]
+
+    def _all_scope(self) -> list[int]:
+        return self._replica_scope(0) + self._replica_scope(1)
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the job: initial checkpoints, heartbeats, faults, first timer."""
+        if self._started:
+            raise SimulationError("ACR job already started")
+        self._started = True
+        self.phase = "running"
+        self.timeline.record(0.0, TimelineKind.JOB_START,
+                             app=self.app_name, scheme=str(self.config.scheme))
+        # Generation zero: the launch state, always available for "restart
+        # from the beginning of the execution" (§2.3).
+        for replica in (0, 1):
+            gen = CheckpointGeneration(iteration=0)
+            for rank in range(self.n):
+                gen.shards[rank] = pack(self.apps[replica].shard(rank))
+            self._initial_gen[replica] = gen
+            self.store.install_safe(replica, self.store.clone_generation(gen))
+        # Iteration cap for bounded runs.
+        if self.config.total_iterations is not None:
+            cap = self.config.total_iterations
+            for replica in (0, 1):
+                for t in self.tasks[replica]:
+                    t.iteration_cap = cap
+        for node in self.nodes.values():
+            node.on_progress = self._on_node_progress
+            node.start_tasks()
+        self.heartbeat.start()
+        for event in self.plan.events:
+            self.sim.schedule_at(event.time, self._inject_fault, event)
+        if self.prediction_trace is not None:
+            for alarm in self.prediction_trace.alarms:
+                self.sim.schedule_at(alarm.time, self._on_prediction_alarm)
+        self._arm_checkpoint_timer()
+
+    def _on_prediction_alarm(self) -> None:
+        """A failure-prediction alarm: checkpoint right now so the predicted
+        fault loses only the prediction lead time of work (§2.2)."""
+        if self.phase == "done":
+            return
+        self.report.prediction_alarms += 1
+        self._begin_checkpoint("predicted")
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> RunReport:
+        """Run the job to completion (or the time horizon) and report."""
+        if not self._started:
+            self.start()
+        self.sim.run(until=until, max_events=max_events)
+        return self._finalize()
+
+    # -- fault injection ---------------------------------------------------------------
+    def _inject_fault(self, event: FaultEvent) -> None:
+        if self.phase == "done":
+            return
+        if event.kind is FaultKind.SDC:
+            self.report.sdc_injected += 1
+            self.timeline.record(self.sim.now, TimelineKind.SDC_INJECTED,
+                                 replica=event.replica, rank=event.node_id)
+            self.bitflip.inject(self.apps[event.replica].shard(event.node_id))
+        else:
+            node = self.nodes[self._node_id(event.replica, event.node_id)]
+            if not node.alive:
+                return  # already down; a dead node cannot die twice
+            self.report.hard_injected += 1
+            self.timeline.record(self.sim.now, TimelineKind.HARD_FAULT_INJECTED,
+                                 replica=event.replica, rank=event.node_id)
+            node.die()
+
+    # -- periodic checkpoint scheduling ------------------------------------------------
+    def _current_interval(self) -> float:
+        if self.adaptive is not None:
+            interval = self.adaptive.next_interval(self.sim.now)
+            self.report.interval_history.append((self.sim.now, interval))
+            self.timeline.record(self.sim.now, TimelineKind.INTERVAL_ADAPTED,
+                                 interval=interval)
+            return interval
+        return self.config.checkpoint_interval
+
+    def _arm_checkpoint_timer(self) -> None:
+        if self._checkpoint_timer is not None:
+            self._checkpoint_timer.cancel()
+        self._checkpoint_timer = self.sim.schedule(
+            self._current_interval(), self._begin_checkpoint, "periodic"
+        )
+
+    def _begin_checkpoint(self, reason: str) -> None:
+        if self.phase == "done":
+            return
+        if self.phase != "running":
+            self._checkpoint_deferred = True
+            return
+        if self._background_event is not None and self._background_event.pending:
+            # An asynchronous transfer/compare is still in flight; one
+            # checkpoint generation at a time.
+            self._checkpoint_deferred = True
+            return
+        self.phase = "consensus"
+        if self._checkpoint_timer is not None:
+            self._checkpoint_timer.cancel()
+            self._checkpoint_timer = None
+        # A crashed replica waiting for weak recovery cannot participate: the
+        # healthy replica checkpoints alone and ships the result (Fig. 5d).
+        if self._weak_pending is not None:
+            scope = self._replica_scope(1 - self._weak_pending.replica)
+        else:
+            scope = self._all_scope()
+        self.timeline.record(self.sim.now, TimelineKind.CONSENSUS_START,
+                             reason=reason, scope=len(scope))
+        self._start_consensus(scope, self._on_consensus_done)
+
+    def _start_consensus(self, scope: list[int], on_complete) -> None:
+        """Start a consensus round with a stall watchdog.
+
+        Buddy heartbeats miss the case where a node *and* its buddy are both
+        down (nobody monitors it); in a real machine the collective timeout
+        surfaces such deaths.  The watchdog models that: if the round is
+        still pending after several heartbeat timeouts, any dead node in
+        scope is declared failed.
+        """
+        rid = self.consensus.start_round(scope, on_complete)
+        timeout = 3.0 * (self.config.heartbeat_timeout_factor
+                         * self.config.heartbeat_interval) + 1.0
+        self.sim.schedule(timeout, self._consensus_watchdog, rid, timeout)
+
+    def _consensus_watchdog(self, rid: int, timeout: float) -> None:
+        if not self.consensus.active or self.consensus.round_id != rid:
+            return
+        dead = [self.nodes[nid] for nid in self.consensus.scope
+                if not self.nodes[nid].alive]
+        if dead:
+            # A node that was "handled" but is still dead this long after the
+            # round started had its recovery lost; clear the dedup entry so
+            # the detection path runs again.
+            self._handled_deaths.discard(
+                (dead[0].node_id, dead[0].failures_survived))
+            self._on_death_detected(self.nodes[self.consensus.scope[0]], dead[0])
+            return
+        # No dead node: the round is just slow (tasks draining); keep watching.
+        self.sim.schedule(timeout, self._consensus_watchdog, rid, timeout)
+
+    # -- checkpoint phases ----------------------------------------------------------------
+    def _on_consensus_done(self, round_id: int, iteration: int) -> None:
+        self.phase = "checkpointing"
+        self.timeline.record(self.sim.now, TimelineKind.CONSENSUS_DECIDED,
+                             iteration=iteration)
+        replicas = ((1 - self._weak_pending.replica,) if self._weak_pending is not None
+                    else (0, 1))
+        for replica in replicas:
+            self.apps[replica].advance_to(iteration)
+        pack_t = self.cost.pack_time(self.profile)
+        self._phase_events = [
+            self.sim.schedule(pack_t, self._do_pack, iteration, replicas)
+        ]
+
+    def _do_pack(self, iteration: int, replicas: tuple[int, ...]) -> None:
+        for replica in replicas:
+            self.store.begin_candidate(replica, iteration, self.sim.now)
+            for rank in range(self.n):
+                self.store.put_shard(replica, rank,
+                                     pack(self.apps[replica].shard(rank)))
+        breakdown = self.cost.checkpoint_breakdown(
+            self.profile, self.mapping, use_checksum=self.config.use_checksum
+        )
+        self.report.checkpoint_time += breakdown.total
+        remaining = breakdown.transfer + breakdown.compare
+        if self.config.async_checkpointing:
+            # Semi-blocking mode: the application only blocked for the local
+            # snapshot; transfer and comparison overlap forward execution.
+            self.report.checkpoint_blocking_time += breakdown.local
+            self.phase = "running"
+            for replica in replicas:
+                for nid in self._replica_scope(replica):
+                    for t in self.nodes[nid].tasks:
+                        t.resume()
+            self._background_event = self.sim.schedule(
+                remaining, self._finish_checkpoint, iteration, replicas)
+            self._phase_events = []
+            return
+        self.report.checkpoint_blocking_time += breakdown.total
+        self._phase_events = [
+            self.sim.schedule(remaining, self._finish_checkpoint, iteration, replicas)
+        ]
+
+    def _finish_checkpoint(self, iteration: int, replicas: tuple[int, ...]) -> None:
+        self._phase_events = []
+        self._background_event = None
+        if len(replicas) == 2:
+            result = detect_sdc(
+                self.store.candidate(0),
+                self.store.candidate(1),
+                use_checksum=self.config.use_checksum,
+                rtol=self.config.compare_rtol,
+            )
+            if not result.clean:
+                self.report.sdc_detected += 1
+                self.timeline.record(self.sim.now, TimelineKind.SDC_DETECTED,
+                                     ranks=sorted(result.mismatched_ranks),
+                                     iteration=iteration)
+                if self.adaptive is not None:
+                    self.adaptive.record_failure(self.sim.now)
+                self.store.discard(0)
+                self.store.discard(1)
+                self._rollback_both("sdc")
+                return
+        # The candidate and safe generations briefly coexist: the in-memory
+        # double-checkpoint high-water mark.
+        self.report.peak_checkpoint_memory = max(
+            self.report.peak_checkpoint_memory, self.store.memory_bytes())
+        committed = {r: self.store.commit(r) for r in replicas}
+        self._sdc_rollback_streak = 0
+        self.report.checkpoints_completed += 1
+        self.timeline.record(self.sim.now, TimelineKind.CHECKPOINT_DONE,
+                             iteration=iteration)
+        if self._weak_pending is not None:
+            self._start_weak_shipment(committed[replicas[0]])
+            # The healthy replica resumes immediately: zero-overhead recovery.
+            for nid in self._replica_scope(replicas[0]):
+                for t in self.nodes[nid].tasks:
+                    t.resume()
+            return
+        self.phase = "running"
+        for t in self.tasks[0] + self.tasks[1]:
+            t.resume()
+        self._after_activity()
+
+    def _rollback_both(self, reason: str) -> None:
+        """Both replicas return to their last safe checkpoint (SDC recovery:
+        local unpack, no inter-replica transfer, §6.3)."""
+        self.phase = "recovering"
+        duration = self.cost.sdc_rollback_time(self.profile, 2 * self.n)
+        self.report.recovery_time += duration
+        self._phase_events = [
+            self.sim.schedule(duration, self._finish_rollback_both, reason)
+        ]
+
+    def _finish_rollback_both(self, reason: str) -> None:
+        self._phase_events = []
+        self.report.rollbacks += 1
+        if reason == "sdc":
+            self._sdc_rollback_streak += 1
+            if self._sdc_rollback_streak > 3:
+                # Comparison keeps failing after rollback: the rollback
+                # target itself must be corrupted/divergent.  Last resort -
+                # restart from the beginning of the execution.
+                reason = "sdc-escalation"
+                self._sdc_rollback_streak = 0
+                for replica in (0, 1):
+                    self.store.install_safe(
+                        replica,
+                        self.store.clone_generation(self._initial_gen[replica]),
+                    )
+        self.report.recoveries[reason] = self.report.recoveries.get(reason, 0) + 1
+        for replica in (0, 1):
+            self._restore_replica(replica, self.store.safe(replica))
+        self.timeline.record(self.sim.now, TimelineKind.ROLLBACK, reason=reason)
+        self.timeline.record(self.sim.now, TimelineKind.RECOVERY_DONE, scheme=reason)
+        self.phase = "running"
+        self._after_activity()
+
+    # -- hard-error handling ------------------------------------------------------------
+    def _on_death_detected(self, detector: Node, dead: Node) -> None:
+        if self.phase == "done":
+            return
+        # Detections can arrive from both heartbeats and the consensus
+        # watchdog; handle each (node, incarnation) exactly once.
+        key = (dead.node_id, dead.failures_survived)
+        if key in self._handled_deaths:
+            return
+        self._handled_deaths.add(key)
+        self.report.hard_detected += 1
+        self.timeline.record(self.sim.now, TimelineKind.HARD_FAULT_DETECTED,
+                             replica=dead.replica, rank=dead.rank)
+        if self.adaptive is not None:
+            self.adaptive.record_failure(self.sim.now)
+        if self._spares_left <= 0:
+            self._abort("spare node pool exhausted")
+            return
+        self._spares_left -= 1
+        self.report.spare_nodes_used += 1
+
+        if self._background_event is not None and self._background_event.pending:
+            self._background_event.cancel()
+            self._background_event = None
+            for r in (0, 1):
+                self.store.discard(r)
+            self._checkpoint_deferred = True
+        if self.phase == "recovering":
+            self._second_failure(dead)
+            return
+        if self.phase == "consensus":
+            self.consensus.abort_round()
+            self._checkpoint_deferred = True
+            self.phase = "running"
+        elif self.phase == "checkpointing":
+            self._cancel_phase_events()
+            for r in (0, 1):
+                self.store.discard(r)
+            self._checkpoint_deferred = True
+            self.phase = "running"
+        if self._weak_pending is not None:
+            self._failure_while_weak_pending(dead)
+            return
+
+        scheme = self.config.scheme
+        self.phase = "recovering"
+        self._recovering_node = dead
+        if scheme is ResilienceScheme.STRONG:
+            self._start_strong_recovery(dead)
+        elif scheme is ResilienceScheme.MEDIUM:
+            self._start_medium_recovery(dead)
+        else:
+            self._start_weak_wait(dead)
+
+    def _cancel_phase_events(self) -> None:
+        for h in self._phase_events:
+            h.cancel()
+        self._phase_events = []
+
+    # -- strong: roll the crashed replica back to the previous checkpoint ---------------
+    def _start_strong_recovery(self, dead: Node) -> None:
+        breakdown = self.cost.restart_breakdown(
+            self.profile, self.mapping, scheme="strong", crashed_pair=dead.rank
+        )
+        duration = breakdown.total + self.config.spare_boot_time
+        self.report.recovery_time += duration
+        self._phase_events = [
+            self.sim.schedule(duration, self._finish_strong_recovery, dead)
+        ]
+
+    def _finish_strong_recovery(self, dead: Node) -> None:
+        self._phase_events = []
+        dead.revive()
+        self.heartbeat.notify_revived(dead.node_id)
+        self._restore_replica(dead.replica, self.store.safe(dead.replica))
+        self.report.rollbacks += 1
+        self.report.recoveries["strong"] = self.report.recoveries.get("strong", 0) + 1
+        self.timeline.record(self.sim.now, TimelineKind.ROLLBACK,
+                             reason="hard", replica=dead.replica)
+        self.timeline.record(self.sim.now, TimelineKind.RECOVERY_DONE, scheme="strong")
+        self.phase = "running"
+        self._recovering_node = None
+        self._after_activity()
+
+    # -- medium: immediate checkpoint in the healthy replica -----------------------------
+    def _start_medium_recovery(self, dead: Node) -> None:
+        healthy_scope = self._replica_scope(1 - dead.replica)
+        self.timeline.record(self.sim.now, TimelineKind.CONSENSUS_START,
+                             reason="medium-recovery", scope=len(healthy_scope))
+        self._start_consensus(
+            healthy_scope,
+            lambda rid, it: self._medium_consensus_done(dead, it),
+        )
+
+    def _medium_consensus_done(self, dead: Node, iteration: int) -> None:
+        healthy = 1 - dead.replica
+        self.timeline.record(self.sim.now, TimelineKind.CONSENSUS_DECIDED,
+                             iteration=iteration)
+        self.apps[healthy].advance_to(iteration)
+        pack_t = self.cost.pack_time(self.profile)
+        self._phase_events = [
+            self.sim.schedule(pack_t, self._medium_packed, dead, iteration)
+        ]
+
+    def _medium_packed(self, dead: Node, iteration: int) -> None:
+        healthy = 1 - dead.replica
+        self.store.begin_candidate(healthy, iteration, self.sim.now)
+        for rank in range(self.n):
+            self.store.put_shard(healthy, rank, pack(self.apps[healthy].shard(rank)))
+        breakdown = self.cost.restart_breakdown(
+            self.profile, self.mapping, scheme="medium", crashed_pair=dead.rank
+        )
+        duration = breakdown.total + self.config.spare_boot_time
+        self.report.recovery_time += self.cost.pack_time(self.profile) + duration
+        # The healthy replica resumes as soon as its checkpoints are on the
+        # wire; the crashed replica reconstructs at the end of the transfer.
+        for nid in self._replica_scope(healthy):
+            for t in self.nodes[nid].tasks:
+                t.resume()
+        self._phase_events = [
+            self.sim.schedule(duration, self._finish_medium_recovery, dead)
+        ]
+
+    def _finish_medium_recovery(self, dead: Node) -> None:
+        self._phase_events = []
+        dead.revive()
+        self.heartbeat.notify_revived(dead.node_id)
+        # Commit the immediate checkpoint and install it for BOTH replicas in
+        # one step: the two safe generations must never diverge (a second
+        # failure between an early commit and the installation would leave
+        # the replicas rolling back to *different* states - an unrecoverable
+        # comparison livelock).  Whatever the healthy replica had - including
+        # any silent corruption since the last compared checkpoint - becomes
+        # both replicas' truth: the undetected-SDC window of §2.3.
+        healthy = 1 - dead.replica
+        gen = self.store.commit(healthy)
+        self.store.install_safe(dead.replica, self.store.clone_generation(gen))
+        self._restore_replica(dead.replica, self.store.safe(dead.replica))
+        self.report.recoveries["medium"] = self.report.recoveries.get("medium", 0) + 1
+        self.timeline.record(self.sim.now, TimelineKind.RECOVERY_DONE, scheme="medium")
+        self.phase = "running"
+        self._recovering_node = None
+        self._after_activity()
+
+    # -- weak: wait for the next periodic checkpoint -------------------------------------
+    def _start_weak_wait(self, dead: Node) -> None:
+        self._weak_pending = dead
+        self._recovering_node = None
+        self.phase = "running"
+        # The crashed replica stalls on its own (tasks starve on the dead
+        # node's dependencies); the healthy replica runs to the next
+        # checkpoint as if nothing happened: zero-overhead recovery.  The
+        # epilogue keeps the periodic timer (or a deferred request) alive so
+        # that next checkpoint actually arrives.
+        self._after_activity()
+
+    def _start_weak_shipment(self, gen: CheckpointGeneration) -> None:
+        dead = self._weak_pending
+        assert dead is not None
+        self.phase = "recovering"
+        breakdown = self.cost.restart_breakdown(
+            self.profile, self.mapping, scheme="weak", crashed_pair=dead.rank
+        )
+        duration = breakdown.total + self.config.spare_boot_time
+        self.report.recovery_time += duration
+        self._phase_events = [
+            self.sim.schedule(duration, self._finish_weak_recovery, dead, gen)
+        ]
+
+    def _finish_weak_recovery(self, dead: Node, gen: CheckpointGeneration) -> None:
+        self._phase_events = []
+        self._weak_pending = None
+        dead.revive()
+        self.heartbeat.notify_revived(dead.node_id)
+        self.store.install_safe(dead.replica, self.store.clone_generation(gen))
+        self._restore_replica(dead.replica, self.store.safe(dead.replica))
+        self.report.recoveries["weak"] = self.report.recoveries.get("weak", 0) + 1
+        self.timeline.record(self.sim.now, TimelineKind.RECOVERY_DONE, scheme="weak")
+        self.phase = "running"
+        self._after_activity()
+
+    def _failure_while_weak_pending(self, dead: Node) -> None:
+        """Second failure before the weak recovery's checkpoint (§2.3): buddy
+        of the crashed node -> restart from the beginning; otherwise both
+        replicas roll back to the previous checkpoint."""
+        first = self._weak_pending
+        assert first is not None
+        self._weak_pending = None
+        for r in (0, 1):
+            self.store.discard(r)
+        self.phase = "recovering"
+        from_scratch = (dead.rank == first.rank and dead.replica != first.replica)
+        breakdown = self.cost.restart_breakdown(
+            self.profile, self.mapping, scheme="medium", crashed_pair=dead.rank
+        )
+        duration = breakdown.total + self.config.spare_boot_time
+        self.report.recovery_time += duration
+        self._phase_events = [
+            self.sim.schedule(duration, self._finish_double_failure,
+                              (first, dead), from_scratch)
+        ]
+
+    def _second_failure(self, dead: Node) -> None:
+        """A failure landed while another recovery was in flight: abandon it
+        and roll both replicas back to their last safe checkpoint."""
+        self._cancel_phase_events()
+        self.consensus.abort_round()
+        for r in (0, 1):
+            self.store.discard(r)
+        first = self._recovering_node
+        pending = self._weak_pending
+        self._recovering_node = None
+        self._weak_pending = None
+        victims = tuple(v for v in (first, pending, dead) if v is not None)
+        breakdown = self.cost.restart_breakdown(
+            self.profile, self.mapping, scheme="medium", crashed_pair=dead.rank
+        )
+        duration = breakdown.total + self.config.spare_boot_time
+        self.report.recovery_time += duration
+        self._phase_events = [
+            self.sim.schedule(duration, self._finish_double_failure, victims, False)
+        ]
+
+    def _finish_double_failure(self, victims: tuple[Node, ...],
+                               from_scratch: bool) -> None:
+        self._phase_events = []
+        # Revive every dead node, not just this call's victims: a cascade of
+        # failures during recovery replaces the scheduled finish repeatedly,
+        # and earlier victims must not be stranded dead.
+        for v in self.nodes.values():
+            if not v.alive:
+                v.revive()
+                self.heartbeat.notify_revived(v.node_id)
+        if from_scratch:
+            for replica in (0, 1):
+                self.store.install_safe(
+                    replica, self.store.clone_generation(self._initial_gen[replica])
+                )
+        for replica in (0, 1):
+            self._restore_replica(replica, self.store.safe(replica))
+        self.report.rollbacks += 1
+        key = "restart-from-beginning" if from_scratch else "double-failure"
+        self.report.recoveries[key] = self.report.recoveries.get(key, 0) + 1
+        self.timeline.record(self.sim.now, TimelineKind.ROLLBACK, reason=key)
+        self.timeline.record(self.sim.now, TimelineKind.RECOVERY_DONE, scheme=key)
+        self.phase = "running"
+        self._after_activity()
+
+    # -- restore ---------------------------------------------------------------------------
+    def _restore_replica(self, replica: int, gen: CheckpointGeneration | None) -> None:
+        if gen is None:
+            raise SimulationError(f"replica {replica} has no safe checkpoint")
+        app = self.apps[replica]
+        for rank in range(self.n):
+            unpack(app.shard(rank), gen.shards[rank])
+        app.iteration = gen.iteration
+        for t in self.tasks[replica]:
+            t.restore(gen.iteration)
+
+    # -- completion & bookkeeping -------------------------------------------------------------
+    def _on_node_progress(self, node: Node) -> None:
+        cap = self.config.total_iterations
+        if cap is None or self._final_requested:
+            return
+        if all(t.progress >= cap for r in (0, 1) for t in self.tasks[r]):
+            self._final_requested = True
+            self.sim.schedule(0.0, self._begin_checkpoint, "final")
+
+    def _after_activity(self) -> None:
+        """Common epilogue after a checkpoint or recovery completes."""
+        cap = self.config.total_iterations
+        if cap is not None:
+            at_cap = all(t.progress >= cap for r in (0, 1) for t in self.tasks[r])
+            if (at_cap and self.phase == "running"
+                    and self.store.safe_iteration(0) == cap
+                    and self.store.safe_iteration(1) == cap):
+                self._finish_job()
+                return
+            if not at_cap:
+                # A rollback dropped some tasks below the cap: let the final
+                # checkpoint be re-requested when they get back there.
+                self._final_requested = False
+        if self._checkpoint_deferred:
+            self._checkpoint_deferred = False
+            self.sim.schedule(0.0, self._begin_checkpoint, "deferred")
+        else:
+            self._arm_checkpoint_timer()
+
+    def _finish_job(self) -> None:
+        self.phase = "done"
+        self.timeline.record(self.sim.now, TimelineKind.JOB_END)
+        self.report.completed = True
+        self.sim.stop()
+
+    def _abort(self, reason: str) -> None:
+        self.phase = "done"
+        self.report.aborted_reason = reason
+        self.timeline.record(self.sim.now, TimelineKind.JOB_END, aborted=reason)
+        self.sim.stop()
+
+    def _finalize(self) -> RunReport:
+        rep = self.report
+        rep.final_time = self.sim.now
+        live_progress = [t.progress for r in (0, 1) for t in self.tasks[r]]
+        rep.iterations_completed = min(live_progress) if live_progress else 0
+        rep.rework_iterations = sum(
+            max(t.iterations_executed - t.progress, 0)
+            for r in (0, 1) for t in self.tasks[r]
+        )
+        cap = self.config.total_iterations
+        for replica in (0, 1):
+            gen = self.store.safe(replica)
+            if (rep.completed and cap is not None and gen is not None
+                    and gen.iteration == cap):
+                # The job's deliverable is the final *verified* checkpoint.
+                # Live arrays may have been corrupted after the final pack
+                # (an SDC landing mid-comparison is invisible to it); the
+                # committed generation is what ACR actually guarantees.
+                fresh = make_app(self.app_name, self.n,
+                                 scale=self.config.app_scale,
+                                 seed=self.config.seed)
+                for rank in range(self.n):
+                    unpack(fresh.shard(rank), gen.shards[rank])
+                fresh.iteration = gen.iteration
+                rep.digests[replica] = fresh.result_digest()
+            else:
+                rep.digests[replica] = self.apps[replica].result_digest()
+        if self.adaptive is not None:
+            rep.interval_history = list(self.adaptive.interval_history)
+        if self.config.total_iterations is not None and rep.completed:
+            reference = make_app(self.app_name, self.n,
+                                 scale=self.config.app_scale, seed=self.config.seed)
+            reference.advance_to(self.config.total_iterations)
+            rep.reference_digest = reference.result_digest()
+            rep.result_correct = bool(
+                np.array_equal(rep.digests[0], rep.reference_digest)
+                and np.array_equal(rep.digests[1], rep.reference_digest)
+            )
+        return rep

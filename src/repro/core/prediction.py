@@ -1,0 +1,99 @@
+"""Online failure prediction driving proactive checkpoints (paper §2.2).
+
+"Moreover, as online failure prediction becomes more accurate, checkpointing
+right before a potential failure occurs can help increase the mean time
+between failures visible to applications.  ACR is capable of scheduling
+dynamic checkpoints in both the scenarios described."
+
+This module models a predictor the way the prediction literature (the paper's
+reference [19]) characterizes one — by *precision*, *recall*, and *lead
+time* — and turns a ground-truth fault schedule into the alarm stream ACR
+would have received:
+
+* each real hard fault is predicted with probability ``recall``, the alarm
+  firing ``lead_time`` seconds before the fault;
+* false alarms are added so the alarm stream's precision matches
+  ``precision`` (uniformly over the horizon).
+
+ACR reacts to every alarm with an immediate dynamic checkpoint, so a
+correctly-predicted fault loses at most ``lead_time`` worth of work instead
+of a whole checkpoint period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.injector import FaultKind, InjectionPlan
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One predictor alarm: a checkpoint-now signal."""
+
+    time: float
+    true_positive: bool
+    fault_time: float | None = None  # the fault this alarm anticipates
+
+
+@dataclass
+class PredictionTrace:
+    """The alarm stream a predictor would have emitted for one run."""
+
+    alarms: list[Alarm] = field(default_factory=list)
+    precision: float = 1.0
+    recall: float = 1.0
+    lead_time: float = 0.0
+
+    def times(self) -> list[float]:
+        return [a.time for a in self.alarms]
+
+    @property
+    def true_positives(self) -> int:
+        return sum(1 for a in self.alarms if a.true_positive)
+
+    @property
+    def false_positives(self) -> int:
+        return sum(1 for a in self.alarms if not a.true_positive)
+
+    def achieved_precision(self) -> float:
+        total = len(self.alarms)
+        return self.true_positives / total if total else 1.0
+
+
+class FailurePredictor:
+    """Generates alarm streams from ground-truth fault schedules."""
+
+    def __init__(self, *, precision: float = 0.8, recall: float = 0.7,
+                 lead_time: float = 5.0, rng: RngStream | None = None):
+        if not (0 < precision <= 1.0):
+            raise ConfigurationError(f"precision must be in (0, 1], got {precision}")
+        if not (0 <= recall <= 1.0):
+            raise ConfigurationError(f"recall must be in [0, 1], got {recall}")
+        if lead_time < 0:
+            raise ConfigurationError(f"lead_time must be >= 0, got {lead_time}")
+        self.precision = precision
+        self.recall = recall
+        self.lead_time = lead_time
+        self.rng = rng or RngStream(0, "predictor")
+
+    def predict(self, plan: InjectionPlan, horizon: float) -> PredictionTrace:
+        """Turn a fault schedule into the alarms ACR would have received."""
+        trace = PredictionTrace(precision=self.precision, recall=self.recall,
+                                lead_time=self.lead_time)
+        hard = [e for e in plan.events
+                if e.kind is FaultKind.HARD and e.time < horizon]
+        for event in hard:
+            if float(self.rng.uniform()) < self.recall:
+                at = max(event.time - self.lead_time, 0.0)
+                trace.alarms.append(Alarm(time=at, true_positive=True,
+                                          fault_time=event.time))
+        tp = trace.true_positives
+        if self.precision < 1.0 and tp:
+            n_false = int(round(tp * (1.0 - self.precision) / self.precision))
+            for t in self.rng.uniform(0.0, horizon, size=n_false):
+                trace.alarms.append(Alarm(time=float(t), true_positive=False))
+        trace.alarms.sort(key=lambda a: a.time)
+        return trace

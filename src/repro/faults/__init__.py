@@ -1,0 +1,50 @@
+"""Fault injection: failure-time processes, bit-flip SDC, hard-fault plans."""
+
+from repro.faults.bitflip import BitFlipInjector, FlipRecord
+from repro.faults.distributions import (
+    FailureProcess,
+    PoissonProcess,
+    TraceProcess,
+    WeibullProcess,
+)
+from repro.faults.injector import (
+    FaultEvent,
+    FaultKind,
+    InjectionPlan,
+    draw_plan,
+    poisson_plan,
+)
+from repro.faults.traces import (
+    DistributionFit,
+    TraceRecord,
+    fit_interarrivals,
+    load_trace,
+    parse_trace_csv,
+    save_trace,
+    synthesize_lanl_like_trace,
+    trace_to_plan,
+    trace_to_process,
+)
+
+__all__ = [
+    "BitFlipInjector",
+    "FlipRecord",
+    "FailureProcess",
+    "PoissonProcess",
+    "TraceProcess",
+    "WeibullProcess",
+    "FaultEvent",
+    "FaultKind",
+    "InjectionPlan",
+    "draw_plan",
+    "poisson_plan",
+    "DistributionFit",
+    "TraceRecord",
+    "fit_interarrivals",
+    "load_trace",
+    "parse_trace_csv",
+    "save_trace",
+    "synthesize_lanl_like_trace",
+    "trace_to_plan",
+    "trace_to_process",
+]

@@ -1,0 +1,82 @@
+"""Silent-data-corruption injection by bit flipping (paper §6.1).
+
+"To produce an SDC, our fault injector injects a fault by flipping a randomly
+selected bit in the user data that will be checkpointed."  We do exactly that:
+the injector walks the live application state through a recording PUPer,
+picks a uniformly random bit over all checkpointable payload bytes, and flips
+it in place — so detection is exercised against *real* corruption, not a flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pup.puper import PUPer, Pupable
+from repro.util.errors import ACRError
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class FlipRecord:
+    """Where an injected bit flip landed, for experiment logging."""
+
+    field_name: str
+    byte_index: int
+    bit_index: int
+    old_byte: int
+    new_byte: int
+
+
+class _MutableFieldCollector(PUPer):
+    """Collects in-place views of every writable array the object pups."""
+
+    def __init__(self) -> None:
+        self.fields: list[tuple[str, np.ndarray]] = []
+
+    def _handle(self, name, arr, *, rtol, atol, skip_compare):
+        # Only mutable, contiguous ndarray state can be corrupted in place;
+        # scalars are re-packed from Python attributes and non-contiguous
+        # views would silently copy under reshape, so flips there would never
+        # reach the application.  HPC state is overwhelmingly array data.
+        if (isinstance(arr, np.ndarray) and arr.ndim > 0
+                and arr.flags.writeable and arr.flags["C_CONTIGUOUS"]):
+            self.fields.append((name, arr))
+        return arr
+
+
+class BitFlipInjector:
+    """Flips one random bit in the checkpointable state of a task."""
+
+    def __init__(self, rng: RngStream):
+        self.rng = rng
+        self.history: list[FlipRecord] = []
+
+    def inject(self, target: Pupable) -> FlipRecord:
+        """Corrupt one uniformly-random bit across all of ``target``'s
+        checkpointable array payload.  Returns a record of what changed."""
+        collector = _MutableFieldCollector()
+        target.pup(collector)
+        sizes = np.asarray([arr.nbytes for _, arr in collector.fields], dtype=np.int64)
+        total = int(sizes.sum())
+        if total == 0:
+            raise ACRError("target has no mutable checkpointable state to corrupt")
+        flat_index = int(self.rng.integers(0, total))
+        cum = np.cumsum(sizes)
+        field_idx = int(np.searchsorted(cum, flat_index, side="right"))
+        offset = flat_index - (int(cum[field_idx - 1]) if field_idx else 0)
+        name, arr = collector.fields[field_idx]
+        view = arr.reshape(-1).view(np.uint8)
+        bit = int(self.rng.integers(0, 8))
+        old = int(view[offset])
+        view[offset] = old ^ (1 << bit)
+        record = FlipRecord(
+            field_name=name,
+            byte_index=offset,
+            bit_index=bit,
+            old_byte=old,
+            new_byte=int(view[offset]),
+        )
+        self.history.append(record)
+        return record

@@ -1,0 +1,127 @@
+"""Fault injection schedules: which node fails, when, and how (paper §6.1).
+
+Two fault classes, mirroring the paper's injector:
+
+* **hard faults** — a node stops responding to any communication ("no-response
+  scheme to mimic a fail-stop error"); detection happens via missed heartbeats;
+* **SDC** — one bit flipped in the user data that will be checkpointed.
+
+An :class:`InjectionPlan` is a pre-drawn, reproducible schedule of
+:class:`FaultEvent` objects that the simulation framework consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.faults.distributions import FailureProcess
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+
+class FaultKind(str, Enum):
+    HARD = "hard"
+    SDC = "sdc"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: at ``time``, hit node ``node_id`` of ``replica``."""
+
+    time: float
+    kind: FaultKind
+    replica: int  # 0 or 1
+    node_id: int  # node index within the replica
+
+    def __post_init__(self) -> None:
+        if self.replica not in (0, 1):
+            raise ConfigurationError(f"replica must be 0 or 1, got {self.replica}")
+        if self.time < 0:
+            raise ConfigurationError(f"fault time must be non-negative, got {self.time}")
+
+
+@dataclass
+class InjectionPlan:
+    """A time-sorted schedule of faults for one experiment run."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: e.time)
+
+    def within(self, t0: float, t1: float) -> list[FaultEvent]:
+        return [e for e in self.events if t0 <= e.time < t1]
+
+    def hard_events(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind is FaultKind.HARD]
+
+    def sdc_events(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind is FaultKind.SDC]
+
+    def merged_with(self, other: "InjectionPlan") -> "InjectionPlan":
+        return InjectionPlan(sorted(self.events + other.events, key=lambda e: e.time))
+
+
+def draw_plan(
+    process: FailureProcess,
+    *,
+    kind: FaultKind,
+    horizon: float,
+    nodes_per_replica: int,
+    rng: RngStream,
+) -> InjectionPlan:
+    """Draw fault times from ``process`` and assign victims uniformly.
+
+    Each fault strikes a uniformly random node of a uniformly random replica —
+    the paper's failure model has no spatial preference (and its schemes only
+    rely on buddy pairs failing *independently*, §2.3).
+    """
+    if nodes_per_replica < 1:
+        raise ConfigurationError("nodes_per_replica must be >= 1")
+    times = process.arrival_times(horizon)
+    replicas = rng.integers(0, 2, size=times.size)
+    victims = rng.integers(0, nodes_per_replica, size=times.size)
+    events = [
+        FaultEvent(time=float(t), kind=kind, replica=int(r), node_id=int(v))
+        for t, r, v in zip(times, replicas, victims)
+    ]
+    return InjectionPlan(events)
+
+
+def poisson_plan(
+    *,
+    hard_mtbf: float | None,
+    sdc_mtbf: float | None,
+    horizon: float,
+    nodes_per_replica: int,
+    rng: RngStream,
+) -> InjectionPlan:
+    """Convenience: independent Poisson hard-fault and SDC schedules."""
+    from repro.faults.distributions import PoissonProcess
+
+    plan = InjectionPlan()
+    if hard_mtbf is not None and np.isfinite(hard_mtbf):
+        hard = draw_plan(
+            PoissonProcess(hard_mtbf, rng.child("hard")),
+            kind=FaultKind.HARD,
+            horizon=horizon,
+            nodes_per_replica=nodes_per_replica,
+            rng=rng.child("hard-victims"),
+        )
+        plan = plan.merged_with(hard)
+    if sdc_mtbf is not None and np.isfinite(sdc_mtbf):
+        sdc = draw_plan(
+            PoissonProcess(sdc_mtbf, rng.child("sdc")),
+            kind=FaultKind.SDC,
+            horizon=horizon,
+            nodes_per_replica=nodes_per_replica,
+            rng=rng.child("sdc-victims"),
+        )
+        plan = plan.merged_with(sdc)
+    return plan

@@ -1,0 +1,70 @@
+"""Experiment harness: calibration, per-figure data generators, reporting."""
+
+from repro.harness.calibration import (
+    FIG8_CORES_PER_REPLICA,
+    FIG8_METHODS,
+    FIG9_SOCKETS_PER_REPLICA,
+    FIG12_CORES,
+    FIG12_FAILURES,
+    FIG12_HORIZON_SECONDS,
+    FIG12_WEIBULL_SHAPE,
+    INTREPID,
+)
+from repro.harness.campaign import (
+    CampaignResult,
+    CampaignSummary,
+    run_campaign,
+    summarize,
+)
+from repro.harness.experiment import (
+    ExperimentResult,
+    forward_path_overhead,
+    run_acr_experiment,
+)
+from repro.harness.figures import (
+    FIG9_VARIANTS,
+    FIG10_VARIANTS,
+    Fig6Row,
+    Fig8Row,
+    Fig9Row,
+    Fig10Row,
+    Fig12Result,
+    fig6_data,
+    fig8_data,
+    fig9_fig11_data,
+    fig10_data,
+    fig12_data,
+)
+from repro.harness.report import format_table, print_table
+
+__all__ = [
+    "FIG8_CORES_PER_REPLICA",
+    "FIG8_METHODS",
+    "FIG9_SOCKETS_PER_REPLICA",
+    "FIG12_CORES",
+    "FIG12_FAILURES",
+    "FIG12_HORIZON_SECONDS",
+    "FIG12_WEIBULL_SHAPE",
+    "INTREPID",
+    "CampaignResult",
+    "CampaignSummary",
+    "run_campaign",
+    "summarize",
+    "ExperimentResult",
+    "forward_path_overhead",
+    "run_acr_experiment",
+    "FIG9_VARIANTS",
+    "FIG10_VARIANTS",
+    "Fig6Row",
+    "Fig8Row",
+    "Fig9Row",
+    "Fig10Row",
+    "Fig12Result",
+    "fig6_data",
+    "fig8_data",
+    "fig9_fig11_data",
+    "fig10_data",
+    "fig12_data",
+    "format_table",
+    "print_table",
+]

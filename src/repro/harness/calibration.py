@@ -1,0 +1,42 @@
+"""Machine calibration and figure axes for the evaluation (see DESIGN.md §6).
+
+One place holds the Intrepid-like machine constants and every figure's sweep
+axes, so the benchmarks, tests, and examples agree on the configuration.
+"""
+
+from __future__ import annotations
+
+from repro.network.costs import MachineConstants
+from repro.util.units import YEARS
+
+#: The calibrated Blue Gene/P-like machine of the evaluation.
+INTREPID = MachineConstants(
+    alpha=2.0e-5,
+    link_bandwidth=167.0e6,
+    serialization_bandwidth=167.0e6,
+    compare_bandwidth=167.0e6,
+    checksum_instructions_per_byte=4.0,
+    sync_per_stage=1.0e-3,
+    exchange_stages=1,
+    restart_stages=4,
+)
+
+#: Figure 8 / Figure 10 x-axis: cores per replica.
+FIG8_CORES_PER_REPLICA = (1024, 4096, 16384, 65536)
+
+#: Figure 8 detection/optimization variants, in the paper's legend order.
+FIG8_METHODS = ("default", "mixed", "column", "checksum")
+
+#: Figure 9 / Figure 11 x-axis: sockets (nodes) per replica.
+FIG9_SOCKETS_PER_REPLICA = (1024, 4096, 16384)
+
+#: Section 6.2 model inputs for Figures 9 and 11.
+FIG9_HARD_MTBF_PER_SOCKET = 50 * YEARS
+FIG9_SDC_FIT_PER_SOCKET = 10_000.0
+
+#: Figure 12 scenario: a 30-minute Jacobi3D run on 512 cores with 19
+#: failures following a Weibull process with shape 0.6.
+FIG12_HORIZON_SECONDS = 1800.0
+FIG12_FAILURES = 19
+FIG12_WEIBULL_SHAPE = 0.6
+FIG12_CORES = 512

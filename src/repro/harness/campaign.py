@@ -1,0 +1,91 @@
+"""Multi-seed experiment campaigns with aggregate statistics.
+
+One seed is an anecdote; claims like "ACR recovers with low overhead" need
+distributions.  A campaign replays the same experiment across seeds (fault
+schedules and victim choices re-drawn each time) and aggregates outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.framework import RunReport
+from repro.harness.experiment import run_acr_experiment
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate statistics over a campaign's runs."""
+
+    runs: int
+    completed_runs: int
+    correct_runs: int
+    aborted_runs: int
+    mean_overhead: float
+    std_overhead: float
+    mean_checkpoints: float
+    mean_rework_iterations: float
+    total_hard_faults: int
+    total_sdc: int
+    total_recoveries: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed_runs / self.runs if self.runs else 0.0
+
+    @property
+    def correctness_rate(self) -> float:
+        """Fraction of *completed* runs whose result was bit-correct."""
+        return self.correct_runs / self.completed_runs if self.completed_runs else 0.0
+
+
+@dataclass
+class CampaignResult:
+    reports: list[RunReport]
+    seeds: list[int]
+    summary: CampaignSummary
+
+
+def summarize(reports: Sequence[RunReport]) -> CampaignSummary:
+    """Aggregate a set of run reports."""
+    completed = [r for r in reports if r.completed]
+    overheads = np.asarray([r.overhead_fraction for r in completed]) \
+        if completed else np.zeros(0)
+    recoveries: dict[str, int] = {}
+    for r in reports:
+        for key, count in r.recoveries.items():
+            recoveries[key] = recoveries.get(key, 0) + count
+    return CampaignSummary(
+        runs=len(reports),
+        completed_runs=len(completed),
+        correct_runs=sum(1 for r in completed if r.result_correct),
+        aborted_runs=sum(1 for r in reports if r.aborted_reason),
+        mean_overhead=float(overheads.mean()) if overheads.size else 0.0,
+        std_overhead=float(overheads.std()) if overheads.size else 0.0,
+        mean_checkpoints=float(np.mean([r.checkpoints_completed
+                                        for r in reports])) if reports else 0.0,
+        mean_rework_iterations=float(np.mean([r.rework_iterations
+                                              for r in reports])) if reports else 0.0,
+        total_hard_faults=sum(r.hard_detected for r in reports),
+        total_sdc=sum(r.sdc_detected for r in reports),
+        total_recoveries=recoveries,
+    )
+
+
+def run_campaign(
+    app: str = "jacobi3d-charm",
+    *,
+    seeds: Sequence[int] = range(5),
+    **experiment_kwargs,
+) -> CampaignResult:
+    """Run :func:`run_acr_experiment` once per seed and aggregate."""
+    reports = []
+    seed_list = [int(s) for s in seeds]
+    for seed in seed_list:
+        result = run_acr_experiment(app, seed=seed, **experiment_kwargs)
+        reports.append(result.report)
+    return CampaignResult(reports=reports, seeds=seed_list,
+                          summary=summarize(reports))

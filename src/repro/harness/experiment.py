@@ -1,0 +1,100 @@
+"""High-level experiment helpers wrapping the full DES framework.
+
+These are the entry points examples and integration benchmarks use: run an
+application under ACR with Poisson faults, or measure forward-path overhead
+in a failure-free run, without hand-assembling the machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ACRConfig
+from repro.core.framework import ACR, RunReport
+from repro.faults.injector import InjectionPlan, poisson_plan
+from repro.model.schemes import ResilienceScheme
+from repro.network.mapping import MappingScheme
+from repro.util.rng import RngStream
+
+
+@dataclass
+class ExperimentResult:
+    report: RunReport
+    acr: ACR
+
+    @property
+    def ok(self) -> bool:
+        return self.report.completed and self.report.aborted_reason is None
+
+
+def run_acr_experiment(
+    app: str = "jacobi3d-charm",
+    *,
+    nodes_per_replica: int = 4,
+    scheme: ResilienceScheme | str = ResilienceScheme.STRONG,
+    mapping: MappingScheme | str = MappingScheme.DEFAULT,
+    use_checksum: bool = False,
+    total_iterations: int = 200,
+    checkpoint_interval: float = 5.0,
+    hard_mtbf: float | None = None,
+    sdc_mtbf: float | None = None,
+    horizon: float = 10_000.0,
+    seed: int = 0,
+    tasks_per_node: int = 1,
+    app_scale: float = 1e-4,
+    spare_nodes: int = 64,
+    injection_plan: InjectionPlan | None = None,
+) -> ExperimentResult:
+    """Run one application to ``total_iterations`` under injected faults.
+
+    ``hard_mtbf`` / ``sdc_mtbf`` draw Poisson fault schedules over the whole
+    horizon; pass an explicit ``injection_plan`` for deterministic scenarios.
+    """
+    if injection_plan is None:
+        injection_plan = poisson_plan(
+            hard_mtbf=hard_mtbf,
+            sdc_mtbf=sdc_mtbf,
+            horizon=horizon,
+            nodes_per_replica=nodes_per_replica,
+            rng=RngStream(seed, "experiment/faults"),
+        )
+    config = ACRConfig(
+        scheme=ResilienceScheme(scheme),
+        mapping=MappingScheme(mapping),
+        use_checksum=use_checksum,
+        checkpoint_interval=checkpoint_interval,
+        total_iterations=total_iterations,
+        tasks_per_node=tasks_per_node,
+        app_scale=app_scale,
+        seed=seed,
+        spare_nodes=spare_nodes,
+    )
+    acr = ACR(app, nodes_per_replica=nodes_per_replica, config=config,
+              injection_plan=injection_plan)
+    report = acr.run(until=horizon, max_events=100_000_000)
+    return ExperimentResult(report=report, acr=acr)
+
+
+def forward_path_overhead(
+    app: str = "jacobi3d-charm",
+    *,
+    nodes_per_replica: int = 4,
+    checkpoints: int = 5,
+    checkpoint_interval: float = 4.0,
+    mapping: MappingScheme | str = MappingScheme.DEFAULT,
+    use_checksum: bool = False,
+    seed: int = 0,
+) -> tuple[float, RunReport]:
+    """Measured failure-free overhead fraction over ~``checkpoints`` periods."""
+    horizon = checkpoint_interval * (checkpoints + 0.5)
+    config = ACRConfig(
+        checkpoint_interval=checkpoint_interval,
+        mapping=MappingScheme(mapping),
+        use_checksum=use_checksum,
+        tasks_per_node=1,
+        app_scale=1e-4,
+        seed=seed,
+    )
+    acr = ACR(app, nodes_per_replica=nodes_per_replica, config=config)
+    report = acr.run(until=horizon, max_events=100_000_000)
+    return report.overhead_fraction, report

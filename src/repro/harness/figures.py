@@ -1,0 +1,308 @@
+"""Data generators for every evaluation figure (Figs. 6, 8, 9, 10, 11, 12).
+
+Each function returns structured rows; the benchmarks print them and assert
+the paper's qualitative claims.  Figures 1 and 7 come from the analytical
+model (:mod:`repro.model.surfaces`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.registry import MINIAPP_NAMES, descriptor
+from repro.core.config import ACRConfig
+from repro.core.events import TimelineKind
+from repro.core.framework import ACR, RunReport
+from repro.faults.injector import FaultKind, draw_plan
+from repro.faults.distributions import WeibullProcess
+from repro.harness.calibration import (
+    FIG8_CORES_PER_REPLICA,
+    FIG8_METHODS,
+    FIG9_HARD_MTBF_PER_SOCKET,
+    FIG9_SDC_FIT_PER_SOCKET,
+    FIG9_SOCKETS_PER_REPLICA,
+    FIG12_FAILURES,
+    FIG12_HORIZON_SECONDS,
+    FIG12_WEIBULL_SHAPE,
+    INTREPID,
+)
+from repro.model.params import ModelParams
+from repro.model.schemes import ResilienceScheme, optimal_tau, solve_scheme
+from repro.network.allocation import CORES_PER_NODE, intrepid_allocation
+from repro.network.costs import CheckpointProfile, CostModel
+from repro.network.mapping import MappingScheme, build_mapping
+from repro.network.topology import Torus3D
+from repro.util.rng import RngStream
+from repro.util.units import HOURS
+
+
+def _profile_for(app_name: str) -> CheckpointProfile:
+    d = descriptor(app_name)
+    return CheckpointProfile(
+        nbytes_per_node=d.declared_bytes_per_core * CORES_PER_NODE,
+        serialize_factor=d.serialize_factor,
+    )
+
+
+def _mapping_for(method: str, torus) -> tuple[MappingScheme, bool]:
+    """Figure-8 legend entry -> (mapping scheme, use_checksum)."""
+    if method == "checksum":
+        return MappingScheme.DEFAULT, True
+    return MappingScheme(method), False
+
+
+# -- Figure 6: per-link inter-replica message counts --------------------------------
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    mapping: str
+    max_link_load: int
+    buddy_hops_max: int
+    total_bytes_hops: int
+    plane_profile: tuple[int, ...]
+
+
+def fig6_data(torus_dims: tuple[int, int, int] = (8, 8, 8)) -> list[Fig6Row]:
+    """Unit-size buddy messages on a 512-node partition, per mapping."""
+    torus = Torus3D(torus_dims)
+    rows = []
+    for scheme in (MappingScheme.DEFAULT, MappingScheme.COLUMN, MappingScheme.MIXED):
+        mapping = build_mapping(torus, scheme)
+        loads = mapping.exchange_loads(1)
+        rows.append(
+            Fig6Row(
+                mapping=str(scheme),
+                max_link_load=loads.max_load(),
+                buddy_hops_max=int(mapping.buddy_distance().max()),
+                total_bytes_hops=loads.total_bytes_hops(),
+                plane_profile=tuple(int(v) for v in loads.plane_loads(2)),
+            )
+        )
+    return rows
+
+
+# -- Figure 8: single-checkpoint overhead decomposition -------------------------------
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    app: str
+    cores_per_replica: int
+    method: str
+    local: float
+    transfer: float
+    compare: float
+    total: float
+
+
+def fig8_data(
+    apps=MINIAPP_NAMES,
+    cores_axis=FIG8_CORES_PER_REPLICA,
+    methods=FIG8_METHODS,
+) -> list[Fig8Row]:
+    cost = CostModel(INTREPID)
+    rows = []
+    for app in apps:
+        profile = _profile_for(app)
+        for cores in cores_axis:
+            alloc = intrepid_allocation(cores)
+            for method in methods:
+                scheme, checksum = _mapping_for(method, alloc.torus)
+                mapping = build_mapping(alloc.torus, scheme)
+                b = cost.checkpoint_breakdown(profile, mapping, use_checksum=checksum)
+                rows.append(
+                    Fig8Row(app=app, cores_per_replica=cores, method=method,
+                            local=b.local, transfer=b.transfer, compare=b.compare,
+                            total=b.total)
+                )
+    return rows
+
+
+# -- Figures 9 & 11: overhead at the model-optimal checkpoint period --------------------
+
+#: Figure 9/11 legend: optimization variants.
+FIG9_VARIANTS = ("default", "default+checksum", "column", "column+checksum")
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    app: str
+    sockets_per_replica: int
+    scheme: str
+    variant: str
+    delta: float
+    tau_opt: float
+    checkpoint_overhead_pct: float    # forward path (Fig. 9)
+    overall_overhead_pct: float       # + restart + rework (Fig. 11)
+
+
+def _variant_breakdown(cost: CostModel, profile: CheckpointProfile, torus,
+                       variant: str):
+    mapping_scheme = (MappingScheme.COLUMN if variant.startswith("column")
+                      else MappingScheme.DEFAULT)
+    mapping = build_mapping(torus, mapping_scheme)
+    checksum = variant.endswith("checksum")
+    return mapping, cost.checkpoint_breakdown(profile, mapping, use_checksum=checksum)
+
+
+def fig9_fig11_data(
+    apps=("jacobi3d-charm", "leanmd"),
+    sockets_axis=FIG9_SOCKETS_PER_REPLICA,
+    variants=FIG9_VARIANTS,
+    *,
+    job_hours: float = 24.0,
+) -> list[Fig9Row]:
+    """Forward-path (Fig. 9) and overall (Fig. 11) overhead per replica.
+
+    δ comes from the topology-aware cost model per optimization variant; the
+    optimal period and total time come from the Section-5 model with the
+    paper's parameters (M_H = 50 years/socket, 10,000 FIT/socket).
+    """
+    cost = CostModel(INTREPID)
+    rows = []
+    for app in apps:
+        profile = _profile_for(app)
+        for sockets in sockets_axis:
+            # sockets == nodes on BG/P; the torus covers both replicas.
+            alloc = intrepid_allocation(sockets * CORES_PER_NODE)
+            for variant in variants:
+                mapping, breakdown = _variant_breakdown(cost, profile,
+                                                        alloc.torus, variant)
+                delta = breakdown.total
+                restart = cost.restart_breakdown(profile, mapping,
+                                                 scheme="medium").total
+                params = ModelParams(
+                    work=job_hours * HOURS,
+                    delta=delta,
+                    sockets_per_replica=int(sockets),
+                    hard_mtbf_socket=FIG9_HARD_MTBF_PER_SOCKET,
+                    sdc_fit_socket=FIG9_SDC_FIT_PER_SOCKET,
+                    restart_hard=restart,
+                    restart_sdc=cost.sdc_rollback_time(profile, alloc.total_nodes),
+                )
+                for scheme in ResilienceScheme:
+                    tau = optimal_tau(params, scheme)
+                    sol = solve_scheme(params, scheme, tau)
+                    ckpt_pct = 100.0 * sol.checkpoint_time / sol.total_time
+                    overall_pct = 100.0 * sol.overhead_fraction
+                    rows.append(
+                        Fig9Row(app=app, sockets_per_replica=int(sockets),
+                                scheme=str(scheme), variant=variant,
+                                delta=delta, tau_opt=tau,
+                                checkpoint_overhead_pct=ckpt_pct,
+                                overall_overhead_pct=overall_pct)
+                    )
+    return rows
+
+
+# -- Figure 10: single-restart overhead ------------------------------------------------
+
+#: Figure 10 legend order: strong, then medium under three mappings.
+FIG10_VARIANTS = ("strong", "medium (default)", "medium (mixed)", "medium (column)")
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    app: str
+    cores_per_replica: int
+    variant: str
+    transfer: float
+    reconstruction: float
+    total: float
+
+
+def fig10_data(
+    apps=MINIAPP_NAMES,
+    cores_axis=FIG8_CORES_PER_REPLICA,
+    variants=FIG10_VARIANTS,
+) -> list[Fig10Row]:
+    cost = CostModel(INTREPID)
+    rows = []
+    for app in apps:
+        profile = _profile_for(app)
+        for cores in cores_axis:
+            alloc = intrepid_allocation(cores)
+            for variant in variants:
+                if variant == "strong":
+                    scheme, mapping_name = "strong", "default"
+                else:
+                    scheme = "medium"
+                    mapping_name = variant.split("(")[1].rstrip(")")
+                mapping = build_mapping(alloc.torus, MappingScheme(mapping_name))
+                b = cost.restart_breakdown(profile, mapping, scheme=scheme)
+                rows.append(
+                    Fig10Row(app=app, cores_per_replica=cores, variant=variant,
+                             transfer=b.transfer, reconstruction=b.reconstruction,
+                             total=b.total)
+                )
+    return rows
+
+
+# -- Figure 12: adaptivity under a decreasing failure rate -------------------------------
+
+
+@dataclass
+class Fig12Result:
+    report: RunReport
+    injected_failures: list[float]
+    checkpoint_times: list[float]
+    intervals: list[tuple[float, float]]
+    early_mean_interval: float
+    late_mean_interval: float
+    ascii_timeline: str
+
+
+def fig12_data(
+    *,
+    nodes_per_replica: int = 16,
+    horizon: float = FIG12_HORIZON_SECONDS,
+    failures: int = FIG12_FAILURES,
+    shape: float = FIG12_WEIBULL_SHAPE,
+    seed: int = 3,
+    app: str = "jacobi3d-charm",
+    initial_interval: float = 6.0,
+) -> Fig12Result:
+    """Run the Figure-12 scenario on the full DES with adaptive checkpointing.
+
+    The paper's run uses 512 cores (128 nodes, 64 per replica); the default
+    here is smaller so benchmarks stay fast — pass ``nodes_per_replica=64``
+    for the paper-sized run.
+    """
+    rng = RngStream(seed, "fig12")
+    process = WeibullProcess.with_expected_count(
+        shape, horizon=horizon, expected_failures=failures, rng=rng.child("times")
+    )
+    plan = draw_plan(process, kind=FaultKind.HARD, horizon=horizon,
+                     nodes_per_replica=nodes_per_replica, rng=rng.child("victims"))
+    config = ACRConfig(
+        scheme=ResilienceScheme.MEDIUM,
+        adaptive=True,
+        adaptive_initial_interval=initial_interval,
+        adaptive_min_interval=2.0,
+        adaptive_max_interval=120.0,
+        tasks_per_node=1,
+        app_scale=1e-4,
+        seed=seed,
+        heartbeat_interval=0.5,
+        spare_nodes=4 * failures,
+    )
+    acr = ACR(app, nodes_per_replica=nodes_per_replica, config=config,
+              injection_plan=plan)
+    report = acr.run(until=horizon, max_events=100_000_000)
+    intervals = list(report.interval_history)
+    gaps = report.timeline.checkpoint_intervals()
+    k = max(len(gaps) // 5, 1)
+    early = float(np.mean(gaps[:k])) if gaps else 0.0
+    late = float(np.mean(gaps[-k:])) if gaps else 0.0
+    return Fig12Result(
+        report=report,
+        injected_failures=[e.time for e in plan.events],
+        checkpoint_times=report.timeline.times_of(TimelineKind.CHECKPOINT_DONE),
+        intervals=intervals,
+        early_mean_interval=early,
+        late_mean_interval=late,
+        ascii_timeline=report.timeline.render_ascii(width=110, horizon=horizon),
+    )

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark prints the same rows/series the paper plots; these helpers
+keep that output aligned and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_value(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 *, title: str | None = None) -> str:
+    """Render an aligned fixed-width table."""
+    str_rows = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                *, title: str | None = None) -> None:
+    print()
+    print(format_table(headers, rows, title=title))

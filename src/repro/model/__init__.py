@@ -1,0 +1,84 @@
+"""Analytical performance/reliability model of the paper's Section 5.
+
+Covers Table 1's parameters, Daly's optimum checkpoint period, the
+T_S/T_M/T_W equations with the multi-failure probability P, utilization,
+undetected-SDC probability, and the Figure 1 / Figure 7 data surfaces.
+"""
+
+from repro.model.alternatives import (
+    DiskCRSolution,
+    TMRSolution,
+    dual_vs_tmr_utilization,
+    sdc_crossover_fit,
+    solve_disk_checkpoint_restart,
+    solve_tmr,
+)
+from repro.model.daly import daly_tau, young_tau
+from repro.model.params import ModelParams, paper_fig7_params
+from repro.model.schemes import (
+    ResilienceScheme,
+    SchemeSolution,
+    best_solution,
+    compare_schemes,
+    optimal_tau,
+    prob_multi_failure,
+    solve_scheme,
+)
+from repro.model.surfaces import (
+    FIG1_FIT,
+    FIG1_SOCKETS,
+    FIG7_DELTAS,
+    FIG7_SOCKETS_PER_REPLICA,
+    Fig1Surfaces,
+    Fig7Point,
+    SurfacePoint,
+    fig1_surfaces,
+    fig7_curves,
+    fig7_series,
+)
+from repro.model.vulnerability import (
+    acr_utilization,
+    acr_vulnerability,
+    checkpoint_only_utilization,
+    no_ft_expected_time,
+    no_ft_utilization,
+    undetected_sdc_probability,
+    unprotected_vulnerability,
+)
+
+__all__ = [
+    "DiskCRSolution",
+    "TMRSolution",
+    "dual_vs_tmr_utilization",
+    "sdc_crossover_fit",
+    "solve_disk_checkpoint_restart",
+    "solve_tmr",
+    "daly_tau",
+    "young_tau",
+    "ModelParams",
+    "paper_fig7_params",
+    "ResilienceScheme",
+    "SchemeSolution",
+    "best_solution",
+    "compare_schemes",
+    "optimal_tau",
+    "prob_multi_failure",
+    "solve_scheme",
+    "FIG1_FIT",
+    "FIG1_SOCKETS",
+    "FIG7_DELTAS",
+    "FIG7_SOCKETS_PER_REPLICA",
+    "Fig1Surfaces",
+    "Fig7Point",
+    "SurfacePoint",
+    "fig1_surfaces",
+    "fig7_curves",
+    "fig7_series",
+    "acr_utilization",
+    "acr_vulnerability",
+    "checkpoint_only_utilization",
+    "no_ft_expected_time",
+    "no_ft_utilization",
+    "undetected_sdc_probability",
+    "unprotected_vulnerability",
+]

@@ -1,0 +1,147 @@
+"""Models of the design alternatives ACR argues against (paper §3 and §1).
+
+Two comparators the paper discusses but does not adopt:
+
+* **Triple modular redundancy (TMR)** — §3.4: "the trade off to consider
+  between dual redundancy and TMR is between re-executing the work or
+  spending another 33% of system resources on redundancy."  With three
+  replicas a majority vote *corrects* a single corruption in place, so SDC
+  causes no rollback; the price is capping utilization at 1/3 instead of 1/2.
+
+* **Disk-based checkpoint/restart** — §1: "the common approach currently is
+  to tolerate intermittent faults by periodically checkpointing the state of
+  the application to disk ... If the data size is large, the expense of
+  checkpointing to disk may be prohibitive."  All nodes share the parallel
+  filesystem, so δ grows linearly with the job's data; SDC is invisible.
+
+Both reuse the Section-5 machinery so crossovers against ACR's dual-redundancy
+schemes can be located analytically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.daly import daly_tau
+from repro.model.params import ModelParams
+from repro.model.schemes import ResilienceScheme, best_solution
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TMRSolution:
+    """Solved triple-modular-redundancy model at the optimal period."""
+
+    tau: float
+    total_time: float
+    utilization: float     # of the whole machine: (W/T) / 3
+    vulnerability: float   # P(>=2 replicas corrupted in one compare window)
+
+
+def solve_tmr(params: ModelParams) -> TMRSolution:
+    """Total time and utilization under TMR with majority voting.
+
+    Checkpoints still happen (hard errors need a recovery point), but a
+    single SDC is outvoted and corrected without rollback, so the SDC rework
+    term disappears.  Hard errors recover like ACR's medium scheme (a healthy
+    majority ships fresh state): rework δ per failure.  Sockets triple.
+    """
+    total_sockets = 3 * params.sockets_per_replica
+    mh = params.hard_mtbf_socket / total_sockets
+    tau = daly_tau(params.delta, mh)
+    ckpt = max(params.work / tau - 1.0, 0.0) * params.delta
+    coeff = (params.restart_hard + params.delta) / mh
+    if coeff >= 1.0:
+        return TMRSolution(tau=tau, total_time=math.inf, utilization=0.0,
+                           vulnerability=1.0)
+    total = (params.work + ckpt) / (1.0 - coeff)
+    utilization = (params.work / total) / 3.0
+
+    # An undetectable corruption needs >= 2 replicas corrupted between two
+    # votes; per window of length (tau + delta) each replica is corrupted
+    # with probability p = 1 - exp(-(tau+delta)/Ms_replica).
+    ms_replica = params.sdc_mtbf_socket / params.sockets_per_replica
+    p = 1.0 - math.exp(-(tau + params.delta) / ms_replica)
+    per_window = 3.0 * p * p * (1.0 - p) + p ** 3
+    windows = total / (tau + params.delta)
+    vulnerability = 1.0 - (1.0 - per_window) ** windows
+    return TMRSolution(tau=tau, total_time=total, utilization=utilization,
+                       vulnerability=vulnerability)
+
+
+def dual_vs_tmr_utilization(params: ModelParams) -> tuple[float, float]:
+    """Machine utilization of ACR's dual redundancy (strong) vs TMR."""
+    dual = best_solution(params, ResilienceScheme.STRONG).utilization
+    tmr = solve_tmr(params).utilization
+    return dual, tmr
+
+
+@dataclass(frozen=True)
+class DiskCRSolution:
+    """Solved plain (non-replicated) disk checkpoint/restart model."""
+
+    delta_disk: float
+    tau: float
+    total_time: float
+    utilization: float
+    vulnerability: float
+
+
+def solve_disk_checkpoint_restart(
+    params: ModelParams,
+    *,
+    bytes_per_socket: float,
+    pfs_bandwidth: float,
+) -> DiskCRSolution:
+    """The §1 baseline: one job image, checkpoints streamed to a shared PFS.
+
+    δ_disk = (sockets × bytes/socket) / PFS bandwidth — linear in job size,
+    which is exactly why the approach "may not be feasible" at scale.  SDC is
+    never detected, so the vulnerability matches the unprotected case.
+    """
+    if bytes_per_socket <= 0 or pfs_bandwidth <= 0:
+        raise ConfigurationError("bytes_per_socket and pfs_bandwidth must be > 0")
+    sockets = params.sockets_per_replica  # single image: no replicas
+    delta_disk = sockets * bytes_per_socket / pfs_bandwidth
+    mh = params.hard_mtbf_socket / sockets
+    tau = daly_tau(delta_disk, mh)
+    ckpt = max(params.work / tau - 1.0, 0.0) * delta_disk
+    coeff = (params.restart_hard + (tau + delta_disk) / 2.0) / mh
+    if coeff >= 1.0:
+        return DiskCRSolution(delta_disk=delta_disk, tau=tau,
+                              total_time=math.inf, utilization=0.0,
+                              vulnerability=1.0)
+    total = (params.work + ckpt) / (1.0 - coeff)
+    utilization = params.work / total
+    rate = params.sdc_fit_socket * 1e-9 * sockets / 3600.0
+    vulnerability = 1.0 - math.exp(-rate * params.work)
+    return DiskCRSolution(delta_disk=delta_disk, tau=tau, total_time=total,
+                          utilization=utilization, vulnerability=vulnerability)
+
+
+def sdc_crossover_fit(params: ModelParams, *, lo: float = 1.0,
+                      hi: float = 1e7) -> float | None:
+    """Find the per-socket SDC rate (FIT) where TMR overtakes dual redundancy.
+
+    Below the crossover, dual redundancy's occasional rollback is cheaper
+    than TMR's extra third of the machine; above it, re-executing work on
+    every corruption costs more than the standing 33% tax.  Returns None if
+    TMR never wins inside the bracket.
+    """
+    def gap(fit: float) -> float:
+        p = params.with_overrides(sdc_fit_socket=fit)
+        dual, tmr = dual_vs_tmr_utilization(p)
+        return dual - tmr
+
+    if gap(lo) <= 0:
+        return lo
+    if gap(hi) > 0:
+        return None
+    for _ in range(80):
+        mid = math.sqrt(lo * hi)
+        if gap(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return math.sqrt(lo * hi)

@@ -1,0 +1,46 @@
+"""Optimum checkpoint-period estimates (Daly 2006, paper reference [7]).
+
+The paper's adaptive mode and its Section-5 model both need "how often to
+checkpoint".  For Poisson failures, Young/Daly give closed forms; the
+higher-order Daly estimate stays accurate when the period is not small
+relative to the MTBF, which matters at the 256K-socket end of Figure 7.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.errors import ConfigurationError
+
+
+def young_tau(delta: float, mtbf: float) -> float:
+    """Young's first-order optimum period: sqrt(2 δ M)."""
+    _validate(delta, mtbf)
+    if math.isinf(mtbf):
+        return float("inf")
+    return math.sqrt(2.0 * delta * mtbf)
+
+
+def daly_tau(delta: float, mtbf: float) -> float:
+    """Daly's higher-order optimum compute-time between checkpoints.
+
+    For δ < 2M:  τ = sqrt(2δM) · [1 + (1/3)·sqrt(δ/2M) + (1/9)·(δ/2M)] − δ,
+    otherwise τ = M (checkpointing constantly is already hopeless).
+    Returns the *compute* segment length (excluding δ itself), clamped to a
+    small positive floor.
+    """
+    _validate(delta, mtbf)
+    if math.isinf(mtbf):
+        return float("inf")
+    if delta >= 2.0 * mtbf:
+        return mtbf
+    x = delta / (2.0 * mtbf)
+    tau = math.sqrt(2.0 * delta * mtbf) * (1.0 + math.sqrt(x) / 3.0 + x / 9.0) - delta
+    return max(tau, delta * 1e-3, 1e-9)
+
+
+def _validate(delta: float, mtbf: float) -> None:
+    if delta < 0:
+        raise ConfigurationError(f"delta must be non-negative, got {delta}")
+    if mtbf <= 0:
+        raise ConfigurationError(f"mtbf must be positive, got {mtbf}")

@@ -1,0 +1,150 @@
+"""Data generators for the model figures (Fig. 1 surfaces, Fig. 7 curves).
+
+These return plain numpy arrays / dictionaries so the benchmark harness can
+print the same rows the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.params import ModelParams
+from repro.model.schemes import ResilienceScheme, best_solution, optimal_tau
+from repro.model.vulnerability import (
+    acr_utilization,
+    acr_vulnerability,
+    checkpoint_only_utilization,
+    no_ft_utilization,
+    undetected_sdc_probability,
+    unprotected_vulnerability,
+)
+from repro.util.units import HOURS
+
+#: Fig. 1 axes: sockets 4K..1M, SDC rate 1..10000 FIT per socket, 120 h job.
+FIG1_SOCKETS = (4096, 16384, 65536, 262144, 1048576)
+FIG1_FIT = (1.0, 100.0, 10000.0)
+FIG1_JOB_HOURS = 120.0
+
+#: Fig. 7 axes: 1K..256K sockets per replica, δ ∈ {15 s, 180 s}, 24 h job.
+FIG7_SOCKETS_PER_REPLICA = (1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144)
+FIG7_DELTAS = (15.0, 180.0)
+FIG7_JOB_HOURS = 24.0
+
+
+@dataclass
+class SurfacePoint:
+    """One (sockets, FIT) grid cell of a Figure 1 surface."""
+
+    sockets: int
+    sdc_fit: float
+    utilization: float
+    vulnerability: float
+
+
+@dataclass
+class Fig1Surfaces:
+    """The three sub-figures of Figure 1."""
+
+    no_ft: list[SurfacePoint] = field(default_factory=list)
+    checkpoint_only: list[SurfacePoint] = field(default_factory=list)
+    acr: list[SurfacePoint] = field(default_factory=list)
+
+
+def _fig1_params(sockets: int, fit: float, delta: float) -> ModelParams:
+    # Fig. 1 counts *total* sockets; under ACR half of them form each replica.
+    return ModelParams(
+        work=FIG1_JOB_HOURS * HOURS,
+        delta=delta,
+        sockets_per_replica=max(sockets // 2, 1),
+        sdc_fit_socket=fit,
+    )
+
+
+def fig1_surfaces(
+    sockets_axis=FIG1_SOCKETS,
+    fit_axis=FIG1_FIT,
+    *,
+    delta: float = 60.0,
+) -> Fig1Surfaces:
+    """Utilization and vulnerability for the three protection alternatives."""
+    out = Fig1Surfaces()
+    for sockets in sockets_axis:
+        for fit in fit_axis:
+            p = _fig1_params(sockets, fit, delta)
+            plain = p.with_overrides(sockets_per_replica=sockets, replicated=False)
+            vuln_plain = unprotected_vulnerability(plain)
+            out.no_ft.append(
+                SurfacePoint(sockets, fit, no_ft_utilization(plain), vuln_plain)
+            )
+            out.checkpoint_only.append(
+                SurfacePoint(sockets, fit, checkpoint_only_utilization(plain), vuln_plain)
+            )
+            out.acr.append(
+                SurfacePoint(
+                    sockets, fit,
+                    acr_utilization(p, ResilienceScheme.STRONG),
+                    acr_vulnerability(p, ResilienceScheme.STRONG),
+                )
+            )
+    return out
+
+
+@dataclass
+class Fig7Point:
+    """One x-axis point of Figure 7(a) or 7(b)."""
+
+    sockets_per_replica: int
+    delta: float
+    scheme: ResilienceScheme
+    tau_opt: float
+    utilization: float
+    undetected_sdc_probability: float
+
+
+def fig7_curves(
+    sockets_axis=FIG7_SOCKETS_PER_REPLICA,
+    deltas=FIG7_DELTAS,
+    *,
+    job_hours: float = FIG7_JOB_HOURS,
+    sdc_fit_socket: float = 100.0,
+) -> list[Fig7Point]:
+    """Utilization (7a) and undetected-SDC probability (7b) for all schemes."""
+    points: list[Fig7Point] = []
+    for delta in deltas:
+        for sockets in sockets_axis:
+            params = ModelParams(
+                work=job_hours * HOURS,
+                delta=delta,
+                sockets_per_replica=int(sockets),
+                sdc_fit_socket=sdc_fit_socket,
+            )
+            for scheme in ResilienceScheme:
+                tau = optimal_tau(params, scheme)
+                sol = best_solution(params, scheme)
+                points.append(
+                    Fig7Point(
+                        sockets_per_replica=int(sockets),
+                        delta=delta,
+                        scheme=scheme,
+                        tau_opt=tau,
+                        utilization=sol.utilization,
+                        undetected_sdc_probability=undetected_sdc_probability(
+                            params, scheme, tau
+                        ),
+                    )
+                )
+    return points
+
+
+def fig7_series(points: list[Fig7Point], scheme: ResilienceScheme, delta: float,
+                attr: str = "utilization") -> tuple[np.ndarray, np.ndarray]:
+    """Extract one (sockets, value) curve from :func:`fig7_curves` output."""
+    xs, ys = [], []
+    for p in points:
+        if p.scheme is scheme and p.delta == delta:
+            xs.append(p.sockets_per_replica)
+            ys.append(getattr(p, attr))
+    order = np.argsort(xs)
+    return np.asarray(xs)[order], np.asarray(ys, dtype=float)[order]

@@ -1,0 +1,42 @@
+"""Torus network substrate: topology, replica mappings, and phase cost model.
+
+Reproduces the machine-side mechanics of the paper's evaluation on Intrepid
+(IBM Blue Gene/P): dimension-ordered torus routing, the default/column/mixed
+replica mappings of Fig. 6, Intrepid partition shapes, and the α–β–γ cost
+model behind Figures 8–11.
+"""
+
+from repro.network.allocation import (
+    CORES_PER_NODE,
+    Allocation,
+    intrepid_allocation,
+    partition_shape,
+    supported_cores_per_replica,
+)
+from repro.network.costs import (
+    CheckpointBreakdown,
+    CheckpointProfile,
+    CostModel,
+    MachineConstants,
+    RestartBreakdown,
+)
+from repro.network.mapping import BuddyMapping, MappingScheme, build_mapping
+from repro.network.topology import LinkLoads, Torus3D
+
+__all__ = [
+    "CORES_PER_NODE",
+    "Allocation",
+    "intrepid_allocation",
+    "partition_shape",
+    "supported_cores_per_replica",
+    "CheckpointBreakdown",
+    "CheckpointProfile",
+    "CostModel",
+    "MachineConstants",
+    "RestartBreakdown",
+    "BuddyMapping",
+    "MappingScheme",
+    "build_mapping",
+    "LinkLoads",
+    "Torus3D",
+]

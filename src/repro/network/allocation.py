@@ -1,0 +1,134 @@
+"""Intrepid-like machine allocations.
+
+The paper's Figure 8 behaviour hinges on *how the allocated partition's shape
+grows with the job size*: "As the system size is increased from 1K to 4K cores
+per replica, the Z dimension increases from 8 to 32, after which it becomes
+stagnant.  Beyond 4K cores, only the X and Y dimensions change" (§6.2).  This
+module encodes exactly those Blue Gene/P partition shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.topology import Torus3D
+from repro.util.errors import ConfigurationError
+
+#: SMP-mode Blue Gene/P: four cores per node share one torus endpoint.
+CORES_PER_NODE = 4
+
+#: Partition shapes by total node count, matching how Intrepid partitions grow:
+#: Z doubles first (8 -> 16 -> 32), then X and Y grow.
+_PARTITION_SHAPES: dict[int, tuple[int, int, int]] = {
+    32: (4, 4, 2),
+    64: (4, 4, 4),
+    128: (4, 4, 8),
+    256: (8, 4, 8),
+    512: (8, 8, 8),
+    1024: (8, 8, 16),
+    2048: (8, 8, 32),
+    4096: (8, 16, 32),
+    8192: (16, 16, 32),
+    16384: (16, 32, 32),
+    32768: (32, 32, 32),
+    65536: (32, 32, 64),
+    131072: (32, 64, 64),
+}
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A job allocation: a torus partition split into two replicas plus spares.
+
+    ``nodes_per_replica`` excludes spare nodes; the spares live outside the
+    replicated partition (the torus shape covers the replicas only, matching
+    the paper's Figure 6 which draws the two replicas filling the partition).
+    """
+
+    cores_per_replica: int
+    torus: Torus3D
+    spare_nodes: int = 0
+
+    @property
+    def nodes_per_replica(self) -> int:
+        return self.cores_per_replica // CORES_PER_NODE
+
+    @property
+    def total_nodes(self) -> int:
+        return 2 * self.nodes_per_replica
+
+    @property
+    def total_cores(self) -> int:
+        return 2 * self.cores_per_replica
+
+    def __post_init__(self) -> None:
+        if self.cores_per_replica % CORES_PER_NODE:
+            raise ConfigurationError(
+                f"cores_per_replica={self.cores_per_replica} is not a multiple of "
+                f"{CORES_PER_NODE} cores/node"
+            )
+        if self.torus.nnodes != self.total_nodes:
+            raise ConfigurationError(
+                f"torus {self.torus.dims} has {self.torus.nnodes} nodes, "
+                f"expected {self.total_nodes}"
+            )
+
+
+def partition_shape(total_nodes: int) -> tuple[int, int, int]:
+    """The Intrepid partition shape for a node count (powers of two only)."""
+    try:
+        return _PARTITION_SHAPES[int(total_nodes)]
+    except KeyError:
+        raise ConfigurationError(
+            f"no Intrepid partition shape for {total_nodes} nodes; "
+            f"known sizes: {sorted(_PARTITION_SHAPES)}"
+        ) from None
+
+
+def intrepid_allocation(cores_per_replica: int, spare_nodes: int = 0) -> Allocation:
+    """Build the allocation used throughout the evaluation section.
+
+    ``cores_per_replica`` follows the x-axes of Figures 8–11 (1K .. 64K cores
+    per replica); the torus covers both replicas.
+    """
+    nodes = 2 * (int(cores_per_replica) // CORES_PER_NODE)
+    return Allocation(
+        cores_per_replica=int(cores_per_replica),
+        torus=Torus3D(partition_shape(nodes)),
+        spare_nodes=spare_nodes,
+    )
+
+
+def torus_for_nodes(total_nodes: int) -> Torus3D:
+    """A torus covering ``total_nodes`` nodes with an even Z dimension.
+
+    Uses the Intrepid partition shape when one exists; otherwise factors the
+    count into a near-cubic box (Z even, so the replicas can split/interleave
+    along it).  Supports the small node counts functional experiments use.
+    """
+    total_nodes = int(total_nodes)
+    if total_nodes < 2 or total_nodes % 2:
+        raise ConfigurationError(
+            f"total_nodes must be even and >= 2, got {total_nodes}"
+        )
+    if total_nodes in _PARTITION_SHAPES:
+        return Torus3D(_PARTITION_SHAPES[total_nodes])
+    best: tuple[int, int, int] | None = None
+    for z in range(2, total_nodes + 1, 2):
+        if total_nodes % z:
+            continue
+        rest = total_nodes // z
+        x = int(rest ** 0.5)
+        while rest % x:
+            x -= 1
+        y = rest // x
+        shape = (x, y, z)
+        if best is None or max(shape) - min(shape) < max(best) - min(best):
+            best = shape
+    assert best is not None  # z = total_nodes always divides
+    return Torus3D(best)
+
+
+def supported_cores_per_replica() -> list[int]:
+    """All sweep points available (cores per replica)."""
+    return [n // 2 * CORES_PER_NODE for n in sorted(_PARTITION_SHAPES)]

@@ -1,0 +1,135 @@
+"""Replica-to-torus mapping schemes (paper §4.2, Fig. 6).
+
+The two replicas share one torus partition.  How their nodes interleave
+determines the congestion of the buddy checkpoint exchange:
+
+* **default** — BG/P TXYZ order: ranks increase slowest along Z, so replica 1
+  fills the lower half of the Z dimension and replica 2 the upper half; every
+  buddy message travels Z/2 hops and the bisection links become the bottleneck
+  (load proportional to the Z length).
+* **column** — alternate Z-columns: buddies are one hop apart and paths never
+  overlap (best case for inter-replica traffic, but interleaves the replicas,
+  which can hurt application communication and correlated-failure isolation).
+* **mixed** — alternate *chunks* of columns: a compromise with bounded overlap
+  (≤ chunk) and ``chunk`` hops between buddies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.network.topology import LinkLoads, Torus3D
+from repro.util.errors import ConfigurationError
+
+
+class MappingScheme(str, Enum):
+    """Inter-replica node placement policies of Figure 6."""
+
+    DEFAULT = "default"
+    COLUMN = "column"
+    MIXED = "mixed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class BuddyMapping:
+    """Placement of both replicas on a torus with row-aligned buddy pairs.
+
+    Row ``i`` of ``r1_coords`` and ``r2_coords`` are buddies: the node of
+    replica 1 with replica-rank ``i`` and its partner in replica 2.
+    """
+
+    scheme: MappingScheme
+    torus: Torus3D
+    r1_coords: np.ndarray  # (n, 3)
+    r2_coords: np.ndarray  # (n, 3)
+
+    @property
+    def nodes_per_replica(self) -> int:
+        return self.r1_coords.shape[0]
+
+    def buddy_distance(self) -> np.ndarray:
+        """Hop distance between each buddy pair."""
+        return self.torus.hop_distance(self.r1_coords, self.r2_coords)
+
+    def exchange_loads(self, nbytes_per_node: int | np.ndarray,
+                       direction: str = "r1->r2") -> LinkLoads:
+        """Link loads of the bulk buddy exchange.
+
+        ``direction`` selects which replica sends: checkpoints travel
+        ``r1->r2`` for SDC detection (§2.1); restart shipping travels from the
+        healthy replica to the crashed one.
+        """
+        if direction == "r1->r2":
+            src, dst = self.r1_coords, self.r2_coords
+        elif direction == "r2->r1":
+            src, dst = self.r2_coords, self.r1_coords
+        else:
+            raise ConfigurationError(f"unknown direction {direction!r}")
+        return self.torus.route_loads(src, dst, nbytes_per_node)
+
+    def single_message_loads(self, pair_index: int, nbytes: int,
+                             direction: str = "r2->r1") -> LinkLoads:
+        """Link loads of one buddy-to-buddy message (strong-resilience restart)."""
+        if direction == "r1->r2":
+            src, dst = self.r1_coords[pair_index], self.r2_coords[pair_index]
+        else:
+            src, dst = self.r2_coords[pair_index], self.r1_coords[pair_index]
+        return self.torus.route_loads(src[None, :], dst[None, :], nbytes)
+
+
+def _txyz_coords(torus: Torus3D, n: int) -> np.ndarray:
+    return torus.rank_to_coord(np.arange(n, dtype=np.int64))
+
+
+def build_mapping(
+    torus: Torus3D,
+    scheme: MappingScheme | str = MappingScheme.DEFAULT,
+    *,
+    chunk: int = 2,
+) -> BuddyMapping:
+    """Place two equal replicas on ``torus`` under a mapping scheme.
+
+    The torus must have an even Z dimension (the replicas split/interleave
+    along Z, the slowest-varying rank dimension on BG/P).
+    """
+    scheme = MappingScheme(scheme)
+    x_dim, y_dim, z_dim = torus.dims
+    if z_dim % 2:
+        raise ConfigurationError(f"torus Z dimension must be even, got {z_dim}")
+    n = torus.nnodes // 2
+    all_coords = _txyz_coords(torus, torus.nnodes)
+
+    if scheme is MappingScheme.DEFAULT:
+        # Ranks 0..n-1 (z < Z/2) are replica 1; buddy shares (x, y), z + Z/2.
+        r1 = all_coords[:n]
+        r2 = r1.copy()
+        r2[:, 2] += z_dim // 2
+        return BuddyMapping(scheme, torus, r1, r2)
+
+    if scheme is MappingScheme.COLUMN:
+        # Even z-columns host replica 1, odd columns replica 2; buddies are
+        # adjacent along Z so their messages use disjoint single links.
+        z1 = all_coords[:, 2] % 2 == 0
+        r1 = all_coords[z1]
+        r2 = r1.copy()
+        r2[:, 2] += 1
+        return BuddyMapping(scheme, torus, r1, r2)
+
+    # MIXED: chunks of `chunk` columns alternate between the replicas.
+    if chunk < 1:
+        raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+    if z_dim % (2 * chunk):
+        raise ConfigurationError(
+            f"mixed mapping needs Z % (2*chunk) == 0; Z={z_dim}, chunk={chunk}"
+        )
+    block = (all_coords[:, 2] // chunk) % 2 == 0
+    r1 = all_coords[block]
+    r2 = r1.copy()
+    r2[:, 2] += chunk
+    return BuddyMapping(MappingScheme.MIXED, torus, r1, r2)

@@ -1,0 +1,54 @@
+"""PUP (Pack/UnPack) serialization framework — the checkpoint substrate.
+
+Mirrors the Charm++ PUP framework ACR builds on (paper §4.1): one ``pup``
+description per application drives sizing, packing, unpacking, and SDC
+comparison, plus the Fletcher checksum optimization of §4.2.
+"""
+
+from repro.pup.checker import (
+    ComparisonResult,
+    FieldMismatch,
+    compare_checkpoints,
+    compare_checksums,
+)
+from repro.pup.checksum import (
+    CHECKSUM_NBYTES,
+    checkpoint_checksum,
+    fletcher32,
+    fletcher64,
+)
+from repro.pup.puper import (
+    FieldRecord,
+    PackedState,
+    PackingPUPer,
+    Pupable,
+    PUPError,
+    PUPer,
+    SizingPUPer,
+    UnpackingPUPer,
+    pack,
+    sizeof,
+    unpack,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "FieldMismatch",
+    "compare_checkpoints",
+    "compare_checksums",
+    "CHECKSUM_NBYTES",
+    "checkpoint_checksum",
+    "fletcher32",
+    "fletcher64",
+    "FieldRecord",
+    "PackedState",
+    "PackingPUPer",
+    "Pupable",
+    "PUPError",
+    "PUPer",
+    "SizingPUPer",
+    "UnpackingPUPer",
+    "pack",
+    "sizeof",
+    "unpack",
+]

@@ -1,0 +1,317 @@
+"""Pack/UnPack (PUP) serialization framework.
+
+This mirrors the Charm++ PUP framework that ACR builds on (paper §4.1): an
+application describes its state once in a ``pup(p)`` method, and the same
+description drives four operations:
+
+* **sizing** — compute the checkpoint footprint (:class:`SizingPUPer`);
+* **packing** — serialize state into a flat byte buffer (:class:`PackingPUPer`);
+* **unpacking** — restore state from a buffer (:class:`UnpackingPUPer`);
+* **checking** — compare two checkpoints field-by-field to detect silent data
+  corruption (:mod:`repro.pup.checker`), including user-customizable per-field
+  tolerances and skipped fields, exactly as the paper's ``PUPer::checker``.
+
+All pup methods *return* the field value; during unpacking the returned value
+is the deserialized one, so application code is written direction-agnostically::
+
+    def pup(self, p):
+        self.iteration = p.pup_int("iteration", self.iteration)
+        self.grid = p.pup_array("grid", self.grid)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.util.errors import ACRError
+
+
+class PUPError(ACRError):
+    """Raised on malformed pup descriptions or corrupt buffers."""
+
+
+@runtime_checkable
+class Pupable(Protocol):
+    """Anything that exposes its checkpointable state through ``pup``."""
+
+    def pup(self, p: "PUPer") -> None:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class FieldRecord:
+    """Directory entry for one pupped field inside a packed buffer."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+    nbytes: int
+    #: Relative tolerance for SDC comparison; 0.0 means bit-exact.
+    rtol: float = 0.0
+    #: Absolute tolerance for SDC comparison.
+    atol: float = 0.0
+    #: Fields marked skip are serialized but never compared (paper §4.1:
+    #: "ignore comparing data that may vary between different replicas").
+    skip_compare: bool = False
+
+
+def _as_array(name: str, value: Any) -> np.ndarray:
+    arr = np.asarray(value)
+    if arr.dtype == object:
+        raise PUPError(f"field {name!r}: object dtypes cannot be pupped")
+    return arr
+
+
+class PUPer:
+    """Base class defining the pup vocabulary.
+
+    Subclasses implement :meth:`_handle` to size, write, or read the field.
+    """
+
+    #: True when the PUPer restores state (application code may branch on it,
+    #: e.g. to rebuild derived data after restart).
+    is_unpacking: bool = False
+    #: True when the PUPer only measures sizes.
+    is_sizing: bool = False
+
+    def _handle(
+        self,
+        name: str,
+        arr: np.ndarray,
+        *,
+        rtol: float,
+        atol: float,
+        skip_compare: bool,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def _dispatch(self, name: str, arr: np.ndarray, *, rtol: float = 0.0,
+                  atol: float = 0.0, skip_compare: bool = False) -> np.ndarray:
+        return self._handle(_qualify(name), arr, rtol=rtol, atol=atol,
+                            skip_compare=skip_compare)
+
+    # -- scalar helpers --------------------------------------------------------
+    def pup_int(self, name: str, value: int) -> int:
+        out = self._dispatch(name, np.asarray(int(value), dtype=np.int64))
+        return int(out)
+
+    def pup_float(
+        self, name: str, value: float, *, rtol: float = 0.0, atol: float = 0.0,
+        skip_compare: bool = False,
+    ) -> float:
+        out = self._dispatch(name, np.asarray(float(value), dtype=np.float64),
+                             rtol=rtol, atol=atol, skip_compare=skip_compare)
+        return float(out)
+
+    def pup_bool(self, name: str, value: bool) -> bool:
+        out = self._dispatch(name, np.asarray(1 if value else 0, dtype=np.int64))
+        return bool(int(out))
+
+    def pup_str(self, name: str, value: str) -> str:
+        data = np.frombuffer(value.encode("utf-8"), dtype=np.uint8).copy()
+        # The buffer is a transient copy: mark it read-only so in-place fault
+        # injectors know corrupting it would never reach the application.
+        data.flags.writeable = False
+        out = self._dispatch(name, data)
+        return bytes(np.asarray(out, dtype=np.uint8)).decode("utf-8")
+
+    def pup_bytes(self, name: str, value: bytes) -> bytes:
+        data = np.frombuffer(value, dtype=np.uint8).copy()
+        data.flags.writeable = False
+        out = self._dispatch(name, data)
+        return bytes(np.asarray(out, dtype=np.uint8))
+
+    # -- array / composite helpers ---------------------------------------------
+    def pup_array(
+        self,
+        name: str,
+        value: np.ndarray,
+        *,
+        rtol: float = 0.0,
+        atol: float = 0.0,
+        skip_compare: bool = False,
+    ) -> np.ndarray:
+        """Pup a numpy array (the common case for HPC state)."""
+        return self._dispatch(name, _as_array(name, value),
+                              rtol=rtol, atol=atol, skip_compare=skip_compare)
+
+    def pup_object(self, name: str, obj: Pupable) -> Pupable:
+        """Pup a nested object that itself implements ``pup``."""
+        with _scope(name):
+            obj.pup(self)
+        return obj
+
+    def pup_list_of_arrays(
+        self, name: str, values: list[np.ndarray], *, rtol: float = 0.0,
+        atol: float = 0.0,
+    ) -> list[np.ndarray]:
+        """Pup a list of arrays whose length is part of the state."""
+        n = self.pup_int(f"{name}.__len__", len(values))
+        if self.is_unpacking and n != len(values):
+            # The caller restores into a list of possibly different length:
+            # grow/shrink with empty placeholders before reading elements.
+            values = [np.empty(0) for _ in range(n)]
+        out = []
+        for i in range(n):
+            src = values[i] if i < len(values) else np.empty(0)
+            out.append(self.pup_array(f"{name}[{i}]", src, rtol=rtol, atol=atol))
+        if not self.is_unpacking:
+            return values
+        return out
+
+
+# -- field-name scoping for nested objects --------------------------------------
+_SCOPE_STACK: list[str] = []
+
+
+class _scope:
+    def __init__(self, name: str):
+        self.name = name
+
+    def __enter__(self):
+        _SCOPE_STACK.append(self.name)
+
+    def __exit__(self, *exc):
+        _SCOPE_STACK.pop()
+
+
+def _qualify(name: str) -> str:
+    if _SCOPE_STACK:
+        return ".".join(_SCOPE_STACK) + "." + name
+    return name
+
+
+class SizingPUPer(PUPer):
+    """Counts the serialized size of an object without copying data."""
+
+    is_sizing = True
+
+    def __init__(self) -> None:
+        self.nbytes = 0
+        self.nfields = 0
+
+    def _handle(self, name, arr, *, rtol, atol, skip_compare):
+        self.nbytes += arr.nbytes
+        self.nfields += 1
+        return arr
+
+
+class PackingPUPer(PUPer):
+    """Serializes an object into a flat ``uint8`` buffer with a field directory."""
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self.fields: list[FieldRecord] = []
+        self._offset = 0
+        self._names: set[str] = set()
+
+    def _handle(self, name, arr, *, rtol, atol, skip_compare):
+        if name in self._names:
+            raise PUPError(f"duplicate pup field name {name!r}")
+        self._names.add(name)
+        flat = np.ascontiguousarray(arr).view(np.uint8).reshape(-1)
+        self.fields.append(
+            FieldRecord(
+                name=name,
+                dtype=str(arr.dtype),
+                shape=tuple(arr.shape),
+                offset=self._offset,
+                nbytes=flat.nbytes,
+                rtol=rtol,
+                atol=atol,
+                skip_compare=skip_compare,
+            )
+        )
+        self._chunks.append(flat.copy())
+        self._offset += flat.nbytes
+        return arr
+
+    def buffer(self) -> np.ndarray:
+        """Concatenate all packed chunks into one contiguous buffer."""
+        if not self._chunks:
+            return np.empty(0, dtype=np.uint8)
+        return np.concatenate(self._chunks)
+
+
+class UnpackingPUPer(PUPer):
+    """Restores an object from a buffer produced by :class:`PackingPUPer`.
+
+    Fields are matched positionally *and* validated by name/dtype/shape, so a
+    drifting pup description fails loudly rather than silently misreading.
+    """
+
+    is_unpacking = True
+
+    def __init__(self, buffer: np.ndarray, fields: list[FieldRecord]):
+        self._buffer = np.asarray(buffer, dtype=np.uint8)
+        self._fields = fields
+        self._index = 0
+
+    def _handle(self, name, arr, *, rtol, atol, skip_compare):
+        if self._index >= len(self._fields):
+            raise PUPError(f"pup description reads past checkpoint end at {name!r}")
+        rec = self._fields[self._index]
+        self._index += 1
+        if rec.name != name:
+            raise PUPError(f"pup field order mismatch: expected {rec.name!r}, got {name!r}")
+        raw = self._buffer[rec.offset : rec.offset + rec.nbytes]
+        if raw.nbytes != rec.nbytes:
+            raise PUPError(f"field {name!r}: truncated checkpoint buffer")
+        restored = raw.view(np.dtype(rec.dtype)).reshape(rec.shape)
+        if (arr.shape == rec.shape and str(arr.dtype) == rec.dtype
+                and arr.flags.writeable and arr.ndim > 0):
+            # In-place restore: large state arrays keep their identity, which
+            # matters for applications holding views into them.
+            np.copyto(arr, restored)
+            return arr
+        return restored.copy()
+
+    def finish(self) -> None:
+        """Assert the pup description consumed exactly the whole directory."""
+        if self._index != len(self._fields):
+            raise PUPError(
+                f"pup description consumed {self._index} of {len(self._fields)} fields"
+            )
+
+
+@dataclass
+class PackedState:
+    """A serialized object state: buffer plus field directory.
+
+    This is the unit that ACR stores, ships between buddies, and compares.
+    """
+
+    buffer: np.ndarray
+    fields: list[FieldRecord] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.buffer.nbytes)
+
+    def copy(self) -> "PackedState":
+        return PackedState(self.buffer.copy(), list(self.fields))
+
+
+def pack(obj: Pupable) -> PackedState:
+    """Serialize ``obj`` via its pup method."""
+    p = PackingPUPer()
+    obj.pup(p)
+    return PackedState(p.buffer(), p.fields)
+
+
+def unpack(obj: Pupable, state: PackedState) -> None:
+    """Restore ``obj`` in place from a :class:`PackedState`."""
+    p = UnpackingPUPer(state.buffer, state.fields)
+    obj.pup(p)
+    p.finish()
+
+
+def sizeof(obj: Pupable) -> int:
+    """Checkpoint footprint of ``obj`` in bytes."""
+    p = SizingPUPer()
+    obj.pup(p)
+    return p.nbytes

@@ -1,0 +1,118 @@
+"""Deterministic discrete-event simulation engine.
+
+Everything dynamic in the reproduction — task iterations, message deliveries,
+heartbeats, checkpoint phases, fault injections — is an event on this queue.
+Determinism is guaranteed by a monotone sequence number that breaks ties among
+events scheduled for the same instant (FIFO order), so a given seed always
+replays the same execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.errors import SimulationError
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled event; cancel() prevents a pending callback from firing."""
+
+    __slots__ = ("callback", "args", "cancelled", "fired", "time")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        return not (self.cancelled or self.fired)
+
+
+class Simulator:
+    """A minimal, fast event-driven simulator with simulated seconds."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._heap, _QueueEntry(time, next(self._seq), handle))
+        return handle
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event returns."""
+        self._stopped = True
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._heap and not self._heap[0].handle.pending:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in order until the queue drains, ``until`` is
+        reached, or ``max_events`` have fired.  Returns the final time."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                entry = self._heap[0]
+                if until is not None and entry.time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                handle = entry.handle
+                if not handle.pending:
+                    continue
+                if max_events is not None and self.events_processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                self.now = entry.time
+                handle.fired = True
+                self.events_processed += 1
+                handle.callback(*handle.args)
+            else:
+                if until is not None and not self._heap and self.now < until:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if e.handle.pending)

@@ -1,0 +1,112 @@
+"""Buddy heartbeats and fail-stop detection (paper §6.1).
+
+"When a hard fault is injected to a node, the process on that node stops
+responding to any communication.  Thereafter, when the buddy node of this
+node does not receive heartbeat for a certain period of time, the node is
+diagnosed as dead."
+
+Each node periodically sends a heartbeat to its buddy in the other replica
+and checks the buddy's last-seen time; a silence longer than ``timeout``
+triggers the death callback exactly once per failure epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runtime.messages import Message, MsgKind
+from repro.runtime.node import Node
+from repro.util.errors import ConfigurationError
+
+
+class HeartbeatMonitor:
+    """Mutual buddy-pair liveness monitoring across the two replicas."""
+
+    def __init__(
+        self,
+        nodes: list[Node],
+        buddy_of: dict[int, int],
+        *,
+        interval: float = 1.0,
+        timeout_factor: float = 4.0,
+        on_death: Callable[[Node, Node], None],
+    ):
+        """
+        Parameters
+        ----------
+        nodes:
+            All nodes (both replicas).
+        buddy_of:
+            Map node_id -> buddy node_id (symmetric).
+        interval:
+            Heartbeat period in simulated seconds.
+        timeout_factor:
+            Silence threshold in heartbeat periods before declaring death.
+        on_death:
+            ``callback(detector, dead_node)`` fired once per failure.
+        """
+        if interval <= 0 or timeout_factor < 2:
+            raise ConfigurationError("interval must be > 0 and timeout_factor >= 2")
+        self.nodes = {n.node_id: n for n in nodes}
+        self.buddy_of = dict(buddy_of)
+        for a, b in self.buddy_of.items():
+            if self.buddy_of.get(b) != a:
+                raise ConfigurationError(f"buddy map not symmetric at {a}<->{b}")
+        self.interval = interval
+        self.timeout = timeout_factor * interval
+        self.on_death = on_death
+        self.last_seen: dict[int, float] = {}
+        self._reported: set[tuple[int, int]] = set()  # (node_id, failures_survived)
+        self._started = False
+
+    def start(self) -> None:
+        sim = next(iter(self.nodes.values())).sim
+        now = sim.now
+        for node in self.nodes.values():
+            self.last_seen[node.node_id] = now
+            node.heartbeat_handler = self._on_heartbeat
+            sim.schedule(self.interval, self._send_tick, node.node_id)
+            sim.schedule(self.timeout, self._check_tick, node.node_id)
+        self._started = True
+
+    # -- periodic events --------------------------------------------------------
+    def _send_tick(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        if node.alive:
+            buddy_id = self.buddy_of[node_id]
+            node.transport.send(
+                Message(kind=MsgKind.HEARTBEAT, src=node_id, dst=buddy_id,
+                        nbytes=16, tag="hb")
+            )
+        # Keep ticking even while dead: the spare-node replacement revives the
+        # same logical node, which must resume heartbeating.
+        node.sim.schedule(self.interval, self._send_tick, node_id)
+
+    def _on_heartbeat(self, msg: Message) -> None:
+        self.last_seen[msg.src] = self.nodes[msg.src].sim.now
+
+    def _check_tick(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        buddy_id = self.buddy_of[node_id]
+        buddy = self.nodes[buddy_id]
+        if node.alive:
+            # Detection is purely silence-based: the detector has no ground
+            # truth about its buddy, only missing heartbeats.
+            silent_for = node.sim.now - self.last_seen[buddy_id]
+            key = (buddy_id, buddy.failures_survived)
+            if silent_for >= self.timeout and key not in self._reported:
+                self._reported.add(key)
+                self.on_death(node, buddy)
+        node.sim.schedule(self.interval, self._check_tick, node_id)
+
+    def notify_revived(self, node_id: int) -> None:
+        """Reset silence clocks when a spare replaces a dead node.
+
+        Both directions need resetting: the buddy stopped hearing the dead
+        node, and the dead node heard nothing while down — without the second
+        reset the revived node would immediately (and wrongly) declare its
+        perfectly healthy buddy dead.
+        """
+        now = self.nodes[node_id].sim.now
+        self.last_seen[node_id] = now
+        self.last_seen[self.buddy_of[node_id]] = now

@@ -1,0 +1,101 @@
+"""Message types and the simulated transport.
+
+The transport models the fail-stop semantics of §6.1: a dead node neither
+sends nor receives — messages addressed to it vanish without error, which is
+exactly why failure detection needs heartbeats rather than connection errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.runtime.des import Simulator
+from repro.util.errors import SimulationError
+
+
+class MsgKind(str, Enum):
+    """Classes of runtime traffic."""
+
+    APP = "app"                # application dependency messages
+    HEARTBEAT = "heartbeat"    # buddy liveness probes
+    CONTROL = "control"        # ACR protocol traffic (reductions, broadcasts)
+    CHECKPOINT = "checkpoint"  # bulk checkpoint payloads
+
+
+@dataclass
+class Message:
+    """One simulated message between nodes."""
+
+    kind: MsgKind
+    src: int          # global node id
+    dst: int          # global node id
+    payload: Any = None
+    nbytes: int = 64
+    tag: str = ""
+    send_time: float = field(default=0.0)
+
+
+class Transport:
+    """Delivers messages between nodes with latency and fail-stop filtering.
+
+    Latency here is the small per-message control-plane latency; *bulk*
+    checkpoint transfer times come from the topology-aware cost model and are
+    scheduled explicitly by the checkpoint machinery.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        latency: float = 5.0e-6,
+        bandwidth: float = 167.0e6,
+    ):
+        if latency < 0 or bandwidth <= 0:
+            raise SimulationError("latency must be >= 0 and bandwidth > 0")
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self._handlers: dict[int, Callable[[Message], None]] = {}
+        self._alive: dict[int, bool] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- registration -----------------------------------------------------------
+    def register(self, node_id: int, handler: Callable[[Message], None]) -> None:
+        self._handlers[node_id] = handler
+        self._alive[node_id] = True
+
+    def set_alive(self, node_id: int, alive: bool) -> None:
+        if node_id not in self._handlers:
+            raise SimulationError(f"unknown node {node_id}")
+        self._alive[node_id] = alive
+
+    def is_alive(self, node_id: int) -> bool:
+        return self._alive.get(node_id, False)
+
+    # -- sending ------------------------------------------------------------------
+    def send(self, msg: Message, *, extra_delay: float = 0.0) -> None:
+        """Send a message; silently dropped if either endpoint is dead.
+
+        The drop-on-dead-sender rule models the no-response scheme: "the
+        process on that node stops responding to any communication".
+        """
+        if msg.dst not in self._handlers:
+            raise SimulationError(f"message to unregistered node {msg.dst}")
+        if not self._alive.get(msg.src, False):
+            self.messages_dropped += 1
+            return
+        self.messages_sent += 1
+        msg.send_time = self.sim.now
+        delay = self.latency + msg.nbytes / self.bandwidth + extra_delay
+        self.sim.schedule(delay, self._deliver, msg)
+
+    def _deliver(self, msg: Message) -> None:
+        if not self._alive.get(msg.dst, False):
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        self._handlers[msg.dst](msg)

@@ -1,0 +1,204 @@
+"""Iterative application tasks with message-driven progress.
+
+Tasks are the unit the checkpoint-consensus protocol reasons about (paper
+§2.2): they progress through iterations at different rates, gated by
+dependency messages from neighbor tasks (no global synchronization), report
+progress to the runtime "through a function call ... at the end of each
+iteration", and can be paused and resumed by the consensus machinery.
+
+Rollback safety uses an *epoch* counter: every dependency message carries the
+sender's epoch, and a restart bumps the epoch, so messages in flight across a
+rollback are discarded — modelling the flush of stale traffic that a real
+coordinated-checkpoint recovery performs.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING, Callable
+
+from repro.runtime.des import EventHandle
+from repro.runtime.messages import Message, MsgKind
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.node import Node
+
+
+class TaskState(str, Enum):
+    IDLE = "idle"          # waiting for dependencies
+    COMPUTING = "computing"
+    PAUSED = "paused"      # held by the consensus protocol
+    DEAD = "dead"          # hosting node failed
+
+
+class Task:
+    """One migratable application task (a chare, in Charm++ terms)."""
+
+    def __init__(
+        self,
+        task_id: int,
+        node: "Node",
+        *,
+        neighbors: list[tuple[int, int]],
+        iteration_time: Callable[[int, int], float],
+    ):
+        """
+        Parameters
+        ----------
+        task_id:
+            Globally unique id within the task's replica.
+        node:
+            Hosting node.
+        neighbors:
+            ``(node_id, task_id)`` pairs whose iteration-(p) messages gate this
+            task's iteration p+1.
+        iteration_time:
+            ``f(task_id, iteration) -> seconds`` compute-time model; per-task
+            jitter creates the progress skew the consensus protocol handles.
+        """
+        self.task_id = task_id
+        self.node = node
+        self.neighbors = list(neighbors)
+        self.iteration_time = iteration_time
+        self.progress = 0
+        self.state = TaskState.IDLE
+        self.epoch = 0
+        #: Highest dependency stamp received from each neighbor this epoch.
+        self.dep_stamps: dict[int, int] = {tid: -1 for _, tid in self.neighbors}
+        #: Pause request: stop after completing this iteration (None = run).
+        self.pause_at: int | None = None
+        #: Hard cap on progress for bounded runs (never exceeded, survives
+        #: rollbacks); None = unbounded.
+        self.iteration_cap: int | None = None
+        self._compute_event: EventHandle | None = None
+        self.iterations_executed = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Begin execution: announce the initial stamp and try to compute."""
+        self._announce_progress()
+        self._try_start()
+
+    def kill(self) -> None:
+        """The hosting node died: abort any in-flight compute."""
+        self.state = TaskState.DEAD
+        if self._compute_event is not None:
+            self._compute_event.cancel()
+            self._compute_event = None
+
+    def restore(self, progress: int) -> None:
+        """Roll back (or forward) to a checkpointed iteration.
+
+        Bumps the epoch (discarding stale in-flight messages), resets the
+        dependency view, and re-announces the restored stamp — the "resend"
+        that prevents the hang scenario of §2.2.
+        """
+        if self._compute_event is not None:
+            self._compute_event.cancel()
+            self._compute_event = None
+        self.progress = int(progress)
+        self.epoch += 1
+        self.dep_stamps = {tid: self.progress - 1 for _, tid in self.neighbors}
+        self.pause_at = None
+        self.state = TaskState.IDLE
+        self._announce_progress()
+        self._try_start()
+
+    # -- consensus protocol hooks ---------------------------------------------------
+    def request_pause_at(self, iteration: int | None) -> None:
+        """Ask the task to pause once its progress reaches ``iteration``.
+
+        ``None`` pauses at the current progress (Phase-2 tentative pause);
+        a concrete iteration is the decided checkpoint iteration (Phase 3).
+        """
+        if self.state is TaskState.DEAD:
+            return
+        self.pause_at = self.progress if iteration is None else int(iteration)
+        bound = self._pause_bound()
+        if self.state is TaskState.IDLE and bound is not None and self.progress >= bound:
+            self.state = TaskState.PAUSED
+            self.node.on_task_ready_for_checkpoint(self)
+
+    def resume(self) -> None:
+        """Release a pause (checkpoint done, or the decision allows running on)."""
+        if self.state is TaskState.DEAD:
+            return
+        self.pause_at = None
+        if self.state is TaskState.PAUSED:
+            self.state = TaskState.IDLE
+        self._try_start()
+
+    def resume_if_below(self) -> None:
+        """Un-pause a task whose pause bar moved above its progress (Phase 3:
+        the decided iteration is beyond the tentative local-max pause)."""
+        bound = self._pause_bound()
+        if self.state is TaskState.PAUSED and (bound is None or self.progress < bound):
+            self.state = TaskState.IDLE
+            self._try_start()
+
+    # -- execution engine ---------------------------------------------------------
+    def _deps_satisfied(self) -> bool:
+        return all(stamp >= self.progress for stamp in self.dep_stamps.values())
+
+    def _pause_bound(self) -> int | None:
+        bounds = [b for b in (self.pause_at, self.iteration_cap) if b is not None]
+        return min(bounds) if bounds else None
+
+    def _try_start(self) -> None:
+        if self.state in (TaskState.COMPUTING, TaskState.DEAD):
+            return
+        bound = self._pause_bound()
+        if bound is not None and self.progress >= bound:
+            if self.state is not TaskState.PAUSED:
+                self.state = TaskState.PAUSED
+                self.node.on_task_ready_for_checkpoint(self)
+            return
+        if not self._deps_satisfied():
+            self.state = TaskState.IDLE
+            return
+        self.state = TaskState.COMPUTING
+        duration = self.iteration_time(self.task_id, self.progress + 1)
+        if duration <= 0:
+            raise SimulationError(f"iteration_time must be positive, got {duration}")
+        epoch = self.epoch
+        self._compute_event = self.node.sim.schedule(
+            duration, self._on_iteration_done, epoch
+        )
+
+    def _on_iteration_done(self, epoch: int) -> None:
+        if epoch != self.epoch or self.state is TaskState.DEAD:
+            return  # stale completion from before a rollback
+        self._compute_event = None
+        self.progress += 1
+        self.iterations_executed += 1
+        self.state = TaskState.IDLE
+        self._announce_progress()
+        self.node.on_task_progress(self)
+        self._try_start()
+
+    def _announce_progress(self) -> None:
+        """Send the dependency stamp for the just-completed iteration."""
+        for node_id, task_id in self.neighbors:
+            self.node.transport.send(
+                Message(
+                    kind=MsgKind.APP,
+                    src=self.node.node_id,
+                    dst=node_id,
+                    payload=(task_id, self.task_id, self.progress, self.epoch),
+                    nbytes=1024,
+                    tag="dep",
+                )
+            )
+
+    def on_dep_message(self, from_task: int, stamp: int, epoch: int) -> None:
+        """Receive a neighbor's dependency stamp (idempotent, monotone)."""
+        if self.state is TaskState.DEAD:
+            return
+        if epoch < self.epoch:
+            return  # pre-rollback traffic: flushed
+        prev = self.dep_stamps.get(from_task, -1)
+        if stamp > prev:
+            self.dep_stamps[from_task] = stamp
+        if self.state is TaskState.IDLE:
+            self._try_start()

@@ -1,0 +1,46 @@
+"""Shared utilities: unit conversions, seeded RNG streams, and error types."""
+
+from repro.util.errors import (
+    ACRError,
+    CheckpointMismatchError,
+    ConfigurationError,
+    NoSpareNodeError,
+    SimulationError,
+)
+from repro.util.rng import RngStream, spawn_streams
+from repro.util.units import (
+    FIT_PER_HOUR,
+    GiB,
+    HOURS,
+    KiB,
+    MINUTES,
+    MiB,
+    YEARS,
+    fit_to_mtbf_seconds,
+    mtbf_seconds_to_fit,
+    parse_size,
+    pretty_bytes,
+    pretty_seconds,
+)
+
+__all__ = [
+    "ACRError",
+    "CheckpointMismatchError",
+    "ConfigurationError",
+    "NoSpareNodeError",
+    "SimulationError",
+    "RngStream",
+    "spawn_streams",
+    "FIT_PER_HOUR",
+    "GiB",
+    "HOURS",
+    "KiB",
+    "MINUTES",
+    "MiB",
+    "YEARS",
+    "fit_to_mtbf_seconds",
+    "mtbf_seconds_to_fit",
+    "parse_size",
+    "pretty_bytes",
+    "pretty_seconds",
+]

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the ACR reproduction.
+
+Every error raised by the library derives from :class:`ACRError` so callers can
+catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ACRError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ACRError):
+    """An invalid configuration value or inconsistent combination of values."""
+
+
+class SimulationError(ACRError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class NoSpareNodeError(ACRError):
+    """A hard failure occurred but the spare-node pool is exhausted.
+
+    The paper assumes the job scheduler provisions enough spares for the run;
+    when the pool runs dry, real systems would abort the job, and so do we.
+    """
+
+
+class CheckpointMismatchError(ACRError):
+    """Checkpoint comparison found corruption that recovery could not resolve."""

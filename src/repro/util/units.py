@@ -1,0 +1,98 @@
+"""Unit helpers shared across the model, harness, and benchmarks.
+
+The paper mixes several unit systems: checkpoint times in seconds, MTBFs in
+years-per-socket, and SDC rates in FIT (failures in 10^9 device-hours).  This
+module centralizes the conversions so each appears exactly once in the code
+base.
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+MINUTES = 60.0
+HOURS = 3600.0
+DAYS = 24 * HOURS
+YEARS = 365.25 * DAYS
+
+#: One FIT is one failure per 10^9 device-hours.
+FIT_PER_HOUR = 1.0e-9
+
+_SIZE_SUFFIXES = {
+    "b": 1,
+    "kib": KiB,
+    "kb": 1000,
+    "mib": MiB,
+    "mb": 1000_000,
+    "gib": GiB,
+    "gb": 1000_000_000,
+}
+
+
+def fit_to_mtbf_seconds(fit: float, devices: int = 1) -> float:
+    """Convert a FIT rate into a mean time between failures in seconds.
+
+    Parameters
+    ----------
+    fit:
+        Failure rate in FIT (failures per billion device-hours) per device.
+    devices:
+        Number of identical devices failing independently; the aggregate rate
+        scales linearly (e.g. *sockets* in Figures 1 and 7 of the paper).
+    """
+    if devices <= 0:
+        raise ValueError(f"devices must be positive, got {devices}")
+    failures_per_hour = fit * FIT_PER_HOUR * devices
+    # A subnormal FIT can underflow the product to exactly zero; either way
+    # the rate is indistinguishable from "never fails".
+    if failures_per_hour <= 0:
+        return float("inf")
+    return HOURS / failures_per_hour
+
+
+def mtbf_seconds_to_fit(mtbf_seconds: float, devices: int = 1) -> float:
+    """Inverse of :func:`fit_to_mtbf_seconds`."""
+    if mtbf_seconds <= 0:
+        raise ValueError(f"mtbf_seconds must be positive, got {mtbf_seconds}")
+    if devices <= 0:
+        raise ValueError(f"devices must be positive, got {devices}")
+    failures_per_hour = HOURS / mtbf_seconds
+    return failures_per_hour / (FIT_PER_HOUR * devices)
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size such as ``"4 MiB"`` into bytes."""
+    if isinstance(text, (int, float)):
+        return int(text)
+    s = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if s.endswith(suffix):
+            number = s[: -len(suffix)]
+            return int(float(number) * _SIZE_SUFFIXES[suffix])
+    return int(float(s))
+
+
+def pretty_bytes(n: float) -> str:
+    """Format a byte count for reports (e.g. ``4.0 MiB``)."""
+    n = float(n)
+    for unit, scale in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def pretty_seconds(t: float) -> str:
+    """Format a duration for reports (e.g. ``2.5 ms``, ``1.3 s``, ``4.2 min``)."""
+    if t == float("inf"):
+        return "inf"
+    if abs(t) < 1e-3:
+        return f"{t * 1e6:.1f} us"
+    if abs(t) < 1.0:
+        return f"{t * 1e3:.2f} ms"
+    if abs(t) < 120.0:
+        return f"{t:.3f} s"
+    if abs(t) < 2 * HOURS:
+        return f"{t / MINUTES:.2f} min"
+    return f"{t / HOURS:.2f} h"

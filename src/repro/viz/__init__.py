@@ -1,0 +1,31 @@
+"""Terminal-first visualization of the paper's figures."""
+
+from repro.viz.ascii_chart import (
+    HEAT_RAMP,
+    SERIES_GLYPHS,
+    heatmap,
+    line_chart,
+    sparkline,
+    stacked_bars,
+)
+from repro.viz.figures import (
+    plot_fig6_heatmap,
+    plot_fig7_utilization,
+    plot_fig8_bars,
+    plot_fig10_bars,
+    plot_fig12_intervals,
+)
+
+__all__ = [
+    "HEAT_RAMP",
+    "SERIES_GLYPHS",
+    "heatmap",
+    "line_chart",
+    "sparkline",
+    "stacked_bars",
+    "plot_fig6_heatmap",
+    "plot_fig7_utilization",
+    "plot_fig8_bars",
+    "plot_fig10_bars",
+    "plot_fig12_intervals",
+]

@@ -1,0 +1,207 @@
+"""Terminal plotting: line charts, stacked bars, and heatmaps in plain text.
+
+The reproduction is terminal-first (no display on a cluster head node), so
+the paper's figures render as ASCII: utilization curves (Fig. 7), stacked
+overhead bars (Figs. 8/10), link-load heatmaps (Fig. 6), and the Figure-12
+interval trajectory.  Everything returns strings; nothing touches a GUI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+#: Glyphs used for multiple series in a line chart, in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+#: Intensity ramp for heatmaps, light to dark.
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def _format_tick(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 10_000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    if abs(v) >= 100:
+        return f"{v:.0f}"
+    return f"{v:.3g}"
+
+
+def line_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 70,
+    height: int = 18,
+    title: str | None = None,
+    logx: bool = False,
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Plot one or more (xs, ys) series on shared axes.
+
+    Points are marked with per-series glyphs; a legend maps glyphs to labels.
+    ``logx`` spaces the x axis logarithmically (socket-count sweeps).
+    """
+    if not series:
+        raise ConfigurationError("line_chart needs at least one series")
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart too small")
+
+    def tx(x: float) -> float:
+        if not logx:
+            return x
+        if x <= 0:
+            raise ConfigurationError("logx requires positive x values")
+        return math.log10(x)
+
+    all_x, all_y = [], []
+    for xs, ys in series.values():
+        if len(xs) != len(ys):
+            raise ConfigurationError("series xs and ys must match in length")
+        all_x += [tx(x) for x in xs]
+        all_y += list(ys)
+    if not all_x:
+        raise ConfigurationError("series are empty")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo = min(all_y) if y_min is None else y_min
+    y_hi = max(all_y) if y_max is None else y_max
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (label, (xs, ys)) in zip(SERIES_GLYPHS, series.items()):
+        for x, y in zip(xs, ys):
+            cx = int(round((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1)))
+            cy = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            row = height - 1 - cy
+            if 0 <= row < height and 0 <= cx < width:
+                grid[row][cx] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(_format_tick(y_hi)), len(_format_tick(y_lo)))
+    for i, row in enumerate(grid):
+        if i == 0:
+            ylab = _format_tick(y_hi)
+        elif i == height - 1:
+            ylab = _format_tick(y_lo)
+        else:
+            ylab = ""
+        lines.append(f"{ylab.rjust(label_width)} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_left = _format_tick(10 ** x_lo if logx else x_lo)
+    x_right = _format_tick(10 ** x_hi if logx else x_hi)
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * (label_width + 2) + x_left + " " * max(pad, 1) + x_right)
+    legend = "   ".join(f"{glyph}={label}"
+                        for glyph, label in zip(SERIES_GLYPHS, series))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    labels: Sequence[str],
+    segments: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal stacked bars — one bar per label, one glyph per segment.
+
+    The Figure-8/10 shape: each bar decomposes a total into phases (local /
+    transfer / compare; transfer / reconstruction).
+    """
+    if not labels or not segments:
+        raise ConfigurationError("stacked_bars needs labels and segments")
+    for name, values in segments.items():
+        if len(values) != len(labels):
+            raise ConfigurationError(
+                f"segment {name!r} has {len(values)} values for "
+                f"{len(labels)} labels")
+        if any(v < 0 for v in values):
+            raise ConfigurationError(f"segment {name!r} has negative values")
+
+    totals = [sum(segments[s][i] for s in segments) for i in range(len(labels))]
+    peak = max(totals) or 1.0
+    label_width = max(len(lab) for lab in labels)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for i, lab in enumerate(labels):
+        bar = ""
+        for glyph, name in zip(SERIES_GLYPHS, segments):
+            cells = int(round(segments[name][i] / peak * width))
+            bar += glyph * cells
+        total_txt = _format_tick(totals[i]) + (f" {unit}" if unit else "")
+        lines.append(f"{lab.rjust(label_width)} |{bar.ljust(width)}| {total_txt}")
+    legend = "   ".join(f"{glyph}={name}"
+                        for glyph, name in zip(SERIES_GLYPHS, segments))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    *,
+    title: str | None = None,
+    row_label: str = "",
+    col_label: str = "",
+    show_values: bool = False,
+) -> str:
+    """Render a 2D non-negative matrix as an intensity map (Fig. 6 views)."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ConfigurationError("heatmap needs a 2D matrix")
+    if arr.size == 0:
+        raise ConfigurationError("heatmap matrix is empty")
+    if (arr < 0).any():
+        raise ConfigurationError("heatmap values must be non-negative")
+    peak = arr.max()
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if col_label:
+        lines.append(f"   ({col_label} →)")
+    for r in range(arr.shape[0]):
+        if show_values:
+            width = max(len(str(int(peak))), 1)
+            cells = " ".join(str(int(v)).rjust(width) for v in arr[r])
+        else:
+            cells = "".join(
+                HEAT_RAMP[min(int(v / peak * (len(HEAT_RAMP) - 1)),
+                              len(HEAT_RAMP) - 1)] if peak > 0 else HEAT_RAMP[0]
+                for v in arr[r]
+            )
+        prefix = f"{row_label}{r}:" if row_label else f"{r}:"
+        lines.append(f"{prefix.rjust(6)} {cells}")
+    lines.append(f"scale: min={arr.min():.3g} max={peak:.3g} "
+                 f"(ramp '{HEAT_RAMP}')")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, width: int | None = None) -> str:
+    """A one-line trend (the Figure-12 interval trajectory at a glance)."""
+    ramp = "▁▂▃▄▅▆▇█"
+    vals = list(values)
+    if not vals:
+        raise ConfigurationError("sparkline needs values")
+    if width is not None and len(vals) > width:
+        # Downsample by bucket means.
+        buckets = np.array_split(np.asarray(vals, dtype=float), width)
+        vals = [float(b.mean()) for b in buckets]
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return ramp[0] * len(vals)
+    return "".join(
+        ramp[min(int((v - lo) / (hi - lo) * (len(ramp) - 1)), len(ramp) - 1)]
+        for v in vals
+    )

@@ -1,0 +1,88 @@
+"""Per-figure plot builders: glue between the data generators and the charts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.figures import Fig8Row, Fig10Row, Fig12Result
+from repro.model.schemes import ResilienceScheme
+from repro.model.surfaces import Fig7Point, fig7_series
+from repro.network.mapping import MappingScheme, build_mapping
+from repro.network.topology import Torus3D
+from repro.viz.ascii_chart import heatmap, line_chart, sparkline, stacked_bars
+
+
+def plot_fig6_heatmap(torus_dims: tuple[int, int, int] = (8, 8, 8),
+                      scheme: str = "default") -> str:
+    """The Figure-6 front-plane link-load view as a value map."""
+    torus = Torus3D(torus_dims)
+    mapping = build_mapping(torus, MappingScheme(scheme))
+    loads = mapping.exchange_loads(1)
+    plane = np.maximum(loads.pos[2][:, 0, :], loads.neg[2][:, 0, :])
+    return heatmap(
+        plane, show_values=True, row_label="x=",
+        title=f"Figure 6 ({scheme} mapping): checkpoint messages per Z-link, "
+              f"front plane (Y=0) of {torus_dims}",
+        col_label="z link position",
+    )
+
+
+def plot_fig7_utilization(points: list[Fig7Point], delta: float,
+                          *, width: int = 70) -> str:
+    """Figure 7(a): utilization vs sockets/replica, one series per scheme."""
+    series = {}
+    for scheme in ResilienceScheme:
+        xs, ys = fig7_series(points, scheme, delta, "utilization")
+        if len(xs):
+            series[str(scheme)] = (list(xs), list(ys))
+    return line_chart(
+        series, width=width, logx=True, y_min=0.0, y_max=0.5,
+        title=f"Figure 7(a): utilization vs sockets/replica (delta={delta:g}s)",
+    )
+
+
+def plot_fig8_bars(rows: list[Fig8Row], app: str, cores: int) -> str:
+    """One Figure-8 panel slice: stacked phase bars per detection method."""
+    sel = [r for r in rows if r.app == app and r.cores_per_replica == cores]
+    labels = [r.method for r in sel]
+    segments = {
+        "local": [r.local for r in sel],
+        "transfer": [r.transfer for r in sel],
+        "compare": [r.compare for r in sel],
+    }
+    return stacked_bars(
+        labels, segments, unit="s",
+        title=f"Figure 8 ({app}, {cores // 1024}K cores/replica): "
+              "checkpoint overhead decomposition",
+    )
+
+
+def plot_fig10_bars(rows: list[Fig10Row], app: str, cores: int) -> str:
+    """One Figure-10 panel slice: restart phase bars per variant."""
+    sel = [r for r in rows if r.app == app and r.cores_per_replica == cores]
+    labels = [r.variant for r in sel]
+    segments = {
+        "transfer": [r.transfer for r in sel],
+        "reconstruction": [r.reconstruction for r in sel],
+    }
+    return stacked_bars(
+        labels, segments, unit="s",
+        title=f"Figure 10 ({app}, {cores // 1024}K cores/replica): "
+              "restart overhead decomposition",
+    )
+
+
+def plot_fig12_intervals(result: Fig12Result, *, width: int = 100) -> str:
+    """Figure 12 as text: the event timeline plus the interval trajectory."""
+    values = [v for _, v in result.intervals]
+    lines = [
+        "Figure 12: adaptivity of ACR to a changing failure rate",
+        "timeline ('X' failure injected, '|' checkpoint performed):",
+        result.ascii_timeline,
+        "checkpoint-interval trajectory "
+        f"(min {min(values):.1f}s, max {max(values):.1f}s):"
+        if values else "(no interval history)",
+    ]
+    if values:
+        lines.append(sparkline(values, width=width))
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""AMPI rank-program tests."""
+
+import numpy as np
+import pytest
+
+from repro.ampi import (
+    Allreduce,
+    AMPIWorld,
+    Barrier,
+    Compute,
+    MPIDeadlockError,
+    Recv,
+    Send,
+    run_world,
+)
+from repro.runtime.des import Simulator
+from repro.util.errors import ConfigurationError
+
+
+class TestPointToPoint:
+    def test_ring_token_pass(self):
+        def ring(ctx):
+            yield Send((ctx.rank + 1) % ctx.size, ctx.rank)
+            token = yield Recv((ctx.rank - 1) % ctx.size)
+            return token
+
+        results = run_world(6, ring)
+        assert results == [(r - 1) % 6 for r in range(6)]
+
+    def test_tag_matching(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Send(1, "wrong", tag=9)
+                yield Send(1, "right", tag=3)
+                return None
+            first = yield Recv(0, tag=3)  # must skip the tag-9 message
+            second = yield Recv(0, tag=9)
+            return (first, second)
+
+        results = run_world(2, program)
+        assert results[1] == ("right", "wrong")
+
+    def test_any_source_receive(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                got = []
+                for _ in range(ctx.size - 1):
+                    got.append((yield Recv(None)))
+                return sorted(got)
+            yield Send(0, ctx.rank)
+            return None
+
+        results = run_world(4, program)
+        assert results[0] == [1, 2, 3]
+
+    def test_pairwise_exchange_no_deadlock(self):
+        # Standard-mode sends are buffered, so the naive exchange completes.
+        def program(ctx):
+            partner = ctx.rank ^ 1
+            yield Send(partner, ctx.rank)
+            other = yield Recv(partner)
+            return other
+
+        assert run_world(4, program) == [1, 0, 3, 2]
+
+    def test_unmatched_recv_reports_deadlock(self):
+        def program(ctx):
+            _ = yield Recv((ctx.rank + 1) % ctx.size)  # nobody sends
+
+        with pytest.raises(MPIDeadlockError):
+            run_world(3, program)
+
+
+class TestCollectives:
+    def test_barrier_synchronizes_times(self):
+        release_times = {}
+
+        def program(ctx):
+            yield Compute(0.01 * (ctx.rank + 1))
+            yield Barrier()
+            release_times[ctx.rank] = ctx.rank  # placeholder
+            return None
+
+        sim = Simulator()
+        world = AMPIWorld(sim, 4, program)
+        world.run()
+        # Everyone finishes only after the slowest rank's compute (0.04 s).
+        assert sim.now >= 0.04
+
+    def test_allreduce_sum(self):
+        def program(ctx):
+            total = yield Allreduce(ctx.rank + 1)
+            return total
+
+        assert run_world(5, program) == [15] * 5
+
+    def test_allreduce_custom_op(self):
+        def program(ctx):
+            biggest = yield Allreduce(ctx.rank * 10, op=max)
+            return biggest
+
+        assert run_world(4, program) == [30] * 4
+
+    def test_sequential_collectives(self):
+        def program(ctx):
+            a = yield Allreduce(1)
+            yield Barrier()
+            b = yield Allreduce(a)
+            return b
+
+        assert run_world(3, program) == [9] * 3
+
+
+class TestNumericPrograms:
+    def test_distributed_dot_product(self):
+        """The HPCCG-style pattern: local partial sums + allreduce."""
+        n = 32
+        full = np.arange(n, dtype=float)
+
+        def program(ctx):
+            lo = ctx.rank * (n // ctx.size)
+            hi = lo + n // ctx.size
+            local = float((full[lo:hi] ** 2).sum())
+            yield Compute(1e-4)
+            total = yield Allreduce(local)
+            return total
+
+        expected = float((full ** 2).sum())
+        for total in run_world(4, program):
+            assert total == pytest.approx(expected)
+
+    def test_jacobi_1d_halo_exchange(self):
+        """An AMPI Jacobi: boundary exchange then local stencil update."""
+        size = 4
+        chunk = 8
+
+        def program(ctx):
+            rng = np.random.default_rng(ctx.rank)
+            data = rng.uniform(size=chunk)
+            for _ in range(5):
+                left = (ctx.rank - 1) % size
+                right = (ctx.rank + 1) % size
+                yield Send(left, float(data[0]), tag=0)
+                yield Send(right, float(data[-1]), tag=1)
+                from_right = yield Recv(right, tag=0)
+                from_left = yield Recv(left, tag=1)
+                padded = np.concatenate([[from_left], data, [from_right]])
+                data = (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0
+            return float(data.sum())
+
+        a = run_world(size, program)
+        b = run_world(size, program)
+        assert a == b  # deterministic across runs
+
+
+class TestValidation:
+    def test_bad_destination(self):
+        def program(ctx):
+            yield Send(99, "x")
+
+        with pytest.raises(ConfigurationError):
+            run_world(2, program)
+
+    def test_zero_size_communicator(self):
+        with pytest.raises(ConfigurationError):
+            AMPIWorld(Simulator(), 0, lambda ctx: iter(()))
+
+    def test_simulated_time_reflects_compute(self):
+        def program(ctx):
+            yield Compute(2.0)
+
+        sim = Simulator()
+        world = AMPIWorld(sim, 3, program)
+        world.run()
+        assert sim.now >= 2.0

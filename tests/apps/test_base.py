@@ -1,0 +1,67 @@
+"""ReplicaApp base-class and partitioning tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import partition_bounds
+from repro.apps.synthetic import SyntheticApp, synthetic_descriptor
+from repro.pup import pack, unpack
+from repro.util.errors import ConfigurationError
+
+
+class TestPartitionBounds:
+    def test_exact_division(self):
+        assert partition_bounds(12, 4) == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_remainder_spread_to_front(self):
+        bounds = partition_bounds(10, 4)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_covers_everything_contiguously(self):
+        bounds = partition_bounds(100, 7)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 100
+        for (a, b), (c, d) in zip(bounds, bounds[1:]):
+            assert b == c
+
+    def test_rejects_more_parts_than_items(self):
+        with pytest.raises(ConfigurationError):
+            partition_bounds(3, 4)
+
+
+class TestSyntheticApp:
+    def test_descriptor_customization(self):
+        d = synthetic_descriptor(bytes_per_core=123, serialize_factor=2.5,
+                                 iteration_seconds=0.7, memory_pressure="low")
+        app = SyntheticApp(2, descriptor=d)
+        assert app.descriptor.declared_bytes_per_core == 123
+        assert app.checkpoint_profile().serialize_factor == 2.5
+
+    def test_state_bounded_under_long_evolution(self):
+        app = SyntheticApp(2, seed=5)
+        app.advance_to(500)
+        assert np.abs(app.state).max() < 10.0
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticApp(2, scale=0.0)
+        with pytest.raises(ConfigurationError):
+            SyntheticApp(2, scale=1.5)
+
+    def test_nodes_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticApp(0)
+
+    def test_checkpoint_round_trip_mid_run(self):
+        a = SyntheticApp(3, seed=1)
+        a.advance_to(7)
+        shards = [pack(a.shard(r)) for r in range(3)]
+        a.advance_to(20)
+        target = a.result_digest()
+
+        b = SyntheticApp(3, seed=1)
+        for r in range(3):
+            unpack(b.shard(r), shards[r])
+        b.advance_to(20)
+        assert np.array_equal(b.result_digest(), target)

@@ -1,0 +1,194 @@
+"""Mini-application tests, parametrized over the paper's suite (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MINIAPP_NAMES, descriptor, make_app
+from repro.faults.bitflip import BitFlipInjector
+from repro.pup import compare_checkpoints, pack, sizeof, unpack
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+SCALE = 1e-4
+NODES = 4
+
+
+def fresh(name, seed=42, nodes=NODES, scale=SCALE):
+    return make_app(name, nodes, scale=scale, seed=seed)
+
+
+@pytest.mark.parametrize("name", MINIAPP_NAMES)
+class TestDeterminism:
+    def test_two_replicas_bit_identical(self, name):
+        a, b = fresh(name), fresh(name)
+        a.advance_to(6)
+        b.advance_to(6)
+        for rank in range(NODES):
+            assert compare_checkpoints(pack(a.shard(rank)),
+                                       pack(b.shard(rank))).match
+
+    def test_different_seeds_differ(self, name):
+        a, b = fresh(name, seed=1), fresh(name, seed=2)
+        a.advance_to(3)
+        b.advance_to(3)
+        assert not np.array_equal(a.result_digest(), b.result_digest())
+
+    def test_state_actually_evolves(self, name):
+        a = fresh(name)
+        d0 = a.result_digest().copy()
+        a.advance_to(5)
+        assert not np.array_equal(a.result_digest(), d0)
+
+    def test_digest_is_finite(self, name):
+        a = fresh(name)
+        a.advance_to(20)
+        assert np.isfinite(a.result_digest()).all()
+
+
+@pytest.mark.parametrize("name", MINIAPP_NAMES)
+class TestCheckpointing:
+    def test_restore_resumes_identically(self, name):
+        a = fresh(name)
+        a.advance_to(5)
+        shards = [pack(a.shard(r)) for r in range(NODES)]
+        a.advance_to(12)
+        expected = a.result_digest().copy()
+
+        b = fresh(name)
+        for r in range(NODES):
+            unpack(b.shard(r), shards[r])
+        assert b.iteration == 5
+        b.advance_to(12)
+        assert np.array_equal(b.result_digest(), expected)
+
+    def test_shards_partition_all_state(self, name):
+        a = fresh(name)
+        total = sum(sizeof(a.shard(r)) for r in range(NODES))
+        # Every shard must carry real state beyond the iteration counter.
+        assert total > NODES * 8
+
+    def test_bitflip_reaches_live_state(self, name):
+        a, b = fresh(name), fresh(name)
+        BitFlipInjector(RngStream(0, f"flip/{name}")).inject(b.shard(2))
+        mismatch = any(
+            not compare_checkpoints(pack(a.shard(r)), pack(b.shard(r))).match
+            for r in range(NODES)
+        )
+        assert mismatch
+
+    def test_shard_rank_validation(self, name):
+        a = fresh(name)
+        with pytest.raises(ConfigurationError):
+            a.shard(NODES)
+
+    def test_advance_backwards_rejected(self, name):
+        a = fresh(name)
+        a.advance_to(3)
+        with pytest.raises(ConfigurationError):
+            a.advance_to(2)
+
+
+@pytest.mark.parametrize("name", MINIAPP_NAMES)
+class TestDescriptors:
+    def test_table2_memory_pressure_classification(self, name):
+        d = descriptor(name)
+        if name in ("leanmd", "minimd"):
+            assert d.memory_pressure == "low"
+        else:
+            assert d.memory_pressure == "high"
+
+    def test_declared_bytes_match_table2_order_of_magnitude(self, name):
+        d = descriptor(name)
+        if d.memory_pressure == "high":
+            assert d.declared_bytes_per_core > 1_000_000
+        else:
+            assert d.declared_bytes_per_core < 1_000_000
+
+    def test_checkpoint_profile_scales_declared_bytes(self, name):
+        a = fresh(name)
+        profile = a.checkpoint_profile()
+        assert profile.nbytes_per_node == descriptor(name).declared_bytes_per_core * 4
+
+    def test_iteration_time_has_bounded_jitter(self, name):
+        a = fresh(name)
+        base = descriptor(name).base_iteration_seconds
+        times = [a.iteration_time(t, i) for t in range(8) for i in range(8)]
+        assert all(base <= x <= 1.06 * base for x in times)
+        assert len(set(times)) > 1  # real skew between tasks
+
+
+class TestTable2Configurations:
+    def test_jacobi_per_core_grid(self):
+        d = descriptor("jacobi3d-charm")
+        assert "64*64*128" in d.table2_configuration
+        assert d.declared_bytes_per_core == 64 * 64 * 128 * 8
+
+    def test_leanmd_4000_atoms(self):
+        assert "4000" in descriptor("leanmd").table2_configuration
+
+    def test_minimd_1000_atoms(self):
+        assert "1000" in descriptor("minimd").table2_configuration
+
+    def test_lulesh_serialization_slowest(self):
+        # §6.2: "LULESH takes longer in local checkpointing since it contains
+        # more complicated data structures for serialization."
+        high_pressure = ("jacobi3d-charm", "jacobi3d-ampi", "hpccg", "lulesh")
+        factors = {n: descriptor(n).serialize_factor for n in high_pressure}
+        assert max(factors, key=factors.get) == "lulesh"
+
+    def test_md_apps_scattered_memory_penalty(self):
+        # §6.2: MD checkpoint data "may be scattered in the memory resulting
+        # in extra overheads."
+        assert descriptor("leanmd").serialize_factor > 1.0
+        assert descriptor("minimd").serialize_factor > 1.0
+
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_app("nbody-galaxy", 4)
+        with pytest.raises(ConfigurationError):
+            descriptor("nbody-galaxy")
+
+
+class TestHPCCGSpecifics:
+    def test_cg_residual_decreases(self):
+        app = fresh("hpccg")
+        r0 = app.residual_norm
+        app.advance_to(10)
+        assert app.residual_norm < r0
+
+    def test_matvec_is_spd_like(self):
+        # The 27-point operator must be positive definite for CG to work.
+        app = fresh("hpccg")
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            v = rng.uniform(-1, 1, size=app.shape)
+            assert float((v * app.matvec(v)).sum()) > 0
+
+
+class TestMDStability:
+    @pytest.mark.parametrize("name", ["leanmd", "minimd"])
+    def test_positions_stay_in_box(self, name):
+        app = fresh(name, scale=2e-3)
+        app.advance_to(50)
+        assert (app.pos >= 0).all() and (app.pos < app.box).all()
+
+    @pytest.mark.parametrize("name", ["leanmd", "minimd"])
+    def test_velocities_bounded(self, name):
+        app = fresh(name, scale=2e-3)
+        app.advance_to(50)
+        assert np.abs(app.vel).max() < 10.0
+
+
+class TestLULESHSpecifics:
+    def test_fields_stay_physical(self):
+        app = fresh("lulesh")
+        app.advance_to(30)
+        assert (app.energy > 0).all()
+        assert (app.volume > 0).all()
+        assert (app.pressure > 0).all()
+
+    def test_shock_spreads(self):
+        app = fresh("lulesh")
+        before = app.velocity.copy()
+        app.advance_to(5)
+        assert np.abs(app.velocity).sum() > np.abs(before).sum()

@@ -1,0 +1,141 @@
+"""Physics/numerics invariants of the mini-applications.
+
+The apps are proxies, but their numerics must stay *credible* — otherwise
+SDC-propagation experiments (corruption spreading through a stencil, chaotic
+divergence in MD) would be testing artifacts of broken dynamics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+
+
+class TestJacobiInvariants:
+    def test_maximum_principle(self):
+        # A harmonic relaxation never exceeds its boundary/initial extremes.
+        app = make_app("jacobi3d-charm", 2, scale=1e-4, seed=3)
+        interior = app.grid[1:-1, 1:-1, 1:-1]
+        hi = max(float(app.grid.max()), 1.0)
+        lo = min(float(app.grid.min()), 0.0)
+        app.advance_to(100)
+        assert float(interior.max()) <= hi + 1e-12
+        assert float(interior.min()) >= lo - 1e-12
+
+    def test_converges_towards_harmonic_steady_state(self):
+        # Successive updates shrink: the relaxation is a contraction.
+        app = make_app("jacobi3d-charm", 2, scale=1e-4, seed=3)
+        app.advance_to(10)
+        before = app.grid.copy()
+        app.advance_to(11)
+        step10 = float(np.abs(app.grid - before).max())
+        app.advance_to(60)
+        before = app.grid.copy()
+        app.advance_to(61)
+        step60 = float(np.abs(app.grid - before).max())
+        assert step60 < step10
+
+    def test_hot_wall_heats_interior(self):
+        app = make_app("jacobi3d-charm", 2, scale=1e-4, seed=3)
+        near_wall_before = float(app.grid[1, 1:-1, 1:-1].mean())
+        app.advance_to(50)
+        near_wall_after = float(app.grid[1, 1:-1, 1:-1].mean())
+        # The x=0 hot plate (value 1.0) pulls the first interior plane up.
+        assert near_wall_after > min(near_wall_before, 0.9)
+
+
+class TestCGInvariants:
+    def test_residual_monotone_decreasing(self):
+        app = make_app("hpccg", 2, scale=2e-4, seed=1)
+        norms = []
+        for _ in range(15):
+            norms.append(app.residual_norm)
+            app.advance_to(app.iteration + 1)
+        # CG residuals are not strictly monotone in general, but for this SPD
+        # operator the trend over windows must be decreasing.
+        assert norms[-1] < norms[0] * 0.9
+
+    def test_energy_norm_of_error_decreases(self):
+        # CG's defining property: the A-norm of the error is monotone.
+        app = make_app("hpccg", 2, scale=2e-4, seed=1)
+        # Compute a reference solution with many more iterations.
+        ref = make_app("hpccg", 2, scale=2e-4, seed=1)
+        ref.advance_to(200)
+        x_star = ref.x.copy()
+
+        def a_norm_err(a):
+            e = a.x - x_star
+            return float((e * a.matvec(e)).sum())
+
+        e0 = a_norm_err(app)
+        app.advance_to(5)
+        e5 = a_norm_err(app)
+        app.advance_to(15)
+        e15 = a_norm_err(app)
+        assert e0 >= e5 - 1e-12 >= e15 - 1e-12
+
+
+@pytest.mark.parametrize("name", ["leanmd", "minimd"])
+class TestMDInvariants:
+    def test_momentum_drift_bounded(self, name):
+        # Pairwise forces are equal-and-opposite: total momentum is conserved
+        # up to floating-point roundoff.
+        app = make_app(name, 2, scale=2e-3, seed=4)
+        p0 = app.vel.sum(axis=0)
+        app.advance_to(40)
+        p1 = app.vel.sum(axis=0)
+        assert np.abs(p1 - p0).max() < 1e-9 * max(app.n_atoms, 1)
+
+    def test_kinetic_energy_bounded(self, name):
+        # Capped/soft potentials with damping: no energy blow-up.
+        app = make_app(name, 2, scale=2e-3, seed=4)
+        ke0 = float((app.vel ** 2).sum())
+        app.advance_to(80)
+        ke = float((app.vel ** 2).sum())
+        assert ke < 100 * max(ke0, 1e-6)
+
+    def test_perturbations_persist_unlike_jacobi(self, name):
+        # The property the vulnerability experiments rely on: in the MD apps
+        # a one-bit perturbation *persists* (trajectories never reconverge),
+        # whereas the contracting Jacobi relaxation forgives it entirely —
+        # which is why the §2.3 window experiments use MD state.
+        a = make_app(name, 2, scale=2e-3, seed=4)
+        b = make_app(name, 2, scale=2e-3, seed=4)
+        b.pos.reshape(-1).view(np.uint8)[13] ^= 1
+        delta0 = float(np.abs(a.pos - b.pos).max())
+        for app in (a, b):
+            app.advance_to(60)
+        delta = float(np.abs(a.pos - b.pos).max())
+        assert delta > 0.5 * delta0  # no washout
+
+        j1 = make_app("jacobi3d-charm", 2, scale=1e-4, seed=4)
+        j2 = make_app("jacobi3d-charm", 2, scale=1e-4, seed=4)
+        j2.grid[2, 2, 2] += delta0
+        for app in (j1, j2):
+            app.advance_to(300)
+        jacobi_delta = float(np.abs(j1.grid - j2.grid).max())
+        assert jacobi_delta < 1e-3 * delta0  # contraction forgives it
+
+
+class TestLULESHInvariants:
+    def test_total_energy_budget(self):
+        # Work extraction is bounded: energy stays positive and the total
+        # cannot grow without bound under the damped dynamics.
+        app = make_app("lulesh", 2, scale=1e-4, seed=5)
+        e0 = float(app.energy.sum())
+        app.advance_to(100)
+        e = float(app.energy.sum())
+        assert (app.energy > 0).all()
+        assert e < 2.0 * e0
+
+    def test_volume_clamped_physical(self):
+        app = make_app("lulesh", 2, scale=1e-4, seed=5)
+        app.advance_to(100)
+        assert (app.volume >= 0.2).all()
+        assert (app.volume <= 5.0).all()
+
+    def test_pressure_consistent_with_eos(self):
+        app = make_app("lulesh", 2, scale=1e-4, seed=5)
+        app.advance_to(20)
+        expected = (1.4 - 1.0) * app.energy / app.volume
+        assert np.allclose(app.pressure, expected)

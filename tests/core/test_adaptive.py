@@ -1,0 +1,100 @@
+"""Adaptive checkpoint-interval controller tests (§2.2, Fig. 12)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveIntervalController
+from repro.util.errors import ConfigurationError
+
+
+def controller(**kw):
+    base = dict(delta=0.5, initial_interval=6.0, min_interval=1.0,
+                max_interval=600.0)
+    base.update(kw)
+    return AdaptiveIntervalController(**base)
+
+
+class TestFitting:
+    def test_no_data_returns_initial(self):
+        c = controller()
+        assert c.next_interval(100.0) == 6.0
+
+    def test_single_failure_still_initial(self):
+        c = controller(min_failures_to_fit=2)
+        c.record_failure(10.0)
+        assert c.next_interval(100.0) == 6.0
+
+    def test_poisson_fit_recovers_rate(self):
+        c = controller(assume_weibull=False)
+        for t in range(10, 1010, 10):  # one failure every 10 s
+            c.record_failure(float(t))
+        fit = c.fit(1000.0)
+        assert fit.current_mtbf == pytest.approx(10.0)
+        assert fit.shape == 1.0
+
+    def test_weibull_shape_below_one_for_decreasing_rate(self):
+        # Front-loaded failures (power-law times) => shape < 1.
+        c = controller()
+        times = [1800.0 * (i / 19) ** (1 / 0.6) for i in range(1, 20)]
+        for t in sorted(times):
+            c.record_failure(t)
+        fit = c.fit(1800.0)
+        assert 0.3 < fit.shape < 0.9
+
+    def test_weibull_shape_near_one_for_uniform_rate(self):
+        c = controller()
+        for t in range(50, 1850, 100):
+            c.record_failure(float(t))
+        fit = c.fit(1800.0)
+        assert 0.7 < fit.shape < 1.5
+
+    def test_failures_must_be_ordered(self):
+        c = controller()
+        c.record_failure(10.0)
+        with pytest.raises(ConfigurationError):
+            c.record_failure(5.0)
+
+
+class TestIntervalDecision:
+    def test_fig12_interval_grows_under_decreasing_rate(self):
+        # The paper's adaptation: 6 s early, ~17 s at the end of the run.
+        c = controller(delta=0.5, initial_interval=6.0)
+        times = [1800.0 * (i / 19) ** (1 / 0.6) for i in range(1, 20)]
+        early = None
+        for t in sorted(times):
+            c.record_failure(t)
+            if early is None and len(c.failure_times) == 6:
+                early = c.next_interval(t + 1)
+        late = c.next_interval(1800.0)
+        assert early is not None
+        assert late > 1.5 * early
+
+    def test_interval_clamped(self):
+        c = controller(min_interval=5.0, max_interval=8.0)
+        c.record_failure(0.5)
+        c.record_failure(0.6)  # catastrophic rate -> tiny Daly period
+        assert c.next_interval(1.0) == 5.0
+        c2 = controller(min_interval=1.0, max_interval=8.0, delta=100.0)
+        c2.record_failure(10.0)
+        c2.record_failure(1e6)
+        assert c2.next_interval(2e6) == 8.0
+
+    def test_more_failures_shorter_interval(self):
+        sparse = controller(assume_weibull=False)
+        dense = controller(assume_weibull=False)
+        for t in (100.0, 900.0):
+            sparse.record_failure(t)
+        for t in range(50, 1000, 50):
+            dense.record_failure(float(t))
+        assert dense.next_interval(1000.0) < sparse.next_interval(1000.0)
+
+    def test_history_recorded(self):
+        c = controller()
+        c.next_interval(10.0)
+        c.next_interval(20.0)
+        assert [t for t, _ in c.interval_history] == [10.0, 20.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            controller(initial_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            controller(min_interval=10.0, max_interval=1.0)

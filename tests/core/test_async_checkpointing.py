@@ -1,0 +1,88 @@
+"""Semi-blocking (asynchronous) checkpointing tests — the §4.2 future work.
+
+"Another way to reduce network congestion is to use asynchronous
+checkpointing that overlaps the checkpoint transmission with application
+execution."  Semantics under test: the application blocks only for the local
+snapshot; transfer + comparison overlap execution; SDC is still detected
+(later); failures mid-transfer abandon the candidate generation safely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ACR, ACRConfig
+from repro.faults import FaultEvent, FaultKind, InjectionPlan
+from repro.model import ResilienceScheme
+
+
+def run(plan=None, **overrides):
+    defaults = dict(checkpoint_interval=2.0, total_iterations=300,
+                    tasks_per_node=1, app_scale=1e-4, seed=7, spare_nodes=16,
+                    async_checkpointing=True)
+    defaults.update(overrides)
+    acr = ACR("jacobi3d-charm", nodes_per_replica=4,
+              config=ACRConfig(**defaults), injection_plan=plan or InjectionPlan())
+    return acr, acr.run(until=3000.0, max_events=20_000_000)
+
+
+class TestFailureFreeAsync:
+    def test_completes_correctly(self):
+        _, report = run()
+        assert report.completed and report.result_correct
+
+    def test_blocking_time_is_pack_only(self):
+        _, report = run()
+        assert report.checkpoints_completed >= 2
+        assert 0 < report.checkpoint_blocking_time < report.checkpoint_time
+        # Jacobi: pack is ~1/6 of pack+transfer+compare under default mapping.
+        assert report.checkpoint_blocking_time < 0.5 * report.checkpoint_time
+
+    def test_blocking_mode_blocks_fully(self):
+        _, sync_report = run(async_checkpointing=False)
+        assert sync_report.checkpoint_blocking_time == pytest.approx(
+            sync_report.checkpoint_time)
+
+    def test_async_finishes_sooner_than_blocking(self):
+        _, async_report = run(total_iterations=600)
+        _, sync_report = run(total_iterations=600, async_checkpointing=False)
+        assert async_report.final_time < sync_report.final_time
+        assert np.array_equal(async_report.digests[0], sync_report.digests[0])
+
+    def test_one_generation_in_flight_at_a_time(self):
+        # With an interval shorter than the transfer time, checkpoints must
+        # queue, not overlap: every completed checkpoint still commits.
+        _, report = run(checkpoint_interval=0.3, total_iterations=400)
+        assert report.completed and report.result_correct
+        assert report.checkpoints_completed >= 3
+
+
+class TestAsyncWithFaults:
+    def test_sdc_detected_despite_overlap(self):
+        plan = InjectionPlan([
+            FaultEvent(time=3.0, kind=FaultKind.SDC, replica=0, node_id=1),
+        ])
+        _, report = run(plan=plan)
+        assert report.sdc_detected == 1
+        assert report.completed and report.result_correct
+
+    def test_hard_fault_mid_transfer_abandons_candidate(self):
+        # Crash very close to a checkpoint boundary so the background
+        # transfer is likely in flight when detection lands.
+        plan = InjectionPlan([
+            FaultEvent(time=2.05, kind=FaultKind.HARD, replica=1, node_id=2),
+        ])
+        for scheme in ("strong", "medium", "weak"):
+            _, report = run(plan=plan, scheme=ResilienceScheme(scheme))
+            assert report.completed and report.result_correct, scheme
+            assert report.hard_detected == 1
+
+    def test_mixed_fault_storm_async(self):
+        events = []
+        for i, t in enumerate((1.9, 4.05, 6.3, 8.1)):
+            kind = FaultKind.SDC if i % 2 else FaultKind.HARD
+            events.append(FaultEvent(time=t, kind=kind, replica=i % 2,
+                                     node_id=i % 4))
+        _, report = run(plan=InjectionPlan(events), total_iterations=500,
+                        scheme=ResilienceScheme.MEDIUM)
+        assert report.completed
+        assert report.aborted_reason is None

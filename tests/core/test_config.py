@@ -1,0 +1,46 @@
+"""ACR configuration validation tests."""
+
+import pytest
+
+from repro.core.config import ACRConfig
+from repro.model.schemes import ResilienceScheme
+from repro.network.mapping import MappingScheme
+from repro.util.errors import ConfigurationError
+
+
+class TestACRConfig:
+    def test_defaults_are_paper_like(self):
+        cfg = ACRConfig()
+        assert cfg.scheme is ResilienceScheme.STRONG
+        assert cfg.mapping is MappingScheme.DEFAULT
+        assert not cfg.use_checksum
+        assert not cfg.adaptive
+
+    def test_with_overrides(self):
+        cfg = ACRConfig().with_overrides(scheme=ResilienceScheme.WEAK,
+                                         use_checksum=True)
+        assert cfg.scheme is ResilienceScheme.WEAK
+        assert cfg.use_checksum
+
+    @pytest.mark.parametrize("field,value", [
+        ("checkpoint_interval", 0.0),
+        ("tasks_per_node", 0),
+        ("spare_nodes", -1),
+        ("total_iterations", 0),
+        ("app_scale", 0.0),
+        ("app_scale", 1.5),
+        ("adaptive_min_interval", 0.0),
+    ])
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ACRConfig(**{field: value})
+
+    def test_rejects_inverted_adaptive_clamp(self):
+        with pytest.raises(ConfigurationError):
+            ACRConfig(adaptive_min_interval=10.0, adaptive_max_interval=1.0)
+
+    def test_accepts_string_enums(self):
+        cfg = ACRConfig(scheme=ResilienceScheme("medium"),
+                        mapping=MappingScheme("column"))
+        assert cfg.scheme is ResilienceScheme.MEDIUM
+        assert cfg.mapping is MappingScheme.COLUMN

@@ -1,0 +1,176 @@
+"""Checkpoint-consensus protocol tests (§2.2, Fig. 3).
+
+The safety property: when a round completes, every task in scope is paused at
+exactly the decided iteration — no task ran past it, no in-flight iteration is
+lost — even though tasks progress at different rates with no global barrier.
+"""
+
+import pytest
+
+from repro.core.consensus import ConsensusController
+from repro.runtime.des import Simulator
+from repro.runtime.messages import Transport
+from repro.runtime.node import Node
+from repro.runtime.task import Task, TaskState
+from repro.util.errors import SimulationError
+
+
+def build(n_nodes=4, tasks_per_node=2, skew=0.3):
+    sim = Simulator()
+    transport = Transport(sim)
+    nodes = [Node(i, 0, i, sim, transport) for i in range(n_nodes)]
+    total = n_nodes * tasks_per_node
+
+    def iteration_time(task_id, it):
+        return 0.1 * (1.0 + skew * ((task_id * 13 + it * 7) % 10) / 10)
+
+    tasks = []
+    for tid in range(total):
+        node = nodes[tid // tasks_per_node]
+        left, right = (tid - 1) % total, (tid + 1) % total
+        t = Task(tid, node, neighbors=[
+            (left // tasks_per_node, left), (right // tasks_per_node, right)],
+            iteration_time=iteration_time)
+        node.add_task(t)
+        tasks.append(t)
+    controller = ConsensusController({n.node_id: n for n in nodes})
+    return sim, nodes, tasks, controller
+
+
+class TestSafety:
+    def test_all_tasks_pause_at_decided_iteration(self):
+        sim, nodes, tasks, controller = build()
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=2.05)
+        done = []
+        controller.start_round([n.node_id for n in nodes],
+                               lambda rid, it: done.append(it))
+        sim.run(until=10.0)
+        assert len(done) == 1
+        decided = done[0]
+        assert all(t.progress == decided for t in tasks)
+        assert all(t.state is TaskState.PAUSED for t in tasks)
+
+    def test_decided_iteration_at_least_max_progress_at_request(self):
+        sim, nodes, tasks, controller = build()
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=3.05)
+        max_before = max(t.progress for t in tasks)
+        done = []
+        controller.start_round([n.node_id for n in nodes],
+                               lambda rid, it: done.append(it))
+        sim.run(until=10.0)
+        assert done[0] >= max_before
+
+    def test_mid_iteration_tasks_not_truncated(self):
+        # A task computing iteration k+1 when the request lands must be
+        # allowed to finish it; the decision accounts for in-flight work.
+        sim, nodes, tasks, controller = build(skew=0.0)
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=0.45)  # everyone mid-iteration 5
+        done = []
+        controller.start_round([n.node_id for n in nodes],
+                               lambda rid, it: done.append(it))
+        sim.run(until=5.0)
+        assert done[0] == 5
+        assert all(t.progress == 5 for t in tasks)
+
+    def test_subset_scope_leaves_other_nodes_running(self):
+        sim, nodes, tasks, controller = build(n_nodes=4, tasks_per_node=1)
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=1.05)
+        # Only nodes 0 and 1 participate (e.g. medium-recovery consensus on
+        # the healthy replica); 2 and 3 keep running... until the ring
+        # dependencies on the paused tasks stall them, which is fine.
+        done = []
+        controller.start_round([0, 1], lambda rid, it: done.append(it))
+        sim.run(until=3.0)
+        assert len(done) == 1
+        assert tasks[0].state is TaskState.PAUSED
+        assert tasks[1].state is TaskState.PAUSED
+
+
+class TestLiveness:
+    def test_completes_from_fresh_start(self):
+        sim, nodes, tasks, controller = build()
+        for n in nodes:
+            n.start_tasks()
+        done = []
+        controller.start_round([n.node_id for n in nodes],
+                               lambda rid, it: done.append(it))
+        sim.run(until=5.0)
+        assert done  # decides even at iteration ~0
+
+    def test_sequential_rounds(self):
+        sim, nodes, tasks, controller = build()
+        for n in nodes:
+            n.start_tasks()
+        decisions = []
+
+        def after_first(rid, it):
+            decisions.append(it)
+            for t in tasks:
+                t.resume()
+
+        controller.start_round([n.node_id for n in nodes], after_first)
+        sim.run(until=3.0)
+        controller.start_round([n.node_id for n in nodes],
+                               lambda rid, it: decisions.append(it))
+        sim.run(until=8.0)
+        assert len(decisions) == 2
+        assert decisions[1] > decisions[0]
+
+    def test_concurrent_round_rejected(self):
+        sim, nodes, tasks, controller = build()
+        controller.start_round([n.node_id for n in nodes], lambda *a: None)
+        with pytest.raises(SimulationError):
+            controller.start_round([n.node_id for n in nodes], lambda *a: None)
+
+    def test_abort_releases_paused_tasks(self):
+        sim, nodes, tasks, controller = build()
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=1.05)
+        controller.start_round([n.node_id for n in nodes], lambda *a: None)
+        sim.run(until=1.10)  # mid-protocol: paused tasks still draining
+        assert controller.active
+        controller.abort_round()
+        progress_at_abort = max(t.progress for t in tasks)
+        sim.run(until=3.0)
+        assert max(t.progress for t in tasks) > progress_at_abort
+        assert controller.rounds_aborted == 1
+
+    def test_stale_messages_after_abort_ignored(self):
+        sim, nodes, tasks, controller = build()
+        for n in nodes:
+            n.start_tasks()
+        done = []
+        controller.start_round([n.node_id for n in nodes],
+                               lambda rid, it: done.append((rid, it)))
+        sim.run(until=0.01)   # request in flight
+        controller.abort_round()
+        sim.run(until=2.0)    # stale messages drain harmlessly
+        assert done == []
+        # A fresh round still works afterwards.
+        controller.start_round([n.node_id for n in nodes],
+                               lambda rid, it: done.append((rid, it)))
+        sim.run(until=6.0)
+        assert len(done) == 1
+
+    def test_empty_scope_rejected(self):
+        _, _, _, controller = build()
+        with pytest.raises(SimulationError):
+            controller.start_round([], lambda *a: None)
+
+    def test_round_counters(self):
+        sim, nodes, tasks, controller = build()
+        for n in nodes:
+            n.start_tasks()
+        controller.start_round([n.node_id for n in nodes], lambda *a: None)
+        sim.run(until=5.0)
+        assert controller.rounds_started == 1
+        assert controller.rounds_completed == 1

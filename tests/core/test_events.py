@@ -1,0 +1,41 @@
+"""Timeline recorder tests."""
+
+from repro.core.events import Timeline, TimelineKind
+
+
+class TestTimeline:
+    def make(self):
+        tl = Timeline()
+        tl.record(0.0, TimelineKind.JOB_START)
+        tl.record(5.0, TimelineKind.CHECKPOINT_DONE, iteration=10)
+        tl.record(7.0, TimelineKind.HARD_FAULT_INJECTED, replica=1, rank=2)
+        tl.record(9.0, TimelineKind.CHECKPOINT_DONE, iteration=20)
+        tl.record(14.0, TimelineKind.CHECKPOINT_DONE, iteration=30)
+        return tl
+
+    def test_of_kind_filters(self):
+        tl = self.make()
+        assert len(tl.of_kind(TimelineKind.CHECKPOINT_DONE)) == 3
+        assert tl.of_kind(TimelineKind.HARD_FAULT_INJECTED)[0].detail["rank"] == 2
+
+    def test_times_of(self):
+        assert self.make().times_of(TimelineKind.CHECKPOINT_DONE) == [5.0, 9.0, 14.0]
+
+    def test_checkpoint_intervals(self):
+        assert self.make().checkpoint_intervals() == [4.0, 5.0]
+
+    def test_render_ascii_marks(self):
+        art = self.make().render_ascii(width=50, horizon=15.0)
+        assert len(art) == 50
+        assert art.count("|") == 3
+        assert art.count("X") == 1
+
+    def test_render_failures_dominate_collisions(self):
+        tl = Timeline()
+        tl.record(5.0, TimelineKind.CHECKPOINT_DONE)
+        tl.record(5.0, TimelineKind.HARD_FAULT_INJECTED)
+        art = tl.render_ascii(width=10, horizon=10.0)
+        assert "X" in art and "|" not in art
+
+    def test_empty_timeline(self):
+        assert Timeline().render_ascii() == "(empty timeline)"

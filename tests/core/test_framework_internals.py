@@ -1,0 +1,130 @@
+"""White-box framework tests: deferral, watchdog, and phase machinery."""
+
+import pytest
+
+from repro.core import ACR, ACRConfig
+from repro.core.events import TimelineKind
+from repro.faults import FaultEvent, FaultKind, InjectionPlan
+from repro.model import ResilienceScheme
+
+
+def build(plan=None, **overrides):
+    defaults = dict(checkpoint_interval=2.0, total_iterations=200,
+                    tasks_per_node=1, app_scale=1e-4, seed=7, spare_nodes=16)
+    defaults.update(overrides)
+    return ACR("synthetic", nodes_per_replica=4, config=ACRConfig(**defaults),
+               injection_plan=plan or InjectionPlan())
+
+
+class TestCheckpointDeferral:
+    def test_checkpoint_requested_while_busy_is_deferred_not_lost(self):
+        acr = build(total_iterations=2000, checkpoint_interval=2.0)
+        acr.start()
+        acr.sim.run(until=2.01)  # consensus for the first periodic just began
+        assert acr.phase in ("consensus", "checkpointing")
+        acr._begin_checkpoint("extra")
+        assert acr._checkpoint_deferred
+        acr.sim.run(until=6.0)
+        # Both the periodic and the deferred request produced checkpoints.
+        assert acr.report.checkpoints_completed >= 2
+
+    def test_timer_rearmed_after_every_activity(self):
+        acr = build(total_iterations=4000, checkpoint_interval=1.5)
+        report = acr.run(until=20.0)
+        dones = report.timeline.times_of(TimelineKind.CHECKPOINT_DONE)
+        assert len(dones) >= 8
+        gaps = [b - a for a, b in zip(dones, dones[1:])]
+        assert all(1.0 < g < 4.0 for g in gaps)
+
+
+class TestWatchdog:
+    def test_watchdog_rescues_stalled_consensus(self):
+        # Kill a node exactly when the periodic consensus begins: the round
+        # stalls on the dead participant and the machinery must recover it
+        # (via heartbeat detection or the stall watchdog) without hanging.
+        plan = InjectionPlan([
+            FaultEvent(time=2.0, kind=FaultKind.HARD, replica=0, node_id=3),
+        ])
+        acr = build(plan=plan, total_iterations=400)
+        report = acr.run(until=3000.0)
+        assert report.completed and report.result_correct
+        assert report.hard_detected == 1
+
+    def test_watchdog_noop_on_healthy_round(self):
+        acr = build(total_iterations=3000)
+        report = acr.run(until=30.0)
+        # No failures: detection count stays zero despite many rounds.
+        assert report.hard_detected == 0
+        assert acr.consensus.rounds_aborted == 0
+
+
+class TestPhaseAccounting:
+    def test_phase_returns_to_running_after_each_checkpoint(self):
+        acr = build(total_iterations=4000, checkpoint_interval=2.0)
+        acr.start()
+        acr.sim.run(until=3.5)
+        assert acr.phase == "running"
+
+    def test_finalize_without_completion_reports_progress(self):
+        acr = build(total_iterations=None)
+        report = acr.run(until=5.0)
+        assert not report.completed
+        assert report.iterations_completed > 0
+        assert report.final_time == 5.0
+
+    def test_double_run_reuses_state_safely(self):
+        acr = build(total_iterations=100)
+        report = acr.run(until=3000.0)
+        assert report.completed
+        # run() again: already started, simulation drained/stopped.
+        report2 = acr.run(until=3000.0)
+        assert report2.completed
+
+    def test_cannot_start_twice(self):
+        from repro.util.errors import SimulationError
+
+        acr = build()
+        acr.start()
+        with pytest.raises(SimulationError):
+            acr.start()
+
+
+class TestSchemeSpecificInternals:
+    def test_weak_pending_scopes_checkpoint_to_healthy_replica(self):
+        plan = InjectionPlan([
+            FaultEvent(time=1.0, kind=FaultKind.HARD, replica=1, node_id=2),
+        ])
+        acr = build(plan=plan, scheme=ResilienceScheme.WEAK,
+                    checkpoint_interval=5.0, total_iterations=400)
+        acr.start()
+        acr.sim.run(until=4.0)   # failure detected, weak recovery pending
+        assert acr._weak_pending is not None
+        acr.sim.run(until=12.0)  # next periodic checkpoint ships the state
+        assert acr._weak_pending is None
+        starts = acr.timeline.of_kind(TimelineKind.CONSENSUS_START)
+        weak_scope = [e for e in starts if e.detail.get("scope") == 4]
+        assert weak_scope, "the weak-recovery checkpoint spans one replica only"
+
+    def test_medium_installs_healthy_checkpoint_for_both(self):
+        plan = InjectionPlan([
+            FaultEvent(time=1.0, kind=FaultKind.HARD, replica=1, node_id=0),
+        ])
+        acr = build(plan=plan, scheme=ResilienceScheme.MEDIUM,
+                    checkpoint_interval=30.0, total_iterations=500)
+        acr.start()
+        acr.sim.run(until=10.0)
+        it0 = acr.store.safe_iteration(0)
+        it1 = acr.store.safe_iteration(1)
+        assert it0 == it1 and it0 is not None and it0 > 0
+
+    def test_strong_rollback_preserves_healthy_progress(self):
+        plan = InjectionPlan([
+            FaultEvent(time=3.0, kind=FaultKind.HARD, replica=1, node_id=0),
+        ])
+        acr = build(plan=plan, scheme=ResilienceScheme.STRONG,
+                    checkpoint_interval=2.0, total_iterations=2000)
+        acr.start()
+        acr.sim.run(until=7.0)
+        healthy = max(t.progress for t in acr.tasks[0])
+        crashed = max(t.progress for t in acr.tasks[1])
+        assert healthy > crashed  # replica 1 rolled back, replica 0 did not

@@ -1,0 +1,114 @@
+"""Randomized end-to-end stress tests.
+
+Hypothesis drives arbitrary fault schedules (times, kinds, victims) through
+the full ACR stack and checks the global invariant of the strong scheme: the
+job either completes with a bit-correct result, or aborts *only* because the
+spare pool ran dry.  This is the closest thing to the paper's large-scale
+injection campaign that a laptop can run exhaustively.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ACR, ACRConfig
+from repro.faults import FaultEvent, FaultKind, InjectionPlan
+from repro.model import ResilienceScheme
+
+NODES = 3
+HORIZON = 4000.0
+
+
+def fault_events(max_faults=5):
+    event = st.builds(
+        FaultEvent,
+        time=st.floats(min_value=0.5, max_value=25.0),
+        kind=st.sampled_from([FaultKind.HARD, FaultKind.SDC]),
+        replica=st.integers(0, 1),
+        node_id=st.integers(0, NODES - 1),
+    )
+    return st.lists(event, max_size=max_faults)
+
+
+def run_acr(events, scheme="strong", **overrides):
+    defaults = dict(scheme=ResilienceScheme(scheme), checkpoint_interval=2.0,
+                    total_iterations=150, tasks_per_node=1, app_scale=1e-4,
+                    seed=13, spare_nodes=64)
+    defaults.update(overrides)
+    acr = ACR("synthetic", nodes_per_replica=NODES,
+              config=ACRConfig(**defaults), injection_plan=InjectionPlan(events))
+    return acr.run(until=HORIZON, max_events=30_000_000)
+
+
+class TestStrongSchemeInvariant:
+    @given(fault_events())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_fault_schedule_ends_correct_or_out_of_spares(self, events):
+        report = run_acr(events)
+        if report.aborted_reason is not None:
+            assert report.aborted_reason == "spare node pool exhausted"
+        else:
+            assert report.completed, (
+                f"run stalled: {len(events)} faults, "
+                f"phase events remain at t={report.final_time}"
+            )
+            assert report.result_correct
+
+    @given(fault_events(max_faults=3), st.sampled_from(["medium", "weak"]))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_weaker_schemes_always_terminate(self, events, scheme):
+        # Medium/weak may legitimately finish *incorrect* (the §2.3 window),
+        # but they must never hang or crash.
+        report = run_acr(events, scheme=scheme)
+        assert report.completed or report.aborted_reason is not None
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic_replay(self, seed):
+        events = [
+            FaultEvent(time=2.7, kind=FaultKind.HARD, replica=0, node_id=1),
+            FaultEvent(time=5.1, kind=FaultKind.SDC, replica=1, node_id=2),
+        ]
+        a = run_acr(events, seed=seed % 1000)
+        b = run_acr(events, seed=seed % 1000)
+        assert a.final_time == b.final_time
+        assert a.checkpoints_completed == b.checkpoints_completed
+        assert a.recoveries == b.recoveries
+
+
+class TestSimultaneousFaults:
+    def test_same_instant_cross_replica(self):
+        events = [
+            FaultEvent(time=4.0, kind=FaultKind.HARD, replica=0, node_id=0),
+            FaultEvent(time=4.0, kind=FaultKind.HARD, replica=1, node_id=1),
+        ]
+        report = run_acr(events)
+        assert report.completed and report.result_correct
+
+    def test_same_instant_buddy_pair(self):
+        # Both members of a buddy pair die at once - the worst case of §2.3.
+        events = [
+            FaultEvent(time=4.0, kind=FaultKind.HARD, replica=0, node_id=1),
+            FaultEvent(time=4.0, kind=FaultKind.HARD, replica=1, node_id=1),
+        ]
+        report = run_acr(events)
+        assert report.completed and report.result_correct
+
+    def test_sdc_and_hard_same_instant(self):
+        events = [
+            FaultEvent(time=4.0, kind=FaultKind.SDC, replica=0, node_id=0),
+            FaultEvent(time=4.0, kind=FaultKind.HARD, replica=0, node_id=2),
+        ]
+        report = run_acr(events)
+        assert report.completed and report.result_correct
+
+    def test_rapid_fire_same_node_rank_alternating_replicas(self):
+        events = [
+            FaultEvent(time=3.0 + 0.1 * i, kind=FaultKind.HARD,
+                       replica=i % 2, node_id=0)
+            for i in range(4)
+        ]
+        report = run_acr(events)
+        assert report.completed and report.result_correct

@@ -1,0 +1,113 @@
+"""Failure-process tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.distributions import PoissonProcess, TraceProcess, WeibullProcess
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+
+def rng(name="p", seed=0):
+    return RngStream(seed, name)
+
+
+class TestPoissonProcess:
+    def test_mean_rate_matches_mtbf(self):
+        proc = PoissonProcess(mtbf=10.0, rng=rng())
+        times = proc.arrival_times(100_000.0)
+        assert len(times) == pytest.approx(10_000, rel=0.05)
+
+    def test_sorted_and_positive(self):
+        times = PoissonProcess(5.0, rng()).arrival_times(1000.0)
+        assert (np.diff(times) > 0).all()
+        assert times[0] > 0
+
+    def test_constant_hazard(self):
+        proc = PoissonProcess(20.0, rng())
+        assert proc.hazard_rate(1.0) == proc.hazard_rate(1e6) == 0.05
+
+    def test_reproducible(self):
+        a = PoissonProcess(5.0, rng(seed=3)).arrival_times(100.0)
+        b = PoissonProcess(5.0, rng(seed=3)).arrival_times(100.0)
+        assert np.array_equal(a, b)
+
+    def test_invalid_mtbf(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(0.0, rng())
+
+
+class TestWeibullProcess:
+    def test_shape_below_one_has_decreasing_hazard(self):
+        proc = WeibullProcess(shape=0.6, scale=100.0, rng=rng())
+        assert proc.hazard_rate(10.0) > proc.hazard_rate(100.0) > proc.hazard_rate(1000.0)
+
+    def test_shape_above_one_has_increasing_hazard(self):
+        proc = WeibullProcess(shape=2.0, scale=100.0, rng=rng())
+        assert proc.hazard_rate(10.0) < proc.hazard_rate(100.0)
+
+    def test_shape_one_is_poisson(self):
+        proc = WeibullProcess(shape=1.0, scale=50.0, rng=rng())
+        assert proc.hazard_rate(1.0) == pytest.approx(1 / 50.0)
+        assert proc.hazard_rate(1e5) == pytest.approx(1 / 50.0)
+
+    def test_expected_count_calibration(self):
+        # The Fig. 12 construction: ~19 failures in a 30-minute window.
+        counts = []
+        for seed in range(30):
+            proc = WeibullProcess.with_expected_count(
+                0.6, horizon=1800.0, expected_failures=19, rng=rng(seed=seed))
+            counts.append(len(proc.arrival_times(1800.0)))
+        assert np.mean(counts) == pytest.approx(19, rel=0.25)
+
+    def test_decreasing_rate_front_loads_failures(self):
+        # Fig. 12: "more failures are injected at the beginning."
+        front, back = 0, 0
+        for seed in range(20):
+            proc = WeibullProcess.with_expected_count(
+                0.6, horizon=1800.0, expected_failures=19, rng=rng(seed=seed))
+            t = proc.arrival_times(1800.0)
+            front += int((t < 900).sum())
+            back += int((t >= 900).sum())
+        assert front > 1.5 * back
+
+    def test_cumulative_hazard_inversion_is_exact(self):
+        # With unit-exponential increments E, arrivals satisfy (t/λ)^k = ΣE.
+        proc = WeibullProcess(shape=0.5, scale=10.0, rng=rng(seed=1))
+        it = proc.iter_arrivals()
+        t1 = next(it)
+        t2 = next(it)
+        assert t2 > t1 > 0
+
+    @given(st.floats(0.2, 3.0), st.floats(1.0, 1000.0), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_arrivals_increasing(self, shape, scale, seed):
+        proc = WeibullProcess(shape, scale, rng(seed=seed))
+        times = proc.arrival_times(scale * 5)
+        assert (np.diff(times) > 0).all() if len(times) > 1 else True
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            WeibullProcess(0.0, 1.0, rng())
+        with pytest.raises(ConfigurationError):
+            WeibullProcess.with_expected_count(0.6, 0.0, 19, rng())
+
+
+class TestTraceProcess:
+    def test_replays_exact_times(self):
+        proc = TraceProcess([5.0, 1.0, 9.0])
+        assert list(proc.arrival_times(100.0)) == [1.0, 5.0, 9.0]
+
+    def test_horizon_cut(self):
+        proc = TraceProcess([1.0, 5.0, 9.0])
+        assert list(proc.arrival_times(6.0)) == [1.0, 5.0]
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceProcess([-1.0, 2.0])
+
+    def test_empirical_hazard(self):
+        proc = TraceProcess([0.0, 10.0])
+        assert proc.hazard_rate(5.0) == pytest.approx(0.1)

@@ -1,0 +1,110 @@
+"""Fault-schedule tests."""
+
+import pytest
+
+from repro.faults.distributions import PoissonProcess, TraceProcess
+from repro.faults.injector import (
+    FaultEvent,
+    FaultKind,
+    InjectionPlan,
+    draw_plan,
+    poisson_plan,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+
+def rng(seed=0):
+    return RngStream(seed, "inj")
+
+
+class TestFaultEvent:
+    def test_validates_replica(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time=1.0, kind=FaultKind.HARD, replica=2, node_id=0)
+
+    def test_validates_time(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(time=-1.0, kind=FaultKind.SDC, replica=0, node_id=0)
+
+
+class TestInjectionPlan:
+    def test_events_sorted_by_time(self):
+        plan = InjectionPlan([
+            FaultEvent(5.0, FaultKind.HARD, 0, 1),
+            FaultEvent(1.0, FaultKind.SDC, 1, 0),
+        ])
+        assert [e.time for e in plan.events] == [1.0, 5.0]
+
+    def test_within_window(self):
+        plan = InjectionPlan([
+            FaultEvent(t, FaultKind.HARD, 0, 0) for t in (1.0, 2.0, 3.0)
+        ])
+        assert [e.time for e in plan.within(1.5, 3.0)] == [2.0]
+
+    def test_kind_filters(self):
+        plan = InjectionPlan([
+            FaultEvent(1.0, FaultKind.HARD, 0, 0),
+            FaultEvent(2.0, FaultKind.SDC, 0, 0),
+        ])
+        assert len(plan.hard_events()) == 1
+        assert len(plan.sdc_events()) == 1
+
+    def test_merge_keeps_order(self):
+        a = InjectionPlan([FaultEvent(3.0, FaultKind.HARD, 0, 0)])
+        b = InjectionPlan([FaultEvent(1.0, FaultKind.SDC, 1, 0)])
+        merged = a.merged_with(b)
+        assert [e.time for e in merged.events] == [1.0, 3.0]
+
+
+class TestDrawPlan:
+    def test_draws_from_process(self):
+        plan = draw_plan(TraceProcess([1.0, 2.0, 3.0]), kind=FaultKind.HARD,
+                         horizon=10.0, nodes_per_replica=4, rng=rng())
+        assert len(plan.events) == 3
+        assert all(e.kind is FaultKind.HARD for e in plan.events)
+
+    def test_victims_in_range(self):
+        plan = draw_plan(PoissonProcess(1.0, rng(1)), kind=FaultKind.SDC,
+                         horizon=200.0, nodes_per_replica=8, rng=rng(2))
+        assert all(0 <= e.node_id < 8 for e in plan.events)
+        assert all(e.replica in (0, 1) for e in plan.events)
+
+    def test_both_replicas_hit(self):
+        plan = draw_plan(PoissonProcess(1.0, rng(1)), kind=FaultKind.HARD,
+                         horizon=500.0, nodes_per_replica=4, rng=rng(2))
+        replicas = {e.replica for e in plan.events}
+        assert replicas == {0, 1}
+
+    def test_reproducible(self):
+        a = draw_plan(PoissonProcess(5.0, rng(3)), kind=FaultKind.HARD,
+                      horizon=100.0, nodes_per_replica=4, rng=rng(4))
+        b = draw_plan(PoissonProcess(5.0, rng(3)), kind=FaultKind.HARD,
+                      horizon=100.0, nodes_per_replica=4, rng=rng(4))
+        assert [e.time for e in a.events] == [e.time for e in b.events]
+        assert [e.node_id for e in a.events] == [e.node_id for e in b.events]
+
+    def test_invalid_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            draw_plan(TraceProcess([1.0]), kind=FaultKind.HARD, horizon=10.0,
+                      nodes_per_replica=0, rng=rng())
+
+
+class TestPoissonPlan:
+    def test_combines_hard_and_sdc(self):
+        plan = poisson_plan(hard_mtbf=10.0, sdc_mtbf=20.0, horizon=500.0,
+                            nodes_per_replica=4, rng=rng(5))
+        assert plan.hard_events() and plan.sdc_events()
+        times = [e.time for e in plan.events]
+        assert times == sorted(times)
+
+    def test_none_means_no_faults_of_that_kind(self):
+        plan = poisson_plan(hard_mtbf=None, sdc_mtbf=10.0, horizon=100.0,
+                            nodes_per_replica=4, rng=rng(6))
+        assert not plan.hard_events()
+        assert plan.sdc_events()
+
+    def test_infinite_mtbf_means_none(self):
+        plan = poisson_plan(hard_mtbf=float("inf"), sdc_mtbf=None, horizon=100.0,
+                            nodes_per_replica=4, rng=rng(7))
+        assert not plan.events

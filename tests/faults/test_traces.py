@@ -1,0 +1,122 @@
+"""Failure-trace ingestion/synthesis tests."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultKind
+from repro.faults.traces import (
+    TraceRecord,
+    fit_interarrivals,
+    load_trace,
+    parse_trace_csv,
+    save_trace,
+    synthesize_lanl_like_trace,
+    trace_to_plan,
+    trace_to_process,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestParsing:
+    def test_minimal_time_only(self):
+        records = parse_trace_csv("5.0\n1.0\n9.5\n")
+        assert [r.time for r in records] == [1.0, 5.0, 9.5]
+        assert all(r.kind is FaultKind.HARD for r in records)
+
+    def test_full_columns_and_header(self):
+        text = "time_seconds,node,kind\n10.0,3,hard\n20.0,7,sdc\n"
+        records = parse_trace_csv(text)
+        assert records[0].node == 3
+        assert records[1].kind is FaultKind.SDC
+
+    def test_comments_and_blank_lines_skipped(self):
+        records = parse_trace_csv("# a log\n\n1.0\n# mid comment\n2.0\n")
+        assert len(records) == 2
+
+    def test_bad_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_trace_csv("1.0\nnot-a-number\n")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_trace_csv("-3.0\n")
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        records = [TraceRecord(5.0, 2, FaultKind.SDC),
+                   TraceRecord(1.0, 0, FaultKind.HARD)]
+        path = tmp_path / "failures.csv"
+        save_trace(records, path)
+        loaded = load_trace(path)
+        assert [r.time for r in loaded] == [1.0, 5.0]
+        assert loaded[1].kind is FaultKind.SDC
+
+    def test_trace_to_process(self):
+        records = [TraceRecord(t) for t in (3.0, 1.0, 2.0)]
+        proc = trace_to_process(records)
+        assert list(proc.arrival_times(10.0)) == [1.0, 2.0, 3.0]
+
+    def test_trace_to_plan_folds_nodes(self):
+        records = [TraceRecord(1.0, node=0), TraceRecord(2.0, node=5),
+                   TraceRecord(3.0, node=9)]
+        plan = trace_to_plan(records, nodes_per_replica=4)
+        assert [(e.replica, e.node_id) for e in plan.events] == [
+            (0, 0), (1, 1), (0, 1)]
+
+    def test_plan_drives_acr(self):
+        from repro.harness.experiment import run_acr_experiment
+
+        records = synthesize_lanl_like_trace(horizon=20.0, expected_failures=2,
+                                             nodes=8, seed=1)
+        plan = trace_to_plan(records, nodes_per_replica=4)
+        result = run_acr_experiment("synthetic", nodes_per_replica=4,
+                                    total_iterations=150,
+                                    checkpoint_interval=3.0,
+                                    injection_plan=plan, seed=5)
+        assert result.report.completed
+
+
+class TestSynthesis:
+    def test_expected_count(self):
+        counts = [len(synthesize_lanl_like_trace(
+            horizon=1000.0, expected_failures=20, seed=s)) for s in range(20)]
+        assert np.mean(counts) == pytest.approx(20, rel=0.3)
+
+    def test_nodes_in_range(self):
+        records = synthesize_lanl_like_trace(horizon=1000.0,
+                                             expected_failures=30,
+                                             nodes=16, seed=2)
+        assert all(0 <= r.node < 16 for r in records)
+
+    def test_decreasing_hazard_front_loads(self):
+        front = back = 0
+        for seed in range(10):
+            records = synthesize_lanl_like_trace(
+                horizon=1000.0, expected_failures=30, shape=0.5, seed=seed)
+            front += sum(1 for r in records if r.time < 500)
+            back += sum(1 for r in records if r.time >= 500)
+        assert front > 1.5 * back
+
+
+class TestFitting:
+    def test_recovers_weibull_shape(self):
+        records = synthesize_lanl_like_trace(horizon=50_000.0,
+                                             expected_failures=400,
+                                             shape=0.6, seed=3)
+        fit = fit_interarrivals([r.time for r in records])
+        # Interarrivals of a shape-0.6 power-law process are heavy-tailed;
+        # the fitted Weibull shape lands well below 1.
+        assert fit.weibull_shape < 0.95
+        assert fit.prefers_weibull
+
+    def test_exponential_stream_prefers_exponential(self):
+        rng = np.random.default_rng(0)
+        times = np.cumsum(rng.exponential(10.0, size=400))
+        fit = fit_interarrivals(times)
+        assert 0.85 < fit.weibull_shape < 1.2
+        assert not fit.prefers_weibull or abs(fit.weibull_shape - 1) < 0.2
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_interarrivals([1.0, 2.0])

@@ -1,0 +1,63 @@
+"""Campaign (multi-seed) runner tests."""
+
+import pytest
+
+from repro.core.framework import RunReport
+from repro.harness.campaign import run_campaign, summarize
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s.runs == 0
+        assert s.completion_rate == 0.0
+
+    def test_aggregation(self):
+        a = RunReport(final_time=10.0, completed=True, result_correct=True,
+                      checkpoint_time=1.0, checkpoints_completed=3,
+                      hard_detected=1, recoveries={"strong": 1})
+        b = RunReport(final_time=20.0, completed=True, result_correct=False,
+                      checkpoint_time=4.0, checkpoints_completed=5,
+                      sdc_detected=2, recoveries={"sdc": 2})
+        c = RunReport(final_time=5.0, completed=False,
+                      aborted_reason="spare node pool exhausted")
+        s = summarize([a, b, c])
+        assert s.runs == 3
+        assert s.completed_runs == 2
+        assert s.correct_runs == 1
+        assert s.aborted_runs == 1
+        assert s.completion_rate == pytest.approx(2 / 3)
+        assert s.correctness_rate == pytest.approx(0.5)
+        assert s.total_recoveries == {"strong": 1, "sdc": 2}
+        assert s.total_hard_faults == 1
+        assert s.total_sdc == 2
+        assert s.mean_overhead == pytest.approx((0.1 + 0.2) / 2)
+
+
+class TestRunCampaign:
+    def test_failure_free_campaign_all_correct(self):
+        result = run_campaign("synthetic", seeds=range(3),
+                              nodes_per_replica=2, total_iterations=60,
+                              checkpoint_interval=2.0)
+        assert result.summary.runs == 3
+        assert result.summary.completion_rate == 1.0
+        assert result.summary.correctness_rate == 1.0
+
+    def test_seeds_produce_different_fault_draws(self):
+        result = run_campaign("synthetic", seeds=range(4),
+                              nodes_per_replica=2, total_iterations=120,
+                              checkpoint_interval=2.0, hard_mtbf=10.0,
+                              horizon=2000.0)
+        counts = {r.hard_injected for r in result.reports}
+        # Independent Poisson draws across seeds: not all identical.
+        assert len(counts) > 1
+
+    def test_strong_scheme_campaign_survives_faults_correctly(self):
+        result = run_campaign("jacobi3d-charm", seeds=range(4),
+                              nodes_per_replica=4, scheme="strong",
+                              total_iterations=200, checkpoint_interval=3.0,
+                              hard_mtbf=12.0, sdc_mtbf=20.0, horizon=4000.0,
+                              spare_nodes=64)
+        assert result.summary.completion_rate == 1.0
+        assert result.summary.correctness_rate == 1.0
+        assert result.summary.total_hard_faults + result.summary.total_sdc > 0

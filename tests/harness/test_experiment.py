@@ -1,0 +1,84 @@
+"""Experiment-helper tests."""
+
+import pytest
+
+from repro.harness.experiment import forward_path_overhead, run_acr_experiment
+from repro.harness.report import format_table
+
+
+class TestRunExperiment:
+    def test_failure_free_completes(self):
+        result = run_acr_experiment("jacobi3d-charm", nodes_per_replica=2,
+                                    total_iterations=60, seed=1)
+        assert result.ok
+        assert result.report.result_correct
+
+    def test_poisson_faults_injected_and_survived(self):
+        result = run_acr_experiment(
+            "jacobi3d-charm", nodes_per_replica=4, scheme="medium",
+            total_iterations=250, checkpoint_interval=3.0,
+            hard_mtbf=8.0, sdc_mtbf=12.0, horizon=4000.0, seed=2,
+        )
+        rep = result.report
+        assert rep.hard_injected + rep.sdc_injected > 0
+        assert rep.completed
+        assert rep.aborted_reason is None
+
+    def test_scheme_accepts_strings(self):
+        result = run_acr_experiment("synthetic", nodes_per_replica=2,
+                                    scheme="weak", mapping="column",
+                                    total_iterations=50, seed=3)
+        assert result.ok
+
+
+class TestForwardPathOverhead:
+    def test_overhead_positive_and_small(self):
+        frac, report = forward_path_overhead("jacobi3d-charm",
+                                             nodes_per_replica=2,
+                                             checkpoints=3,
+                                             checkpoint_interval=5.0)
+        assert report.checkpoints_completed >= 2
+        assert 0 < frac < 0.25
+
+    def test_checksum_changes_measured_overhead(self):
+        a, _ = forward_path_overhead("jacobi3d-charm", nodes_per_replica=2,
+                                     checkpoints=3, use_checksum=False)
+        b, _ = forward_path_overhead("jacobi3d-charm", nodes_per_replica=2,
+                                     checkpoints=3, use_checksum=True)
+        assert a != b
+
+
+class TestReportTable:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.5], ["b", 123456.789]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_small_and_large_floats_scientific(self):
+        text = format_table(["v"], [[1e-9], [1e9]])
+        assert "e-09" in text and "e+09" in text
+
+
+class TestModelVsSimulatorCrossValidation:
+    def test_measured_forward_overhead_matches_cost_model(self):
+        """The DES charges exactly the cost model's per-checkpoint time, so
+        the measured failure-free overhead fraction must track
+        breakdown.total / (interval + breakdown.total)."""
+        from repro.core import ACR, ACRConfig
+        from repro.network.costs import CostModel
+
+        interval = 5.0
+        acr = ACR("jacobi3d-charm", nodes_per_replica=2,
+                  config=ACRConfig(checkpoint_interval=interval,
+                                   app_scale=1e-4, seed=0))
+        breakdown = CostModel().checkpoint_breakdown(acr.profile, acr.mapping)
+        predicted = breakdown.total / (interval + breakdown.total)
+        measured, report = forward_path_overhead(
+            "jacobi3d-charm", nodes_per_replica=2, checkpoints=6,
+            checkpoint_interval=interval)
+        assert report.checkpoints_completed >= 4
+        assert measured == pytest.approx(predicted, rel=0.25)

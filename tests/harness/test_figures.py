@@ -1,0 +1,196 @@
+"""Figure data-generator tests: the paper's qualitative claims per figure."""
+
+import pytest
+
+from repro.harness.figures import (
+    fig6_data,
+    fig8_data,
+    fig9_fig11_data,
+    fig10_data,
+    fig12_data,
+)
+
+
+class TestFig6:
+    def test_paper_link_counts_on_512_nodes(self):
+        rows = {r.mapping: r for r in fig6_data((8, 8, 8))}
+        # The paper's Fig. 6 tags: default up to 4 messages per link,
+        # column exactly 1, mixed up to 2.
+        assert rows["default"].max_link_load == 4
+        assert rows["column"].max_link_load == 1
+        assert rows["mixed"].max_link_load == 2
+
+    def test_hop_counts(self):
+        rows = {r.mapping: r for r in fig6_data((8, 8, 8))}
+        assert rows["default"].buddy_hops_max == 4
+        assert rows["column"].buddy_hops_max == 1
+        assert rows["mixed"].buddy_hops_max == 2
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig8_data(apps=("jacobi3d-charm", "leanmd"),
+                         cores_axis=(1024, 4096, 65536))
+
+    def pick(self, rows, app, cores, method):
+        for r in rows:
+            if (r.app, r.cores_per_replica, r.method) == (app, cores, method):
+                return r
+        raise KeyError((app, cores, method))
+
+    def test_default_mapping_fourfold_growth(self, rows):
+        # "we observe a four-fold increase in the overheads (e.g., from 0.6s
+        # to 2s in the case of Jacobi3D)" between 1K and 64K cores/replica.
+        t1 = self.pick(rows, "jacobi3d-charm", 1024, "default").total
+        t64 = self.pick(rows, "jacobi3d-charm", 65536, "default").total
+        assert 2.0 < t64 / t1 < 5.0
+        assert 0.3 < t1 < 1.2      # ~0.6 s in the paper
+        assert 1.2 < t64 < 3.0     # ~2 s in the paper
+
+    def test_growth_happens_between_1k_and_4k(self, rows):
+        # "linear increase of the overheads from 1K to 4K cores and its
+        # constancy beyond 4K cores" (the Z dimension saturates at 32).
+        t1 = self.pick(rows, "jacobi3d-charm", 1024, "default").total
+        t4 = self.pick(rows, "jacobi3d-charm", 4096, "default").total
+        t64 = self.pick(rows, "jacobi3d-charm", 65536, "default").total
+        assert t4 > 1.5 * t1
+        assert t64 == pytest.approx(t4, rel=0.1)
+
+    def test_optimized_mappings_constant(self, rows):
+        for method in ("column", "mixed", "checksum"):
+            t1 = self.pick(rows, "jacobi3d-charm", 1024, method).total
+            t64 = self.pick(rows, "jacobi3d-charm", 65536, method).total
+            assert t64 == pytest.approx(t1, rel=0.1), method
+
+    def test_transfer_dominates_growth(self, rows):
+        r1 = self.pick(rows, "jacobi3d-charm", 1024, "default")
+        r64 = self.pick(rows, "jacobi3d-charm", 65536, "default")
+        assert r64.transfer > r1.transfer * 2
+        assert r64.local == pytest.approx(r1.local)
+        assert r64.compare == pytest.approx(r1.compare)
+
+    def test_checksum_compute_bound(self, rows):
+        r = self.pick(rows, "jacobi3d-charm", 65536, "checksum")
+        assert r.compare > r.transfer * 10
+
+    def test_md_apps_small_absolute_times(self, rows):
+        # Fig. 8c: LeanMD checkpoints in the 10-100 ms range.
+        r = self.pick(rows, "leanmd", 65536, "default")
+        assert r.total < 0.2
+
+    def test_md_checksum_outperforms(self, rows):
+        # §6.2: "the checksum method outperforms other schemes" for MD apps.
+        totals = {m: self.pick(rows, "leanmd", 65536, m).total
+                  for m in ("default", "column", "mixed", "checksum")}
+        assert totals["checksum"] == min(totals.values())
+
+
+class TestFig9Fig11:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig9_fig11_data(apps=("jacobi3d-charm", "leanmd"),
+                               sockets_axis=(1024, 16384))
+
+    def pick(self, rows, **kw):
+        out = [r for r in rows if all(getattr(r, k) == v for k, v in kw.items())]
+        assert out, kw
+        return out
+
+    def test_paper_optimal_intervals_at_16k(self, rows):
+        # "The optimal checkpoint interval for Jacobi3d and LeanMD is 133s
+        # and 24s on 16K cores with default mapping" (§6.2).
+        jac = self.pick(rows, app="jacobi3d-charm", sockets_per_replica=16384,
+                        scheme="strong", variant="default")[0]
+        lean = self.pick(rows, app="leanmd", sockets_per_replica=16384,
+                         scheme="strong", variant="default")[0]
+        assert jac.tau_opt == pytest.approx(133.0, rel=0.25)
+        assert lean.tau_opt == pytest.approx(24.0, rel=0.45)
+
+    def test_strong_overhead_highest(self, rows):
+        # §6.2: strong checkpoints more often -> slightly higher overhead.
+        for app in ("jacobi3d-charm", "leanmd"):
+            sel = {r.scheme: r.checkpoint_overhead_pct
+                   for r in self.pick(rows, app=app, sockets_per_replica=16384,
+                                      variant="default")}
+            assert sel["strong"] >= sel["medium"]
+            assert sel["strong"] >= sel["weak"]
+
+    def test_optimizations_halve_overhead(self, rows):
+        # §6.2: "Use of either checksum or topology mapping optimization can
+        # bring ... down the low checkpointing overhead ... by 50%."
+        base = self.pick(rows, app="jacobi3d-charm", sockets_per_replica=16384,
+                         scheme="weak", variant="default")[0]
+        col = self.pick(rows, app="jacobi3d-charm", sockets_per_replica=16384,
+                        scheme="weak", variant="column")[0]
+        assert col.checkpoint_overhead_pct < 0.7 * base.checkpoint_overhead_pct
+
+    def test_fig11_overall_under_3pct_jacobi(self, rows):
+        # §6.3: "the overhead of strong resilience is less than 3% for
+        # Jacobi3D and around 0.45% for LeanMD."
+        jac = self.pick(rows, app="jacobi3d-charm", sockets_per_replica=16384,
+                        scheme="strong", variant="default")[0]
+        lean = self.pick(rows, app="leanmd", sockets_per_replica=16384,
+                         scheme="strong", variant="default")[0]
+        assert jac.overall_overhead_pct < 3.0
+        assert lean.overall_overhead_pct < 1.0
+
+    def test_fig11_strong_worst_overall(self, rows):
+        # §6.3: strong loses overall despite its fast restarts.
+        sel = {r.scheme: r.overall_overhead_pct
+               for r in self.pick(rows, app="jacobi3d-charm",
+                                  sockets_per_replica=16384, variant="default")}
+        assert sel["strong"] > sel["medium"]
+        assert sel["strong"] > sel["weak"]
+
+    def test_overhead_grows_with_scale(self, rows):
+        small = self.pick(rows, app="jacobi3d-charm", sockets_per_replica=1024,
+                          scheme="strong", variant="default")[0]
+        large = self.pick(rows, app="jacobi3d-charm", sockets_per_replica=16384,
+                          scheme="strong", variant="default")[0]
+        assert large.overall_overhead_pct > small.overall_overhead_pct
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig10_data(apps=("jacobi3d-charm", "leanmd"),
+                          cores_axis=(1024, 65536))
+
+    def pick(self, rows, app, cores, variant):
+        for r in rows:
+            if (r.app, r.cores_per_replica, r.variant) == (app, cores, variant):
+                return r
+        raise KeyError((app, cores, variant))
+
+    def test_strong_least_restart_overhead(self, rows):
+        for cores in (1024, 65536):
+            strong = self.pick(rows, "jacobi3d-charm", cores, "strong").total
+            medium = self.pick(rows, "jacobi3d-charm", cores,
+                               "medium (default)").total
+            assert strong < medium
+
+    def test_paper_2s_to_041s_claim(self, rows):
+        # §6.3: "bring down the recovery overhead from 2s to 0.41s in the
+        # case of Jacobi3D for the medium resilience schemes."
+        default = self.pick(rows, "jacobi3d-charm", 65536, "medium (default)").total
+        column = self.pick(rows, "jacobi3d-charm", 65536, "medium (column)").total
+        assert default == pytest.approx(2.0, rel=0.35)
+        assert column == pytest.approx(0.41, rel=0.6)
+        assert default / column > 3.0
+
+    def test_leanmd_restart_sync_dominated(self, rows):
+        r = self.pick(rows, "leanmd", 65536, "medium (column)")
+        assert r.reconstruction > r.transfer
+
+
+class TestFig12:
+    def test_adaptive_interval_grows_with_decreasing_failure_rate(self):
+        result = fig12_data(nodes_per_replica=4, horizon=600.0, failures=12,
+                            seed=5, initial_interval=4.0)
+        report = result.report
+        assert report.hard_detected > 0
+        assert report.checkpoints_completed > 5
+        # The Fig. 12 signature: later checkpoint gaps longer than early ones.
+        assert result.late_mean_interval > result.early_mean_interval
+        assert "X" in result.ascii_timeline and "|" in result.ascii_timeline

@@ -1,0 +1,121 @@
+"""Tests of the design-alternative models: TMR and disk checkpoint/restart."""
+
+import math
+
+import pytest
+
+from repro.model.alternatives import (
+    dual_vs_tmr_utilization,
+    sdc_crossover_fit,
+    solve_disk_checkpoint_restart,
+    solve_tmr,
+)
+from repro.model.params import ModelParams
+from repro.util.errors import ConfigurationError
+from repro.util.units import HOURS, MiB
+
+
+def params(**kw):
+    base = dict(work=24 * HOURS, delta=15.0, sockets_per_replica=65536,
+                sdc_fit_socket=100.0)
+    base.update(kw)
+    return ModelParams(**base)
+
+
+class TestTMR:
+    def test_utilization_capped_at_one_third(self):
+        sol = solve_tmr(params())
+        assert 0 < sol.utilization <= 1.0 / 3.0
+
+    def test_sdc_rate_does_not_change_tmr_utilization(self):
+        # Voting corrects single corruptions in place: no rollback term.
+        a = solve_tmr(params(sdc_fit_socket=10.0))
+        b = solve_tmr(params(sdc_fit_socket=1e5))
+        assert a.utilization == pytest.approx(b.utilization)
+
+    def test_vulnerability_small_but_nonzero(self):
+        # Two corrupted replicas in one vote window outvote the healthy one;
+        # at the paper's nominal 100 FIT that is a sub-0.1% event per run.
+        sol = solve_tmr(params(sdc_fit_socket=100.0))
+        assert 0 < sol.vulnerability < 0.01
+
+    def test_vulnerability_grows_with_sdc_rate(self):
+        lo = solve_tmr(params(sdc_fit_socket=100.0)).vulnerability
+        hi = solve_tmr(params(sdc_fit_socket=1e5)).vulnerability
+        assert hi > lo
+
+    def test_dual_wins_at_paper_sdc_rates(self):
+        # §3.4: dual redundancy chosen "assuming ... relatively small number
+        # of SDCs" - at 100 FIT the rollback cost is far below the 33% tax.
+        dual, tmr = dual_vs_tmr_utilization(params(sdc_fit_socket=100.0))
+        assert dual > tmr + 0.1
+
+    def test_tmr_wins_when_sdc_dominates(self):
+        dual, tmr = dual_vs_tmr_utilization(params(sdc_fit_socket=3e5))
+        assert tmr > dual
+
+    def test_crossover_bracketed(self):
+        fit = sdc_crossover_fit(params())
+        assert fit is not None
+        assert 1e3 < fit < 1e6
+        # On each side of the crossover the winner flips.
+        dual_lo, tmr_lo = dual_vs_tmr_utilization(
+            params(sdc_fit_socket=fit / 4))
+        dual_hi, tmr_hi = dual_vs_tmr_utilization(
+            params(sdc_fit_socket=fit * 4))
+        assert dual_lo > tmr_lo
+        assert tmr_hi > dual_hi
+
+    def test_no_crossover_when_reliable(self):
+        # With a tiny upper bracket the search reports no crossover.
+        assert sdc_crossover_fit(params(), lo=1.0, hi=10.0) is None
+
+
+class TestDiskCheckpointRestart:
+    def kw(self):
+        return dict(bytes_per_socket=16 * MiB * 4, pfs_bandwidth=50e9)
+
+    def test_delta_grows_linearly_with_sockets(self):
+        small = solve_disk_checkpoint_restart(
+            params(sockets_per_replica=1024), **self.kw())
+        large = solve_disk_checkpoint_restart(
+            params(sockets_per_replica=262144), **self.kw())
+        assert large.delta_disk == pytest.approx(256 * small.delta_disk)
+
+    def test_utilization_erodes_at_scale(self):
+        utils = [
+            solve_disk_checkpoint_restart(
+                params(sockets_per_replica=s), **self.kw()).utilization
+            for s in (1024, 16384, 262144)
+        ]
+        assert utils == sorted(utils, reverse=True)
+        assert utils[0] > 0.99
+        assert utils[-1] < 0.8
+
+    def test_vulnerability_unprotected(self):
+        sol = solve_disk_checkpoint_restart(
+            params(sockets_per_replica=262144, sdc_fit_socket=1e4), **self.kw())
+        assert sol.vulnerability > 0.9
+
+    def test_acr_overtakes_disk_cr_at_scale(self):
+        # The crossover the paper's introduction motivates: at large scale
+        # and realistic PFS bandwidth, paying 50% for replication beats
+        # paying serial disk-checkpoint time (a slow PFS moves it earlier).
+        from repro.model.schemes import ResilienceScheme, best_solution
+
+        p = params(sockets_per_replica=262144)
+        disk = solve_disk_checkpoint_restart(
+            p, bytes_per_socket=16 * MiB * 4, pfs_bandwidth=5e9)
+        acr = best_solution(p, ResilienceScheme.STRONG)
+        assert acr.utilization > disk.utilization
+
+    def test_unstable_regime_handled(self):
+        sol = solve_disk_checkpoint_restart(
+            params(sockets_per_replica=1048576, hard_mtbf_socket=1e7),
+            bytes_per_socket=64 * MiB, pfs_bandwidth=1e9)
+        assert sol.utilization == 0.0 or math.isfinite(sol.total_time)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            solve_disk_checkpoint_restart(params(), bytes_per_socket=0,
+                                          pfs_bandwidth=1e9)

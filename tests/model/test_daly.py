@@ -1,0 +1,54 @@
+"""Optimum-checkpoint-period estimator tests."""
+
+import math
+
+import pytest
+
+from repro.model.daly import daly_tau, young_tau
+from repro.util.errors import ConfigurationError
+
+
+class TestYoung:
+    def test_sqrt_formula(self):
+        assert young_tau(10.0, 2000.0) == pytest.approx(math.sqrt(2 * 10 * 2000))
+
+    def test_infinite_mtbf(self):
+        assert young_tau(10.0, math.inf) == math.inf
+
+
+class TestDaly:
+    def test_close_to_young_when_delta_small(self):
+        # The higher-order correction vanishes for delta << M.
+        assert daly_tau(1.0, 1e9) == pytest.approx(young_tau(1.0, 1e9), rel=1e-3)
+
+    def test_larger_than_young_minus_delta_generally(self):
+        tau = daly_tau(100.0, 10_000.0)
+        assert tau > 0
+        assert tau < 10_000.0
+
+    def test_degenerate_delta_ge_2m(self):
+        assert daly_tau(100.0, 40.0) == 40.0
+
+    def test_monotone_in_mtbf(self):
+        taus = [daly_tau(10.0, m) for m in (1e2, 1e3, 1e4, 1e5)]
+        assert taus == sorted(taus)
+
+    def test_monotone_in_delta(self):
+        taus = [daly_tau(d, 1e5) for d in (1.0, 10.0, 100.0)]
+        assert taus == sorted(taus)
+
+    def test_always_positive(self):
+        assert daly_tau(1e-9, 1e-3) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            daly_tau(-1.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            daly_tau(1.0, 0.0)
+
+    def test_paper_fig9_jacobi_scale(self):
+        # §6.2: optimal interval ~133 s for Jacobi3D (delta ~1.8 s) at 16K
+        # sockets/replica with M_H = 50 y/socket and 10,000 FIT/socket.
+        # The combined failure rate gives an effective MTBF near 5,000 s.
+        tau = daly_tau(1.8, 5000.0)
+        assert 100 < tau < 180

@@ -1,0 +1,70 @@
+"""Model-parameter derivation tests (Table 1 semantics)."""
+
+import pytest
+
+from repro.model.params import ModelParams, paper_fig7_params
+from repro.util.errors import ConfigurationError
+from repro.util.units import HOURS, YEARS
+
+
+def params(**kw):
+    base = dict(work=24 * HOURS, delta=15.0, sockets_per_replica=1024)
+    base.update(kw)
+    return ModelParams(**base)
+
+
+class TestDerivedRates:
+    def test_total_sockets_doubles_under_replication(self):
+        p = params()
+        assert p.total_sockets == 2048
+        assert p.with_overrides(replicated=False).total_sockets == 1024
+
+    def test_hard_mtbf_scales_with_sockets(self):
+        p = params()
+        assert p.hard_mtbf_system == pytest.approx(50 * YEARS / 2048)
+
+    def test_sdc_mtbf_system_counts_both_replicas(self):
+        # Any detected corruption rolls both replicas back.
+        p = params(sdc_fit_socket=100.0)
+        per_socket = 1e9 * HOURS / 100.0
+        assert p.sdc_mtbf_system == pytest.approx(per_socket / 2048)
+
+    def test_sdc_mtbf_replica_counts_one_replica(self):
+        # Undetected corruption only matters in the surviving image.
+        p = params(sdc_fit_socket=100.0)
+        assert p.sdc_mtbf_replica == pytest.approx(2 * p.sdc_mtbf_system)
+
+    def test_zero_fit_gives_infinite_sdc_mtbf(self):
+        p = params(sdc_fit_socket=0.0)
+        assert p.sdc_mtbf_system == float("inf")
+
+    def test_fig7_preset(self):
+        p = paper_fig7_params(65536, delta=180.0)
+        assert p.sockets_per_replica == 65536
+        assert p.delta == 180.0
+        assert p.work == 24 * HOURS
+        assert p.hard_mtbf_socket == 50 * YEARS
+        assert p.sdc_fit_socket == 100.0
+
+
+class TestValidation:
+    def test_rejects_bad_work(self):
+        with pytest.raises(ConfigurationError):
+            params(work=0.0)
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ConfigurationError):
+            params(delta=-1.0)
+
+    def test_rejects_bad_sockets(self):
+        with pytest.raises(ConfigurationError):
+            params(sockets_per_replica=0)
+
+    def test_rejects_negative_fit(self):
+        with pytest.raises(ConfigurationError):
+            params(sdc_fit_socket=-5.0)
+
+    def test_with_overrides_returns_new_object(self):
+        p = params()
+        q = p.with_overrides(delta=99.0)
+        assert p.delta == 15.0 and q.delta == 99.0

@@ -1,0 +1,118 @@
+"""Property-based tests of the Section-5 model.
+
+Hypothesis sweeps the parameter space and checks structural invariants the
+closed-form solutions must satisfy regardless of the specific numbers.
+"""
+
+import math
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.params import ModelParams
+from repro.model.schemes import (
+    ResilienceScheme,
+    optimal_tau,
+    prob_multi_failure,
+    solve_scheme,
+)
+from repro.model.vulnerability import undetected_sdc_probability
+from repro.util.units import HOURS, YEARS
+
+params_strategy = st.builds(
+    ModelParams,
+    work=st.floats(min_value=1 * HOURS, max_value=200 * HOURS),
+    delta=st.floats(min_value=1.0, max_value=300.0),
+    sockets_per_replica=st.integers(min_value=64, max_value=1 << 19),
+    hard_mtbf_socket=st.floats(min_value=5 * YEARS, max_value=500 * YEARS),
+    sdc_fit_socket=st.floats(min_value=0.0, max_value=20_000.0),
+)
+
+tau_strategy = st.floats(min_value=10.0, max_value=50_000.0)
+
+
+class TestModelInvariants:
+    @given(params_strategy, tau_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_total_time_at_least_work(self, params, tau):
+        for scheme in ResilienceScheme:
+            total = solve_scheme(params, scheme, tau).total_time
+            assert total >= params.work or math.isinf(total)
+
+    @given(params_strategy, tau_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_weak_never_slower_than_strong(self, params, tau):
+        # At equal tau, weak's rework term is strong's scaled by P <= 1.
+        ts = solve_scheme(params, "strong", tau).total_time
+        tw = solve_scheme(params, "weak", tau).total_time
+        if math.isfinite(ts):
+            assert tw <= ts * (1 + 1e-9)
+
+    @given(params_strategy, tau_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_components_non_negative_and_consistent(self, params, tau):
+        for scheme in ResilienceScheme:
+            sol = solve_scheme(params, scheme, tau)
+            if not math.isfinite(sol.total_time):
+                continue
+            assert sol.checkpoint_time >= 0
+            assert sol.restart_time >= 0
+            assert sol.rework_time >= 0
+            assert 0 < sol.utilization <= 0.5
+
+    @given(params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_tau_is_locally_optimal(self, params):
+        for scheme in ResilienceScheme:
+            tau = optimal_tau(params, scheme)
+            best = solve_scheme(params, scheme, tau).total_time
+            if not math.isfinite(best):
+                continue
+            for factor in (0.5, 2.0):
+                other = solve_scheme(params, scheme, tau * factor).total_time
+                # The objective can be extremely flat near the optimum, so
+                # allow the bounded search's relative tolerance.
+                assert best <= other * (1 + 1e-4)
+
+    @given(params_strategy, tau_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_probability_bounds(self, params, tau):
+        p = prob_multi_failure(params, tau)
+        assert 0.0 <= p <= 1.0
+        for scheme in ResilienceScheme:
+            v = undetected_sdc_probability(params, scheme, tau)
+            assert 0.0 <= v <= 1.0
+
+    @given(params_strategy, tau_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_vulnerability_exposure_halving(self, params, tau):
+        strong = undetected_sdc_probability(params, "strong", tau)
+        medium = undetected_sdc_probability(params, "medium", tau)
+        weak = undetected_sdc_probability(params, "weak", tau)
+        assert strong == 0.0
+        assert 0.0 <= medium <= 1.0 and 0.0 <= weak <= 1.0
+        # The exact §5 invariant is per unit time: medium's unprotected
+        # window is half of weak's, so the hazard of an undetected SDC
+        # (exposure per second of runtime) is exactly halved.  The per-run
+        # probabilities additionally depend on each scheme's total time, so
+        # they are only ordered away from saturation.
+        t_m = solve_scheme(params, "medium", tau).total_time
+        t_w = solve_scheme(params, "weak", tau).total_time
+        if (math.isfinite(t_m) and math.isfinite(t_w)
+                and 1e-12 < weak < 1.0 - 1e-12 and medium < 1.0 - 1e-12):
+            rate_m = -math.log1p(-medium) / t_m
+            rate_w = -math.log1p(-weak) / t_w
+            assert rate_m == pytest.approx(rate_w / 2, rel=1e-6)
+
+    @given(params_strategy, tau_strategy,
+           st.floats(min_value=1.1, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_total_time_monotone_in_work(self, params, tau, factor):
+        for scheme in ResilienceScheme:
+            t1 = solve_scheme(params, scheme, tau).total_time
+            t2 = solve_scheme(params.with_overrides(work=params.work * factor),
+                              scheme, tau).total_time
+            if math.isfinite(t1) and math.isfinite(t2):
+                assert t2 > t1

@@ -1,0 +1,148 @@
+"""Tests of the T_S / T_M / T_W equations and their optimization (§5)."""
+
+import math
+
+import pytest
+
+from repro.model.params import ModelParams
+from repro.model.schemes import (
+    ResilienceScheme,
+    best_solution,
+    compare_schemes,
+    optimal_tau,
+    prob_multi_failure,
+    solve_scheme,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.units import HOURS, YEARS
+
+
+def params(**kw):
+    base = dict(work=24 * HOURS, delta=15.0, sockets_per_replica=16384,
+                sdc_fit_socket=100.0)
+    base.update(kw)
+    return ModelParams(**base)
+
+
+class TestProbMultiFailure:
+    def test_vanishes_as_window_shrinks(self):
+        # P = 1 - e^-x (1 + x) ~ x^2/2 as x -> 0 with x = (tau+delta)/M_H.
+        p = params(delta=0.0)
+        x = 1e-3 / p.hard_mtbf_system
+        assert prob_multi_failure(p, 1e-3) == pytest.approx(x * x / 2, rel=1e-3)
+
+    def test_monotone_in_tau(self):
+        p = params()
+        values = [prob_multi_failure(p, t) for t in (10, 100, 1000, 10_000)]
+        assert values == sorted(values)
+
+    def test_bounded_by_one(self):
+        p = params(sockets_per_replica=262144)
+        assert 0 <= prob_multi_failure(p, 1e6) <= 1
+
+
+class TestSolveScheme:
+    def test_total_exceeds_work(self):
+        p = params()
+        for scheme in ResilienceScheme:
+            sol = solve_scheme(p, scheme, 600.0)
+            assert sol.total_time > p.work
+
+    def test_components_sum_to_total(self):
+        p = params()
+        sol = solve_scheme(p, "strong", 600.0)
+        assert sol.total_time == pytest.approx(
+            sol.solve_time + sol.checkpoint_time + sol.restart_time
+            + sol.rework_time, rel=1e-9)
+
+    def test_strong_has_most_hard_rework(self):
+        # Strong rolls back (tau+delta)/2 per hard error; medium only delta.
+        p = params()
+        tau = 600.0
+        strong = solve_scheme(p, "strong", tau)
+        medium = solve_scheme(p, "medium", tau)
+        assert strong.rework_time > medium.rework_time
+        assert strong.total_time > medium.total_time
+
+    def test_weak_fastest_at_fixed_tau(self):
+        # Fig. 4: "this scheme should be the fastest to finish execution."
+        p = params()
+        tau = 600.0
+        times = {s: solve_scheme(p, s, tau).total_time for s in ResilienceScheme}
+        assert times[ResilienceScheme.WEAK] <= times[ResilienceScheme.MEDIUM]
+        assert times[ResilienceScheme.WEAK] < times[ResilienceScheme.STRONG]
+
+    def test_no_failures_reduces_to_checkpoint_overhead_only(self):
+        p = ModelParams(work=1000.0, delta=10.0, sockets_per_replica=1,
+                        hard_mtbf_socket=1e18, sdc_fit_socket=0.0)
+        sol = solve_scheme(p, "strong", 100.0)
+        assert sol.total_time == pytest.approx(1000.0 + 9 * 10.0, rel=1e-6)
+
+    def test_utilization_capped_at_half_by_replication(self):
+        p = params()
+        sol = best_solution(p, "weak")
+        assert 0 < sol.utilization <= 0.5
+
+    def test_invalid_tau(self):
+        with pytest.raises(ConfigurationError):
+            solve_scheme(params(), "strong", 0.0)
+
+    def test_unstable_regime_returns_inf(self):
+        # MTBF so low that rework exceeds progress: no finite solution.
+        p = ModelParams(work=24 * HOURS, delta=100.0, sockets_per_replica=10**7,
+                        hard_mtbf_socket=1 * YEARS, sdc_fit_socket=1e6)
+        sol = solve_scheme(p, "strong", 10_000.0)
+        assert math.isinf(sol.total_time)
+
+
+class TestOptimalTau:
+    def test_optimum_beats_neighbours(self):
+        p = params()
+        for scheme in ResilienceScheme:
+            tau = optimal_tau(p, scheme)
+            t_opt = solve_scheme(p, scheme, tau).total_time
+            assert t_opt <= solve_scheme(p, scheme, tau * 1.3).total_time + 1e-6
+            assert t_opt <= solve_scheme(p, scheme, tau / 1.3).total_time + 1e-6
+
+    def test_strong_checkpoints_more_frequently(self):
+        # §6.2: "applications using strong resilience scheme need to
+        # checkpoint more frequently to balance the extra rework overhead."
+        p = params()
+        assert optimal_tau(p, "strong") < optimal_tau(p, "medium")
+
+    def test_tau_decreases_with_scale(self):
+        taus = [optimal_tau(params(sockets_per_replica=s), "strong")
+                for s in (1024, 16384, 262144)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_tau_increases_with_reliability(self):
+        flaky = params(hard_mtbf_socket=5 * YEARS)
+        solid = params(hard_mtbf_socket=500 * YEARS)
+        assert optimal_tau(flaky, "strong") < optimal_tau(solid, "strong")
+
+    def test_compare_schemes_returns_all(self):
+        result = compare_schemes(params())
+        assert set(result) == set(ResilienceScheme)
+        for sol in result.values():
+            assert sol.total_time > 0
+
+
+class TestPaperNumbers:
+    def test_fig7a_delta15_all_above_45pct_at_256k(self):
+        # "For delta of 15s, the efficiency for all the three resilience
+        # schemes is above 45% even on 256K sockets."
+        p = params(sockets_per_replica=262144, delta=15.0)
+        for scheme in ResilienceScheme:
+            assert best_solution(p, scheme).utilization > 0.44
+
+    def test_fig7a_delta180_strong_drops_weak_medium_hold(self):
+        # "When delta is increased to 180s, the efficiency of the strong
+        # resilience scheme decreases to 37% while that of the weak and
+        # medium resilience schemes is above 43%."
+        p = params(sockets_per_replica=262144, delta=180.0)
+        strong = best_solution(p, "strong").utilization
+        medium = best_solution(p, "medium").utilization
+        weak = best_solution(p, "weak").utilization
+        assert strong < 0.40
+        assert medium > 0.40 and weak > 0.40
+        assert medium - strong > 0.04

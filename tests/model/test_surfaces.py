@@ -1,0 +1,57 @@
+"""Figure 1 / Figure 7 data-surface tests."""
+
+import numpy as np
+
+from repro.model.schemes import ResilienceScheme
+from repro.model.surfaces import fig1_surfaces, fig7_curves, fig7_series
+
+
+class TestFig1Surfaces:
+    def test_grid_coverage(self):
+        surfaces = fig1_surfaces(sockets_axis=(4096, 65536), fit_axis=(1.0, 10000.0))
+        for panel in (surfaces.no_ft, surfaces.checkpoint_only, surfaces.acr):
+            assert len(panel) == 4
+
+    def test_ordering_of_the_three_panels(self):
+        surfaces = fig1_surfaces(sockets_axis=(65536,), fit_axis=(100.0,))
+        no_ft = surfaces.no_ft[0]
+        ckpt = surfaces.checkpoint_only[0]
+        acr = surfaces.acr[0]
+        # Checkpointing beats nothing; ACR pays replication but kills
+        # vulnerability entirely.
+        assert ckpt.utilization > no_ft.utilization
+        assert acr.vulnerability == 0.0
+        assert no_ft.vulnerability == ckpt.vulnerability > 0.0
+
+    def test_acr_utilization_flat_while_baselines_collapse(self):
+        surfaces = fig1_surfaces(sockets_axis=(4096, 1048576), fit_axis=(100.0,))
+        drop_no_ft = surfaces.no_ft[0].utilization - surfaces.no_ft[1].utilization
+        drop_acr = surfaces.acr[0].utilization - surfaces.acr[1].utilization
+        assert drop_no_ft > 0.4
+        assert drop_acr < 0.15
+
+
+class TestFig7Curves:
+    def test_full_sweep_structure(self):
+        points = fig7_curves(sockets_axis=(1024, 65536), deltas=(15.0,))
+        assert len(points) == 2 * 3  # sockets x schemes
+
+    def test_series_extraction_sorted(self):
+        points = fig7_curves(sockets_axis=(65536, 1024, 16384), deltas=(15.0,))
+        xs, ys = fig7_series(points, ResilienceScheme.STRONG, 15.0)
+        assert list(xs) == [1024, 16384, 65536]
+        assert len(ys) == 3
+
+    def test_utilization_decreases_with_scale(self):
+        points = fig7_curves(sockets_axis=(1024, 16384, 262144), deltas=(180.0,))
+        _, ys = fig7_series(points, ResilienceScheme.STRONG, 180.0)
+        assert list(ys) == sorted(ys, reverse=True)
+
+    def test_undetected_probability_zero_for_strong(self):
+        points = fig7_curves(sockets_axis=(16384,), deltas=(15.0, 180.0))
+        strong = [p for p in points if p.scheme is ResilienceScheme.STRONG]
+        assert all(p.undetected_sdc_probability == 0.0 for p in strong)
+
+    def test_tau_opt_positive_finite(self):
+        points = fig7_curves(sockets_axis=(1024, 262144), deltas=(15.0,))
+        assert all(np.isfinite(p.tau_opt) and p.tau_opt > 0 for p in points)

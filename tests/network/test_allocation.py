@@ -1,0 +1,83 @@
+"""Intrepid allocation shape tests — the machine behind Figure 8's shapes."""
+
+import pytest
+
+from repro.network.allocation import (
+    CORES_PER_NODE,
+    Allocation,
+    intrepid_allocation,
+    partition_shape,
+    supported_cores_per_replica,
+    torus_for_nodes,
+)
+from repro.network.topology import Torus3D
+from repro.util.errors import ConfigurationError
+
+
+class TestPartitionShapes:
+    def test_512_nodes_is_8x8x8(self):
+        # Fig. 6 uses "512 nodes of Blue Gene/P" drawn as an 8x8x8 partition.
+        assert partition_shape(512) == (8, 8, 8)
+
+    def test_z_grows_first_then_saturates_at_32(self):
+        # §6.2: "the Z dimension increases from 8 to 32, after which it
+        # becomes stagnant. Beyond 4K cores, only X and Y change."
+        z_by_cores = {}
+        for cores in (1024, 2048, 4096, 16384, 65536):
+            nodes = 2 * cores // CORES_PER_NODE
+            z_by_cores[cores] = partition_shape(nodes)[2]
+        assert z_by_cores[1024] == 8
+        assert z_by_cores[4096] == 32
+        assert z_by_cores[16384] == 32
+        assert z_by_cores[65536] == 32
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_shape(777)
+
+    def test_shapes_multiply_to_node_count(self):
+        for cores in supported_cores_per_replica():
+            nodes = 2 * cores // CORES_PER_NODE
+            x, y, z = partition_shape(nodes)
+            assert x * y * z == nodes
+
+
+class TestIntrepidAllocation:
+    def test_cores_to_nodes(self):
+        alloc = intrepid_allocation(1024)
+        assert alloc.nodes_per_replica == 256
+        assert alloc.total_nodes == 512
+        assert alloc.torus.dims == (8, 8, 8)
+
+    def test_paper_max_scale(self):
+        # 131,072 cores total = 65,536 per replica (the §6 headline scale).
+        alloc = intrepid_allocation(65536)
+        assert alloc.total_cores == 131072
+        assert alloc.torus.dims == (32, 32, 32)
+
+    def test_non_multiple_of_cores_per_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            intrepid_allocation(1026)
+
+    def test_torus_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Allocation(cores_per_replica=1024, torus=Torus3D((2, 2, 2)))
+
+
+class TestTorusForNodes:
+    def test_uses_table_when_available(self):
+        assert torus_for_nodes(512).dims == (8, 8, 8)
+
+    def test_small_counts_get_even_z(self):
+        for n in (2, 6, 10, 14, 24, 48, 96):
+            t = torus_for_nodes(n)
+            assert t.nnodes == n
+            assert t.dims[2] % 2 == 0
+
+    def test_near_cubic(self):
+        x, y, z = torus_for_nodes(64).dims
+        assert max(x, y, z) <= 2 * min(x, y, z)
+
+    def test_odd_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            torus_for_nodes(7)

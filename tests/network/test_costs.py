@@ -1,0 +1,169 @@
+"""Cost-model tests: the α–β–γ phase times behind Figures 8–11."""
+
+import pytest
+
+from repro.network.allocation import intrepid_allocation
+from repro.network.costs import CheckpointProfile, CostModel, MachineConstants
+from repro.network.mapping import build_mapping
+from repro.util.errors import ConfigurationError
+from repro.util.units import MiB
+
+JACOBI = CheckpointProfile(nbytes_per_node=16 * MiB)
+LEANMD = CheckpointProfile(nbytes_per_node=768 * 1024, serialize_factor=1.5)
+
+
+@pytest.fixture
+def cost():
+    return CostModel()
+
+
+def _mapping(cores, scheme="default"):
+    return build_mapping(intrepid_allocation(cores).torus, scheme)
+
+
+class TestElementaryCosts:
+    def test_pack_time_scales_with_bytes(self, cost):
+        small = CheckpointProfile(nbytes_per_node=MiB)
+        big = CheckpointProfile(nbytes_per_node=4 * MiB)
+        assert cost.pack_time(big) == pytest.approx(4 * cost.pack_time(small))
+
+    def test_serialize_factor_slows_pack_and_compare(self, cost):
+        plain = CheckpointProfile(nbytes_per_node=MiB)
+        nested = CheckpointProfile(nbytes_per_node=MiB, serialize_factor=1.6)
+        assert cost.pack_time(nested) == pytest.approx(1.6 * cost.pack_time(plain))
+        assert cost.compare_time(nested) == pytest.approx(
+            1.6 * cost.compare_time(plain))
+
+    def test_checksum_is_four_instructions_per_byte(self, cost):
+        # §4.2: one instruction to copy, four extra to checksum.
+        prof = CheckpointProfile(nbytes_per_node=MiB)
+        assert cost.checksum_time(prof) == pytest.approx(4 * cost.pack_time(prof))
+
+    def test_checksum_ignores_serialize_factor(self, cost):
+        # The digest operates on raw packed bytes, not the PUP traversal.
+        a = CheckpointProfile(nbytes_per_node=MiB, serialize_factor=1.0)
+        b = CheckpointProfile(nbytes_per_node=MiB, serialize_factor=2.0)
+        assert cost.checksum_time(a) == cost.checksum_time(b)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointProfile(nbytes_per_node=-1)
+        with pytest.raises(ConfigurationError):
+            CheckpointProfile(nbytes_per_node=1, serialize_factor=0)
+
+
+class TestCheckpointBreakdown:
+    def test_default_mapping_grows_then_saturates(self, cost):
+        # Figure 8's headline shape: transfer grows 1K -> 4K cores/replica
+        # (Z: 8 -> 32) then stays flat to 64K.
+        t1k = cost.checkpoint_breakdown(JACOBI, _mapping(1024)).transfer
+        t4k = cost.checkpoint_breakdown(JACOBI, _mapping(4096)).transfer
+        t64k = cost.checkpoint_breakdown(JACOBI, _mapping(65536)).transfer
+        assert t4k > 3 * t1k
+        assert t64k == pytest.approx(t4k, rel=0.05)
+
+    def test_column_mapping_constant_overhead(self, cost):
+        t1k = cost.checkpoint_breakdown(JACOBI, _mapping(1024, "column")).total
+        t64k = cost.checkpoint_breakdown(JACOBI, _mapping(65536, "column")).total
+        assert t64k == pytest.approx(t1k, rel=0.05)
+
+    def test_mapping_ordering_for_high_memory_apps(self, cost):
+        # column < mixed < default at scale (§6.2).
+        at = {
+            s: cost.checkpoint_breakdown(JACOBI, _mapping(65536, s)).total
+            for s in ("default", "mixed", "column")
+        }
+        assert at["column"] < at["mixed"] < at["default"]
+
+    def test_checksum_constant_and_compute_dominated(self, cost):
+        b1 = cost.checkpoint_breakdown(JACOBI, _mapping(1024), use_checksum=True)
+        b64 = cost.checkpoint_breakdown(JACOBI, _mapping(65536), use_checksum=True)
+        assert b64.total == pytest.approx(b1.total, rel=0.05)
+        # "Most of the time is spent in computing the checksum" (§6.2).
+        assert b64.compare > 10 * b64.transfer
+
+    def test_checksum_worse_than_column_for_high_memory_apps(self, cost):
+        # §6.2: "overheads for it are even larger than the column-mapping for
+        # high memory pressure applications."
+        checksum = cost.checkpoint_breakdown(JACOBI, _mapping(65536),
+                                             use_checksum=True).total
+        column = cost.checkpoint_breakdown(JACOBI, _mapping(65536, "column")).total
+        assert checksum > column
+
+    def test_checksum_wins_for_low_memory_apps(self, cost):
+        # §6.2: "the checksum method outperforms other schemes" for the MD
+        # mini-apps with their small, scattered checkpoints.
+        checksum = cost.checkpoint_breakdown(LEANMD, _mapping(65536),
+                                             use_checksum=True).total
+        column = cost.checkpoint_breakdown(LEANMD, _mapping(65536, "column")).total
+        default = cost.checkpoint_breakdown(LEANMD, _mapping(65536)).total
+        assert checksum < column
+        assert checksum < default
+
+    def test_total_is_sum_of_parts(self, cost):
+        b = cost.checkpoint_breakdown(JACOBI, _mapping(4096))
+        assert b.total == pytest.approx(b.local + b.transfer + b.compare)
+
+
+class TestRestartBreakdown:
+    def test_strong_cheapest_at_scale(self, cost):
+        # Fig. 10: "the strong resilience scheme incurs the least restart
+        # overhead for all the mini-apps."
+        m = _mapping(65536)
+        strong = cost.restart_breakdown(JACOBI, m, scheme="strong").total
+        medium = cost.restart_breakdown(JACOBI, m, scheme="medium").total
+        assert strong < medium
+
+    def test_strong_mapping_insensitive(self, cost):
+        # "we found that mapping does not affect its performance" (§6.3).
+        a = cost.restart_breakdown(JACOBI, _mapping(65536, "default"),
+                                   scheme="strong").total
+        b = cost.restart_breakdown(JACOBI, _mapping(65536, "column"),
+                                   scheme="strong").total
+        assert b <= a
+        assert a < 1.5 * b
+
+    def test_medium_column_mapping_big_win(self, cost):
+        # §6.3: topology mapping brings Jacobi3D medium restart 2s -> 0.41s.
+        default = cost.restart_breakdown(JACOBI, _mapping(65536, "default"),
+                                         scheme="medium").total
+        column = cost.restart_breakdown(JACOBI, _mapping(65536, "column"),
+                                        scheme="medium").total
+        assert default / column > 3.0
+
+    def test_weak_equals_medium_restart(self, cost):
+        # §6.3: "the restart overhead is the same for both."
+        m = _mapping(4096)
+        a = cost.restart_breakdown(JACOBI, m, scheme="medium")
+        b = cost.restart_breakdown(JACOBI, m, scheme="weak")
+        assert a.total == pytest.approx(b.total)
+
+    def test_small_checkpoint_restart_dominated_by_sync(self, cost):
+        # §6.3 (LeanMD): barriers/broadcasts dominate tiny-checkpoint restarts
+        # and grow with core count.
+        r1k = cost.restart_breakdown(LEANMD, _mapping(1024, "column"),
+                                     scheme="medium")
+        r64k = cost.restart_breakdown(LEANMD, _mapping(65536, "column"),
+                                      scheme="medium")
+        assert r64k.reconstruction > r1k.reconstruction
+        assert r64k.reconstruction > r64k.transfer
+
+    def test_unknown_scheme_rejected(self, cost):
+        with pytest.raises(ConfigurationError):
+            cost.restart_breakdown(JACOBI, _mapping(1024), scheme="heroic")
+
+
+class TestBreakEvenRule:
+    def test_checksum_beneficial_matches_gamma_beta_rule(self):
+        # §4.2: benefit iff gamma < beta / 4.
+        fast_compute = CostModel(MachineConstants(
+            serialization_bandwidth=2e9, link_bandwidth=167e6))
+        slow_compute = CostModel(MachineConstants(
+            serialization_bandwidth=100e6, link_bandwidth=167e6))
+        assert fast_compute.checksum_beneficial()
+        assert not slow_compute.checksum_beneficial()
+
+    def test_default_machine_not_checksum_favourable(self):
+        # On the calibrated machine gamma == beta, so full transfer wins for
+        # bandwidth-bound checkpoints (matches Fig. 8's high-memory apps).
+        assert not CostModel().checksum_beneficial()

@@ -1,0 +1,110 @@
+"""Replica mapping tests (Fig. 6 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.network.mapping import MappingScheme, build_mapping
+from repro.network.topology import Torus3D
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def torus512():
+    return Torus3D((8, 8, 8))
+
+
+class TestDefaultMapping:
+    def test_splits_along_z(self, torus512):
+        m = build_mapping(torus512, "default")
+        assert m.nodes_per_replica == 256
+        assert m.r1_coords[:, 2].max() == 3
+        assert m.r2_coords[:, 2].min() == 4
+
+    def test_buddies_share_xy(self, torus512):
+        m = build_mapping(torus512, "default")
+        assert np.array_equal(m.r1_coords[:, :2], m.r2_coords[:, :2])
+
+    def test_buddy_distance_is_half_z(self, torus512):
+        m = build_mapping(torus512, "default")
+        assert set(m.buddy_distance()) == {4}
+
+    def test_fig6a_max_link_load_is_half_z(self, torus512):
+        m = build_mapping(torus512, "default")
+        assert m.exchange_loads(1).max_load() == 4
+
+    def test_fig6a_plane_profile(self, torus512):
+        m = build_mapping(torus512, "default")
+        profile = list(m.exchange_loads(1).plane_loads(2))
+        assert profile == [1, 2, 3, 4, 3, 2, 1, 0]
+
+
+class TestColumnMapping:
+    def test_buddies_adjacent(self, torus512):
+        m = build_mapping(torus512, "column")
+        assert set(m.buddy_distance()) == {1}
+
+    def test_no_link_overlap(self, torus512):
+        # "This kind of mapping eliminates the overlap of paths used by
+        # inter-replica messages" (§4.2).
+        m = build_mapping(torus512, "column")
+        assert m.exchange_loads(1).max_load() == 1
+
+    def test_replicas_interleave(self, torus512):
+        m = build_mapping(torus512, "column")
+        assert set(m.r1_coords[:, 2]) == {0, 2, 4, 6}
+        assert set(m.r2_coords[:, 2]) == {1, 3, 5, 7}
+
+
+class TestMixedMapping:
+    def test_buddies_chunk_apart(self, torus512):
+        m = build_mapping(torus512, "mixed", chunk=2)
+        assert set(m.buddy_distance()) == {2}
+
+    def test_bounded_overlap(self, torus512):
+        m = build_mapping(torus512, "mixed", chunk=2)
+        assert m.exchange_loads(1).max_load() == 2
+
+    def test_chunk_must_divide_z(self):
+        with pytest.raises(ConfigurationError):
+            build_mapping(Torus3D((4, 4, 6)), "mixed", chunk=2)
+
+    def test_congestion_ordering_default_gt_mixed_gt_column(self, torus512):
+        loads = {
+            s: build_mapping(torus512, s).exchange_loads(1).max_load()
+            for s in ("default", "mixed", "column")
+        }
+        assert loads["default"] > loads["mixed"] > loads["column"]
+
+
+class TestGeneral:
+    def test_each_node_used_exactly_once(self, torus512):
+        for scheme in MappingScheme:
+            m = build_mapping(torus512, scheme)
+            all_coords = np.concatenate([m.r1_coords, m.r2_coords])
+            ranks = torus512.coord_to_rank(all_coords)
+            assert len(set(ranks.tolist())) == torus512.nnodes
+
+    def test_odd_z_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_mapping(Torus3D((4, 4, 5)), "default")
+
+    def test_exchange_direction_r2_to_r1(self, torus512):
+        m = build_mapping(torus512, "default")
+        a = m.exchange_loads(10, "r1->r2")
+        b = m.exchange_loads(10, "r2->r1")
+        assert a.max_load() == b.max_load()
+        # Opposite direction uses the opposite link sets.
+        assert not np.array_equal(a.pos[2], b.pos[2]) or not np.array_equal(
+            a.neg[2], b.neg[2]
+        )
+
+    def test_bad_direction_rejected(self, torus512):
+        m = build_mapping(torus512, "default")
+        with pytest.raises(ConfigurationError):
+            m.exchange_loads(1, "sideways")
+
+    def test_single_message_loads_one_path(self, torus512):
+        m = build_mapping(torus512, "default")
+        loads = m.single_message_loads(0, 1000)
+        assert loads.max_load() == 1000
+        assert loads.total_bytes_hops() == 1000 * int(m.buddy_distance()[0])

@@ -1,0 +1,71 @@
+"""Performance guards for the vectorized hot paths.
+
+The per-figure benchmarks sweep up to 32K-node tori; these guards catch
+accidental de-vectorization (e.g. a per-message Python loop sneaking into the
+router or the checksum) before it makes the benchmark suite crawl.
+"""
+
+import time
+
+import numpy as np
+
+from repro.network.mapping import build_mapping
+from repro.network.topology import Torus3D
+from repro.pup.checksum import checkpoint_checksum
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+class TestRoutingThroughput:
+    def test_full_machine_exchange_routes_fast(self):
+        # 16K buddy messages over the (32, 32, 32) paper-scale partition.
+        torus = Torus3D((32, 32, 32))
+        mapping = build_mapping(torus, "default")
+        loads, elapsed = _timed(mapping.exchange_loads, 1 << 20)
+        assert loads.max_load() > 0
+        assert elapsed < 10.0, f"routing took {elapsed:.2f}s - devectorized?"
+
+    def test_random_traffic_routes_fast(self):
+        torus = Torus3D((32, 32, 32))
+        rng = np.random.default_rng(0)
+        n = 20_000
+        src = rng.integers(0, 32, size=(n, 3))
+        dst = rng.integers(0, 32, size=(n, 3))
+        _, elapsed = _timed(torus.route_loads, src, dst,
+                            rng.integers(1, 100, size=n))
+        assert elapsed < 15.0, f"routing took {elapsed:.2f}s"
+
+
+class TestChecksumThroughput:
+    def test_megabyte_scale_checksum_fast(self):
+        data = np.random.default_rng(1).integers(
+            0, 256, size=32 << 20, dtype=np.uint8)
+        _, elapsed = _timed(checkpoint_checksum, data)
+        # 32 MiB must stream through the blockwise Fletcher in seconds (a
+        # python-level per-word loop would take minutes).
+        assert elapsed < 8.0, f"checksum took {elapsed:.2f}s"
+
+
+class TestSimulatorThroughput:
+    def test_event_rate(self):
+        from repro.runtime.des import Simulator
+
+        sim = Simulator()
+        count = 200_000
+        sink = []
+
+        def tick(i):
+            if i < count:
+                sim.schedule(1.0, tick, i + 1)
+            else:
+                sink.append(i)
+
+        sim.schedule(0.0, tick, 0)
+        _, elapsed = _timed(sim.run)
+        assert sink
+        rate = count / elapsed
+        assert rate > 20_000, f"only {rate:.0f} events/s"

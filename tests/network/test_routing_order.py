@@ -1,0 +1,73 @@
+"""Dimension-order routing variants: why routing cannot fix Figure 8.
+
+A natural objection to the paper's mapping work: "just route differently."
+These tests show the objection fails — the buddy exchange crosses the
+replica bisection no matter the traversal order, so only *placement*
+(the column/mixed mappings) removes the bottleneck.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.network.mapping import build_mapping
+from repro.network.topology import Torus3D
+from repro.util.errors import ConfigurationError
+
+
+class TestDimOrder:
+    def test_all_orders_conserve_bytes_hops(self):
+        t = Torus3D((6, 4, 8))
+        rng = np.random.default_rng(0)
+        src = np.stack([rng.integers(0, d, size=40) for d in t.dims], axis=1)
+        dst = np.stack([rng.integers(0, d, size=40) for d in t.dims], axis=1)
+        sizes = rng.integers(1, 50, size=40)
+        reference = None
+        for order in itertools.permutations((0, 1, 2)):
+            loads = t.route_loads(src, dst, sizes, dim_order=order)
+            total = loads.total_bytes_hops()
+            if reference is None:
+                reference = total
+            assert total == reference  # hops are order-independent
+
+    def test_orders_distribute_loads_differently(self):
+        t = Torus3D((8, 8, 8))
+        src = np.array([[0, 0, 0]])
+        dst = np.array([[3, 3, 0]])
+        xyz = t.route_loads(src, dst, 1, dim_order=(0, 1, 2))
+        yxz = t.route_loads(src, dst, 1, dim_order=(1, 0, 2))
+        # X-first turns the corner at (3, 0); Y-first at (0, 3).
+        assert xyz.pos[1][3, 0, 0] == 1
+        assert yxz.pos[0][0, 3, 0] == 1
+
+    def test_bad_order_rejected(self):
+        t = Torus3D((4, 4, 4))
+        with pytest.raises(ConfigurationError):
+            t.route_loads(np.zeros((1, 3)), np.ones((1, 3)), 1,
+                          dim_order=(0, 0, 2))
+
+
+class TestRoutingCannotFixTheBisection:
+    def test_default_mapping_congested_under_every_order(self):
+        # The buddy exchange of the default mapping is Z/2-hop traffic along
+        # Z only: every dimension order routes it identically, so the Fig. 8
+        # bottleneck is untouched by routing policy.
+        t = Torus3D((8, 8, 32))
+        mapping = build_mapping(t, "default")
+        for order in itertools.permutations((0, 1, 2)):
+            loads = t.route_loads(mapping.r1_coords, mapping.r2_coords, 1,
+                                  dim_order=order)
+            assert loads.max_load() == 16  # Z/2, regardless of order
+
+    def test_column_mapping_beats_every_routing_order(self):
+        t = Torus3D((8, 8, 32))
+        column = build_mapping(t, "column")
+        best_routed_default = min(
+            t.route_loads(build_mapping(t, "default").r1_coords,
+                          build_mapping(t, "default").r2_coords, 1,
+                          dim_order=order).max_load()
+            for order in itertools.permutations((0, 1, 2))
+        )
+        assert column.exchange_loads(1).max_load() == 1
+        assert best_routed_default >= 16

@@ -1,0 +1,143 @@
+"""Torus routing and link-load accounting tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.topology import LinkLoads, Torus3D
+from repro.util.errors import ConfigurationError
+
+
+class TestCoordinates:
+    def test_rank_round_trip(self):
+        t = Torus3D((4, 3, 5))
+        ranks = np.arange(t.nnodes)
+        coords = t.rank_to_coord(ranks)
+        assert np.array_equal(t.coord_to_rank(coords), ranks)
+
+    def test_txyz_order_x_fastest_z_slowest(self):
+        t = Torus3D((4, 4, 4))
+        assert list(t.rank_to_coord(np.array([0]))[0]) == [0, 0, 0]
+        assert list(t.rank_to_coord(np.array([1]))[0]) == [1, 0, 0]
+        assert list(t.rank_to_coord(np.array([4]))[0]) == [0, 1, 0]
+        assert list(t.rank_to_coord(np.array([16]))[0]) == [0, 0, 1]
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Torus3D((0, 4, 4))
+        with pytest.raises(ConfigurationError):
+            Torus3D((4, 4))  # type: ignore[arg-type]
+
+
+class TestHopDistance:
+    def test_adjacent(self):
+        t = Torus3D((8, 8, 8))
+        assert t.hop_distance(np.array([[0, 0, 0]]), np.array([[1, 0, 0]]))[0] == 1
+
+    def test_wraparound_shorter_path(self):
+        t = Torus3D((8, 8, 8))
+        # 0 -> 7 is one hop through the wrap link, not seven.
+        assert t.hop_distance(np.array([[0, 0, 0]]), np.array([[7, 0, 0]]))[0] == 1
+
+    def test_self_distance_zero(self):
+        t = Torus3D((4, 4, 4))
+        c = np.array([[2, 1, 3]])
+        assert t.hop_distance(c, c)[0] == 0
+
+    def test_manhattan_on_torus(self):
+        t = Torus3D((8, 8, 8))
+        d = t.hop_distance(np.array([[0, 0, 0]]), np.array([[4, 3, 6]]))[0]
+        assert d == 4 + 3 + 2  # 6 is 2 hops backwards around the ring
+
+
+class TestRouteLoads:
+    def test_single_hop_single_link(self):
+        t = Torus3D((4, 4, 4))
+        loads = t.route_loads(np.array([[0, 0, 0]]), np.array([[1, 0, 0]]), 100)
+        assert loads.max_load() == 100
+        assert loads.total_bytes_hops() == 100
+        assert loads.nonzero_links() == 1
+
+    def test_bytes_times_hops_conservation(self):
+        t = Torus3D((8, 8, 8))
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 8, size=(50, 3))
+        dst = rng.integers(0, 8, size=(50, 3))
+        sizes = rng.integers(1, 1000, size=50)
+        loads = t.route_loads(src, dst, sizes)
+        hops = t.hop_distance(src, dst)
+        assert loads.total_bytes_hops() == int((hops * sizes).sum())
+
+    def test_zero_hop_message_loads_nothing(self):
+        t = Torus3D((4, 4, 4))
+        c = np.array([[1, 2, 3]])
+        loads = t.route_loads(c, c, 999)
+        assert loads.max_load() == 0
+        assert loads.total_bytes_hops() == 0
+
+    def test_backward_routing_uses_negative_links(self):
+        t = Torus3D((8, 1, 1))
+        loads = t.route_loads(np.array([[3, 0, 0]]), np.array([[1, 0, 0]]), 10)
+        assert loads.pos[0].sum() == 0
+        assert loads.neg[0].sum() == 20  # two hops x 10 bytes
+
+    def test_dimension_order_x_then_y_then_z(self):
+        t = Torus3D((4, 4, 4))
+        loads = t.route_loads(np.array([[0, 0, 0]]), np.array([[1, 1, 0]]), 1)
+        # X hop happens at y=0 (before turning), Y hop at x=1 (after).
+        assert loads.pos[0][0, 0, 0] == 1
+        assert loads.pos[1][1, 0, 0] == 1
+
+    def test_paper_figure6_default_mapping_bottleneck(self):
+        # Fig. 6(a): 8-long dimension split in halves, buddy = +4 along Z:
+        # per-link message counts along the columns are 1,2,3,4,3,2,1.
+        t = Torus3D((1, 1, 8))
+        src = np.array([[0, 0, z] for z in range(4)])
+        dst = np.array([[0, 0, z + 4] for z in range(4)])
+        loads = t.route_loads(src, dst, 1)
+        assert loads.max_load() == 4
+
+    def test_scalar_and_array_sizes_agree(self):
+        t = Torus3D((4, 4, 4))
+        src = np.array([[0, 0, 0], [1, 1, 1]])
+        dst = np.array([[2, 0, 0], [1, 3, 1]])
+        a = t.route_loads(src, dst, 7)
+        b = t.route_loads(src, dst, np.array([7, 7]))
+        for d in range(3):
+            assert np.array_equal(a.pos[d], b.pos[d])
+            assert np.array_equal(a.neg[d], b.neg[d])
+
+    @given(st.integers(2, 8), st.integers(2, 8), st.integers(2, 8),
+           st.integers(1, 30), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_property_conservation_and_nonnegativity(self, x, y, z, n, seed):
+        t = Torus3D((x, y, z))
+        rng = np.random.default_rng(seed)
+        src = np.stack([rng.integers(0, d, size=n) for d in (x, y, z)], axis=1)
+        dst = np.stack([rng.integers(0, d, size=n) for d in (x, y, z)], axis=1)
+        sizes = rng.integers(1, 100, size=n)
+        loads = t.route_loads(src, dst, sizes)
+        hops = t.hop_distance(src, dst)
+        assert loads.total_bytes_hops() == int((hops * sizes).sum())
+        assert loads.max_load() <= int(sizes.sum())
+
+
+class TestLinkLoads:
+    def test_add_accumulates(self):
+        t = Torus3D((4, 4, 4))
+        a = t.route_loads(np.array([[0, 0, 0]]), np.array([[1, 0, 0]]), 5)
+        b = t.route_loads(np.array([[0, 0, 0]]), np.array([[1, 0, 0]]), 7)
+        a.add(b)
+        assert a.max_load() == 12
+
+    def test_add_rejects_different_tori(self):
+        a = LinkLoads.zeros((4, 4, 4))
+        b = LinkLoads.zeros((8, 8, 8))
+        with pytest.raises(ConfigurationError):
+            a.add(b)
+
+    def test_plane_loads_shape(self):
+        t = Torus3D((4, 4, 6))
+        loads = t.route_loads(np.array([[0, 0, 0]]), np.array([[0, 0, 3]]), 1)
+        assert loads.plane_loads(2).shape == (6,)

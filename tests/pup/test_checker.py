@@ -1,0 +1,129 @@
+"""Checkpoint comparison (PUPer::checker) tests — the SDC detector core."""
+
+import numpy as np
+import pytest
+
+from repro.pup.checker import compare_checkpoints, compare_checksums
+from repro.pup.checksum import checkpoint_checksum
+from repro.pup.puper import PUPError, pack
+
+
+class State:
+    def __init__(self, n=16, seed=0):
+        rng = np.random.default_rng(seed)
+        self.iteration = 5
+        self.data = rng.uniform(size=n)
+        self.timer = 1.25
+        self.noise = rng.uniform(size=4)
+
+    def pup(self, p):
+        self.iteration = p.pup_int("iteration", self.iteration)
+        self.data = p.pup_array("data", self.data)
+        # Timers legitimately differ between replicas: skip comparing (§4.1).
+        self.timer = p.pup_float("timer", self.timer, skip_compare=True)
+        # Round-off-tolerant field with a custom relative error bound (§4.1).
+        self.noise = p.pup_array("noise", self.noise, rtol=1e-6)
+
+
+class TestFullComparison:
+    def test_identical_states_match(self):
+        a, b = State(), State()
+        result = compare_checkpoints(pack(a), pack(b))
+        assert result.match
+        assert result.mismatches == []
+        assert result.compared_bytes > 0
+
+    def test_single_bit_flip_detected_with_field_name(self):
+        a, b = State(), State()
+        b.data.view(np.uint8)[13] ^= 1
+        result = compare_checkpoints(pack(a), pack(b))
+        assert not result.match
+        assert result.mismatches[0].name == "data"
+        assert result.mismatches[0].n_differing >= 1
+        assert "SDC detected" in result.summary()
+
+    def test_integer_corruption_detected(self):
+        a, b = State(), State()
+        b.iteration = 6
+        result = compare_checkpoints(pack(a), pack(b))
+        assert not result.match
+        assert result.mismatches[0].name == "iteration"
+
+    def test_skip_compare_fields_ignored(self):
+        a, b = State(), State()
+        b.timer = 99999.0  # replica-local value: must not trigger SDC
+        result = compare_checkpoints(pack(a), pack(b))
+        assert result.match
+        assert result.skipped_bytes == 8
+
+    def test_per_field_rtol_accepts_roundoff(self):
+        a, b = State(), State()
+        b.noise *= 1.0 + 1e-9  # well inside rtol=1e-6
+        assert compare_checkpoints(pack(a), pack(b)).match
+
+    def test_per_field_rtol_still_catches_large_errors(self):
+        a, b = State(), State()
+        b.noise[2] *= 1.01
+        result = compare_checkpoints(pack(a), pack(b))
+        assert not result.match
+        assert result.mismatches[0].name == "noise"
+
+    def test_global_default_rtol(self):
+        a, b = State(), State()
+        b.data *= 1.0 + 1e-12
+        assert not compare_checkpoints(pack(a), pack(b)).match
+        assert compare_checkpoints(pack(a), pack(b), default_rtol=1e-9).match
+
+    def test_structural_mismatch_reported(self):
+        class Other:
+            def pup(self, p):
+                p.pup_int("iteration", 1)
+
+        result = compare_checkpoints(pack(State()), pack(Other()))
+        assert not result.match
+        assert result.mismatches[0].kind == "structure"
+
+    def test_shape_change_is_structural(self):
+        a = State(n=16)
+        b = State(n=17)
+        result = compare_checkpoints(pack(a), pack(b))
+        assert not result.match
+        assert any(m.kind == "structure" for m in result.mismatches)
+
+    def test_max_abs_diff_reported(self):
+        a, b = State(), State()
+        b.data[3] += 0.5
+        result = compare_checkpoints(pack(a), pack(b))
+        assert result.mismatches[0].max_abs_diff == pytest.approx(0.5)
+
+    def test_nan_equal_under_tolerance(self):
+        a, b = State(), State()
+        a.noise[0] = np.nan
+        b.noise[0] = np.nan
+        assert compare_checkpoints(pack(a), pack(b)).match
+
+
+class TestChecksumComparison:
+    def test_matching_digest(self):
+        a, b = State(), State()
+        sa, sb = pack(a), pack(b)
+        result = compare_checksums(sa, checkpoint_checksum(sb.buffer))
+        assert result.match
+        assert result.method == "checksum"
+
+    def test_corruption_detected(self):
+        a, b = State(), State()
+        b.data.view(np.uint8)[40] ^= 0x80
+        result = compare_checksums(pack(a), checkpoint_checksum(pack(b).buffer))
+        assert not result.match
+
+    def test_checksum_cannot_honor_skip_fields(self):
+        # The documented limitation: replica-local timers poison the digest.
+        a, b = State(), State()
+        b.timer = 42.0
+        result = compare_checksums(pack(a), checkpoint_checksum(pack(b).buffer))
+        assert not result.match
+
+    def test_bad_digest_length_rejected(self):
+        with pytest.raises(PUPError):
+            compare_checksums(pack(State()), b"too-short")

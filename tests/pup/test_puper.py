@@ -1,0 +1,243 @@
+"""PUP framework tests: sizing, packing, unpacking, round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.pup.puper import (
+    PackingPUPer,
+    PUPError,
+    SizingPUPer,
+    UnpackingPUPer,
+    pack,
+    sizeof,
+    unpack,
+)
+
+
+class Sample:
+    """A pupable object covering every field kind."""
+
+    def __init__(self):
+        self.count = 17
+        self.dt = 0.25
+        self.active = True
+        self.label = "replica-one"
+        self.blob = b"\x00\x01\x02"
+        self.grid = np.arange(24.0).reshape(2, 3, 4)
+        self.ids = np.arange(5, dtype=np.int32)
+
+    def pup(self, p):
+        self.count = p.pup_int("count", self.count)
+        self.dt = p.pup_float("dt", self.dt)
+        self.active = p.pup_bool("active", self.active)
+        self.label = p.pup_str("label", self.label)
+        self.blob = p.pup_bytes("blob", self.blob)
+        self.grid = p.pup_array("grid", self.grid)
+        self.ids = p.pup_array("ids", self.ids)
+
+
+class Nested:
+    def __init__(self):
+        self.inner = Sample()
+        self.outer_value = 3.5
+
+    def pup(self, p):
+        self.outer_value = p.pup_float("outer_value", self.outer_value)
+        p.pup_object("inner", self.inner)
+
+
+class TestSizing:
+    def test_sizeof_counts_all_bytes(self):
+        s = Sample()
+        expected = 8 + 8 + 8 + len("replica-one") + 3 + 24 * 8 + 5 * 4
+        assert sizeof(s) == expected
+
+    def test_sizing_puper_counts_fields(self):
+        p = SizingPUPer()
+        Sample().pup(p)
+        assert p.nfields == 7
+        assert p.is_sizing and not p.is_unpacking
+
+
+class TestRoundTrip:
+    def test_pack_unpack_restores_everything(self):
+        src = Sample()
+        src.grid *= 3.0
+        src.count = 99
+        state = pack(src)
+        dst = Sample()
+        dst.grid[:] = 0
+        dst.count = 0
+        dst.label = "x"
+        unpack(dst, state)
+        assert dst.count == 99
+        assert dst.dt == src.dt
+        assert dst.active is True
+        assert dst.label == "replica-one"
+        assert dst.blob == b"\x00\x01\x02"
+        assert np.array_equal(dst.grid, src.grid)
+        assert np.array_equal(dst.ids, src.ids)
+
+    def test_unpack_is_in_place_for_matching_arrays(self):
+        src = Sample()
+        state = pack(src)
+        dst = Sample()
+        original = dst.grid
+        dst.grid[:] = -1
+        unpack(dst, state)
+        assert dst.grid is original  # restored without reallocation
+
+    def test_packed_size_matches_sizeof(self):
+        s = Sample()
+        assert pack(s).nbytes == sizeof(s)
+
+    def test_nested_objects_round_trip(self):
+        src = Nested()
+        src.inner.grid += 10
+        src.outer_value = -1.0
+        state = pack(src)
+        dst = Nested()
+        unpack(dst, state)
+        assert dst.outer_value == -1.0
+        assert np.array_equal(dst.inner.grid, src.inner.grid)
+
+    def test_nested_field_names_are_qualified(self):
+        state = pack(Nested())
+        names = [f.name for f in state.fields]
+        assert "outer_value" in names
+        assert "inner.grid" in names
+
+    def test_string_length_change_round_trips(self):
+        src = Sample()
+        src.label = "a-much-longer-label-than-before"
+        state = pack(src)
+        dst = Sample()
+        unpack(dst, state)
+        assert dst.label == src.label
+
+
+class TestErrors:
+    def test_duplicate_field_names_rejected(self):
+        class Dup:
+            def pup(self, p):
+                p.pup_int("x", 1)
+                p.pup_int("x", 2)
+
+        with pytest.raises(PUPError, match="duplicate"):
+            pack(Dup())
+
+    def test_object_dtype_rejected(self):
+        class Bad:
+            def pup(self, p):
+                p.pup_array("stuff", np.array([object()]))
+
+        with pytest.raises(PUPError, match="object"):
+            pack(Bad())
+
+    def test_field_order_mismatch_detected(self):
+        class A:
+            def pup(self, p):
+                p.pup_int("first", 1)
+                p.pup_int("second", 2)
+
+        class B:
+            def pup(self, p):
+                p.pup_int("second", 2)
+                p.pup_int("first", 1)
+
+        state = pack(A())
+        with pytest.raises(PUPError, match="order mismatch"):
+            unpack(B(), state)
+
+    def test_reading_past_end_detected(self):
+        class Short:
+            def pup(self, p):
+                p.pup_int("only", 1)
+
+        class Long:
+            def pup(self, p):
+                p.pup_int("only", 1)
+                p.pup_int("extra", 2)
+
+        state = pack(Short())
+        with pytest.raises(PUPError, match="past checkpoint end"):
+            unpack(Long(), state)
+
+    def test_unconsumed_fields_detected(self):
+        class Long:
+            def pup(self, p):
+                p.pup_int("a", 1)
+                p.pup_int("b", 2)
+
+        class Short:
+            def pup(self, p):
+                p.pup_int("a", 1)
+
+        state = pack(Long())
+        with pytest.raises(PUPError, match="consumed 1 of 2"):
+            unpack(Short(), state)
+
+
+class TestListOfArrays:
+    def test_round_trip_same_length(self):
+        class Holder:
+            def __init__(self, items):
+                self.items = items
+
+            def pup(self, p):
+                self.items = p.pup_list_of_arrays("items", self.items)
+
+        src = Holder([np.arange(3.0), np.arange(5.0) * 2])
+        state = pack(src)
+        dst = Holder([np.zeros(3), np.zeros(5)])
+        unpack(dst, state)
+        assert len(dst.items) == 2
+        assert np.array_equal(dst.items[1], np.arange(5.0) * 2)
+
+
+class TestPropertyBased:
+    @given(arrays(dtype=np.float64, shape=st.tuples(
+        st.integers(1, 8), st.integers(1, 8))))
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_float_arrays_round_trip(self, arr):
+        class Holder:
+            def __init__(self, a):
+                self.a = a
+
+            def pup(self, p):
+                self.a = p.pup_array("a", self.a)
+
+        src = Holder(arr.copy())
+        state = pack(src)
+        dst = Holder(np.zeros_like(arr))
+        unpack(dst, state)
+        # NaN-safe bitwise equality.
+        assert np.array_equal(
+            dst.a.view(np.uint64), arr.view(np.uint64)
+        )
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62),
+           st.floats(allow_nan=False, allow_infinity=True),
+           st.text(max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_scalars_round_trip(self, i, f, s):
+        class Holder:
+            def __init__(self):
+                self.i, self.f, self.s = i, f, s
+
+            def pup(self, p):
+                self.i = p.pup_int("i", self.i)
+                self.f = p.pup_float("f", self.f)
+                self.s = p.pup_str("s", self.s)
+
+        src = Holder()
+        state = pack(src)
+        dst = Holder()
+        dst.i, dst.f, dst.s = 0, 0.0, ""
+        unpack(dst, state)
+        assert dst.i == i
+        assert dst.f == f
+        assert dst.s == s

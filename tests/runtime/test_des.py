@@ -1,0 +1,125 @@
+"""Discrete-event simulator tests."""
+
+import pytest
+
+from repro.runtime.des import Simulator
+from repro.util.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, log.append, "c")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(2.0, log.append, "b")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        sim = Simulator()
+        log = []
+        for tag in "abcde":
+            sim.schedule(1.0, log.append, tag)
+        sim.run()
+        assert log == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(2.0, inner)
+
+        def inner():
+            log.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+class TestControl:
+    def test_run_until_pauses_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, 1)
+        sim.run(until=5.0)
+        assert fired == []
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1]
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, fired.append, "x")
+        h.cancel()
+        sim.run()
+        assert fired == []
+        assert not h.pending
+
+    def test_stop_halts_processing(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append(1), sim.stop()))
+        sim.schedule(2.0, log.append, 2)
+        sim.run()
+        assert log == [1]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_pending_events_count(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        h = sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.pending_events == 1
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

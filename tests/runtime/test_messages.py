@@ -1,0 +1,80 @@
+"""Transport tests: latency and fail-stop message semantics."""
+
+import pytest
+
+from repro.runtime.des import Simulator
+from repro.runtime.messages import Message, MsgKind, Transport
+from repro.util.errors import SimulationError
+
+
+def setup():
+    sim = Simulator()
+    transport = Transport(sim, latency=1e-3, bandwidth=1e6)
+    inboxes = {i: [] for i in range(3)}
+    for i in range(3):
+        transport.register(i, inboxes[i].append)
+    return sim, transport, inboxes
+
+
+class TestDelivery:
+    def test_message_arrives_with_latency(self):
+        sim, transport, inboxes = setup()
+        transport.send(Message(MsgKind.APP, src=0, dst=1, payload="hi", nbytes=1000))
+        sim.run()
+        assert len(inboxes[1]) == 1
+        # latency + nbytes/bandwidth = 1 ms + 1 ms.
+        assert sim.now == pytest.approx(2e-3)
+
+    def test_extra_delay_applied(self):
+        sim, transport, _ = setup()
+        transport.send(Message(MsgKind.APP, src=0, dst=1, nbytes=0), extra_delay=0.5)
+        sim.run()
+        assert sim.now == pytest.approx(0.5 + 1e-3)
+
+    def test_unregistered_destination_rejected(self):
+        _, transport, _ = setup()
+        with pytest.raises(SimulationError):
+            transport.send(Message(MsgKind.APP, src=0, dst=99))
+
+
+class TestFailStop:
+    def test_dead_sender_drops_silently(self):
+        sim, transport, inboxes = setup()
+        transport.set_alive(0, False)
+        transport.send(Message(MsgKind.APP, src=0, dst=1))
+        sim.run()
+        assert inboxes[1] == []
+        assert transport.messages_dropped == 1
+
+    def test_dead_receiver_drops_silently(self):
+        sim, transport, inboxes = setup()
+        transport.send(Message(MsgKind.APP, src=0, dst=1))
+        transport.set_alive(1, False)
+        sim.run()
+        assert inboxes[1] == []
+        assert transport.messages_dropped == 1
+
+    def test_death_after_delivery_does_not_retract(self):
+        sim, transport, inboxes = setup()
+        transport.send(Message(MsgKind.APP, src=0, dst=1))
+        sim.run()
+        transport.set_alive(1, False)
+        assert len(inboxes[1]) == 1
+
+    def test_revival_restores_delivery(self):
+        sim, transport, inboxes = setup()
+        transport.set_alive(1, False)
+        transport.send(Message(MsgKind.APP, src=0, dst=1))
+        sim.run()
+        transport.set_alive(1, True)
+        transport.send(Message(MsgKind.APP, src=0, dst=1))
+        sim.run()
+        assert len(inboxes[1]) == 1
+
+    def test_counters(self):
+        sim, transport, _ = setup()
+        transport.send(Message(MsgKind.APP, src=0, dst=1))
+        transport.send(Message(MsgKind.APP, src=0, dst=2))
+        sim.run()
+        assert transport.messages_sent == 2
+        assert transport.messages_delivered == 2

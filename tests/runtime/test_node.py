@@ -1,0 +1,104 @@
+"""Node dispatch and bookkeeping tests."""
+
+import pytest
+
+from repro.runtime.des import Simulator
+from repro.runtime.messages import Message, MsgKind, Transport
+from repro.runtime.node import Node
+from repro.runtime.task import Task
+from repro.util.errors import SimulationError
+
+
+def build():
+    sim = Simulator()
+    transport = Transport(sim)
+    node = Node(0, 0, 0, sim, transport)
+    peer = Node(1, 0, 1, sim, transport)
+    return sim, transport, node, peer
+
+
+class TestDispatch:
+    def test_heartbeat_routed_to_handler(self):
+        sim, transport, node, peer = build()
+        seen = []
+        node.heartbeat_handler = seen.append
+        transport.send(Message(MsgKind.HEARTBEAT, src=1, dst=0))
+        sim.run()
+        assert len(seen) == 1
+
+    def test_control_without_handler_raises(self):
+        sim, transport, node, peer = build()
+        transport.send(Message(MsgKind.CONTROL, src=1, dst=0, tag="x"))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_app_message_to_unknown_task_ignored(self):
+        sim, transport, node, peer = build()
+        transport.send(Message(MsgKind.APP, src=1, dst=0,
+                               payload=(99, 0, 1, 0)))
+        sim.run()  # no task 99 hosted: silently dropped
+
+    def test_dead_node_ignores_everything(self):
+        sim, transport, node, peer = build()
+        seen = []
+        node.heartbeat_handler = seen.append
+        node.die()
+        transport.send(Message(MsgKind.HEARTBEAT, src=1, dst=0))
+        sim.run()
+        assert seen == []
+
+
+class TestBookkeeping:
+    def _task(self, node, tid=0):
+        t = Task(tid, node, neighbors=[],
+                 iteration_time=lambda *_: 0.1)
+        node.add_task(t)
+        return t
+
+    def test_local_max_progress_tracks_fastest_task(self):
+        sim, transport, node, peer = build()
+        fast = self._task(node, 0)
+        slow = self._task(node, 1)
+        slow.iteration_time = lambda *_: 0.3
+        node.start_tasks()
+        sim.run(until=0.95)
+        assert node.local_max_progress == fast.progress
+        assert node.local_max_progress > slow.progress
+
+    def test_min_task_progress_excludes_dead(self):
+        sim, transport, node, peer = build()
+        a = self._task(node, 0)
+        b = self._task(node, 1)
+        node.start_tasks()
+        sim.run(until=0.55)
+        b.kill()
+        b.progress = 0
+        assert node.min_task_progress() == a.progress
+
+    def test_revive_counts_incarnations(self):
+        sim, transport, node, peer = build()
+        assert node.failures_survived == 0
+        node.die()
+        node.revive()
+        node.die()
+        node.revive()
+        assert node.failures_survived == 2
+        assert node.alive
+
+    def test_double_die_is_idempotent(self):
+        sim, transport, node, peer = build()
+        t = self._task(node)
+        node.start_tasks()
+        node.die()
+        node.die()
+        assert not node.alive
+        assert node.failures_survived == 0
+
+    def test_progress_callback_invoked(self):
+        sim, transport, node, peer = build()
+        self._task(node)
+        calls = []
+        node.on_progress = calls.append
+        node.start_tasks()
+        sim.run(until=0.35)
+        assert len(calls) == 3

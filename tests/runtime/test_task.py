@@ -1,0 +1,171 @@
+"""Task execution-engine tests: dependencies, pausing, rollback epochs."""
+
+import pytest
+
+from repro.runtime.des import Simulator
+from repro.runtime.messages import Transport
+from repro.runtime.node import Node
+from repro.runtime.task import Task, TaskState
+
+
+def build_ring(n_tasks=4, iteration_seconds=0.1, tasks_per_node=1):
+    """n tasks in a dependency ring, one node each by default."""
+    sim = Simulator()
+    transport = Transport(sim)
+    n_nodes = n_tasks // tasks_per_node
+    nodes = [Node(i, 0, i, sim, transport) for i in range(n_nodes)]
+    tasks = []
+    for tid in range(n_tasks):
+        node = nodes[tid // tasks_per_node]
+        left, right = (tid - 1) % n_tasks, (tid + 1) % n_tasks
+        neighbors = [(left // tasks_per_node, left), (right // tasks_per_node, right)]
+        t = Task(tid, node, neighbors=neighbors,
+                 iteration_time=lambda task_id, it: iteration_seconds)
+        node.add_task(t)
+        tasks.append(t)
+    return sim, nodes, tasks
+
+
+class TestForwardProgress:
+    def test_tasks_advance_through_iterations(self):
+        sim, nodes, tasks = build_ring()
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=2.0)
+        assert all(t.progress >= 10 for t in tasks)
+
+    def test_dependency_gating_bounds_skew(self):
+        # A task can be at most ~1 iteration ahead of its ring neighbours.
+        def jittered(task_id, it):
+            return 0.1 * (1.0 + 0.3 * ((task_id * 7 + it) % 5) / 5)
+
+        sim, nodes, tasks = build_ring()
+        for t in tasks:
+            t.iteration_time = jittered
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=5.0)
+        progresses = [t.progress for t in tasks]
+        assert max(progresses) - min(progresses) <= 2
+
+    def test_node_tracks_local_max_progress(self):
+        sim, nodes, tasks = build_ring(n_tasks=4, tasks_per_node=2)
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=1.05)
+        for n in nodes:
+            assert n.local_max_progress == max(t.progress for t in n.tasks)
+
+
+class TestPauseResume:
+    def test_pause_at_iteration(self):
+        sim, nodes, tasks = build_ring()
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=0.35)
+        for t in tasks:
+            t.request_pause_at(5)
+        sim.run(until=5.0)
+        assert all(t.progress == 5 for t in tasks)
+        assert all(t.state is TaskState.PAUSED for t in tasks)
+
+    def test_resume_continues(self):
+        sim, nodes, tasks = build_ring()
+        for n in nodes:
+            n.start_tasks()
+        for t in tasks:
+            t.request_pause_at(3)
+        sim.run(until=2.0)
+        for t in tasks:
+            t.resume()
+        sim.run(until=4.0)
+        assert all(t.progress > 10 for t in tasks)
+
+    def test_iteration_cap_is_hard(self):
+        sim, nodes, tasks = build_ring()
+        for t in tasks:
+            t.iteration_cap = 7
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=10.0)
+        assert all(t.progress == 7 for t in tasks)
+        # resume() must not override the cap.
+        for t in tasks:
+            t.resume()
+        sim.run(until=12.0)
+        assert all(t.progress == 7 for t in tasks)
+
+    def test_all_tasks_ready_callback(self):
+        sim, nodes, tasks = build_ring(n_tasks=4, tasks_per_node=2)
+        ready_nodes = []
+        for n in nodes:
+            n.on_all_tasks_ready = ready_nodes.append
+            n.start_tasks()
+        for t in tasks:
+            t.request_pause_at(2)
+        sim.run(until=2.0)
+        assert set(id(n) for n in ready_nodes) >= set(id(n) for n in nodes)
+
+
+class TestRollback:
+    def test_restore_resets_progress_and_resumes(self):
+        sim, nodes, tasks = build_ring()
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=1.05)
+        assert all(t.progress >= 10 for t in tasks)
+        for t in tasks:
+            t.restore(3)
+        sim.run(until=1.6)
+        assert all(t.progress > 3 for t in tasks)
+
+    def test_stale_messages_discarded_after_restore(self):
+        sim, nodes, tasks = build_ring()
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=1.05)
+        old_epoch = tasks[0].epoch
+        for t in tasks:
+            t.restore(2)
+        assert all(t.epoch == old_epoch + 1 for t in tasks)
+        # Pre-restore stamps must not unblock post-restore iterations:
+        tasks[0].on_dep_message(from_task=1, stamp=50, epoch=old_epoch)
+        assert tasks[0].dep_stamps[1] < 50
+
+    def test_in_flight_compute_cancelled_by_restore(self):
+        sim, nodes, tasks = build_ring(iteration_seconds=1.0)
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=0.5)  # everyone mid-iteration-1
+        for t in tasks:
+            t.restore(0)
+        sim.run(until=0.9)
+        # The old completion (due at t=1.0) must not double-fire.
+        assert all(t.progress == 0 for t in tasks)
+        sim.run(until=2.0)
+        assert all(t.progress >= 1 for t in tasks)
+
+
+class TestDeath:
+    def test_killed_task_stops(self):
+        sim, nodes, tasks = build_ring()
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=0.55)
+        nodes[1].die()
+        frozen = tasks[1].progress
+        sim.run(until=2.0)
+        assert tasks[1].progress == frozen
+        assert tasks[1].state is TaskState.DEAD
+
+    def test_ring_starves_without_dead_neighbour(self):
+        # Neighbours of a dead task stall within a couple of iterations -
+        # the natural stall of the crashed replica in the weak scheme.
+        sim, nodes, tasks = build_ring()
+        for n in nodes:
+            n.start_tasks()
+        sim.run(until=0.55)
+        nodes[1].die()
+        sim.run(until=5.0)
+        alive = [t for i, t in enumerate(tasks) if i != 1]
+        assert max(t.progress for t in alive) <= tasks[1].progress + 2

@@ -1,0 +1,29 @@
+"""Public API surface tests: the quickstart contract."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_quickstart_runs(self):
+        result = repro.run_acr_experiment(
+            "jacobi3d-charm", nodes_per_replica=2, scheme="strong",
+            total_iterations=60, hard_mtbf=None, sdc_mtbf=None, seed=1,
+        )
+        assert result.report.result_correct
+
+    def test_miniapp_names_cover_paper_suite(self):
+        assert set(repro.MINIAPP_NAMES) == {
+            "jacobi3d-charm", "jacobi3d-ampi", "hpccg", "lulesh",
+            "leanmd", "minimd",
+        }
+
+    def test_make_app_factory(self):
+        app = repro.make_app("hpccg", 2, scale=1e-4, seed=0)
+        assert isinstance(app, repro.ReplicaApp)

@@ -1,0 +1,98 @@
+"""Unit-conversion tests."""
+
+import math
+
+import pytest
+
+from repro.util.units import (
+    FIT_PER_HOUR,
+    GiB,
+    HOURS,
+    KiB,
+    MiB,
+    YEARS,
+    fit_to_mtbf_seconds,
+    mtbf_seconds_to_fit,
+    parse_size,
+    pretty_bytes,
+    pretty_seconds,
+)
+
+
+class TestFitConversions:
+    def test_one_fit_is_one_failure_per_billion_device_hours(self):
+        assert fit_to_mtbf_seconds(1.0) == pytest.approx(1e9 * HOURS)
+
+    def test_mtbf_scales_inversely_with_devices(self):
+        single = fit_to_mtbf_seconds(100.0, devices=1)
+        many = fit_to_mtbf_seconds(100.0, devices=1000)
+        assert many == pytest.approx(single / 1000)
+
+    def test_paper_figure7_magnitude(self):
+        # 100 FIT/socket over 65536 sockets: MTBF of about 152.6 hours.
+        mtbf = fit_to_mtbf_seconds(100.0, devices=65536)
+        assert mtbf / HOURS == pytest.approx(152.59, rel=1e-3)
+
+    def test_zero_fit_means_never(self):
+        assert fit_to_mtbf_seconds(0.0) == math.inf
+
+    def test_round_trip(self):
+        mtbf = fit_to_mtbf_seconds(250.0, devices=7)
+        assert mtbf_seconds_to_fit(mtbf, devices=7) == pytest.approx(250.0)
+
+    def test_rejects_nonpositive_devices(self):
+        with pytest.raises(ValueError):
+            fit_to_mtbf_seconds(1.0, devices=0)
+        with pytest.raises(ValueError):
+            mtbf_seconds_to_fit(1.0, devices=-1)
+
+    def test_rejects_nonpositive_mtbf(self):
+        with pytest.raises(ValueError):
+            mtbf_seconds_to_fit(0.0)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1024", 1024),
+            ("4 KiB", 4 * KiB),
+            ("4kib", 4 * KiB),
+            ("16 MiB", 16 * MiB),
+            ("2GiB", 2 * GiB),
+            ("1.5 MiB", int(1.5 * MiB)),
+            ("10 kb", 10_000),
+            ("3 mb", 3_000_000),
+            ("7b", 7),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_accepts_numbers(self):
+        assert parse_size(4096) == 4096
+        assert parse_size(1.5e3) == 1500
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("lots of bytes")
+
+
+class TestPretty:
+    def test_pretty_bytes_picks_unit(self):
+        assert pretty_bytes(512) == "512 B"
+        assert "KiB" in pretty_bytes(8 * KiB)
+        assert "MiB" in pretty_bytes(3 * MiB)
+        assert "GiB" in pretty_bytes(5 * GiB)
+
+    def test_pretty_seconds_scales(self):
+        assert "us" in pretty_seconds(5e-6)
+        assert "ms" in pretty_seconds(0.005)
+        assert pretty_seconds(1.5).endswith(" s")
+        assert "min" in pretty_seconds(300)
+        assert "h" in pretty_seconds(2 * 7200)
+        assert pretty_seconds(float("inf")) == "inf"
+
+    def test_constants_consistent(self):
+        assert YEARS == pytest.approx(365.25 * 24 * HOURS)
+        assert FIT_PER_HOUR == 1e-9
