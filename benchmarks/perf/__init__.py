@@ -1,0 +1,6 @@
+"""Checkpoint hot-path micro-benchmarks (pack, checksum, campaign).
+
+Run ``python benchmarks/perf/run_bench.py`` to emit ``BENCH_checkpoint.json``;
+``pytest tests/perf -m perf_smoke`` exercises every benchmark once with tiny
+sizes so the suite cannot silently rot.
+"""

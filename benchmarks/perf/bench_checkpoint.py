@@ -1,0 +1,186 @@
+"""Micro-benchmarks for the checkpoint hot path.
+
+Measures the three layers this overhaul touched, each against its reference
+baseline, so every future PR has a perf trajectory to defend:
+
+* **packing** — the legacy chunk-and-concatenate path (``PackingPUPer``, the
+  seed's ``pack()``) vs the zero-copy sized path (``pack``) vs steady-state
+  buffer reuse (``pack_into``);
+* **checksums** — Fletcher-32/64 and the 32-byte striped digest throughput,
+  plus incremental field-granular digests with 1 of N fields dirty vs a full
+  recompute;
+* **campaigns** — multi-seed replay throughput, serial vs ``workers=N``.
+
+All timings use best-of-``repeats`` ``perf_counter`` deltas; payload sizes
+and speedups land in ``BENCH_checkpoint.json`` via :func:`run_all`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.harness.campaign import run_campaign
+from repro.pup.checksum import (
+    DigestCache,
+    checkpoint_checksum,
+    fletcher32,
+    fletcher64,
+)
+from repro.pup.puper import PackedState, PackingPUPer, pack, pack_into
+
+MIB = float(1 << 20)
+
+
+class MultiFieldState:
+    """A pupable object with ``nfields`` float64 arrays totalling ~``total_bytes``."""
+
+    def __init__(self, nfields: int, total_bytes: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        per_field = max(1, total_bytes // nfields // 8)
+        self.iteration = 0
+        self.arrays = [rng.random(per_field) for _ in range(nfields)]
+
+    def pup(self, p):
+        self.iteration = p.pup_int("iteration", self.iteration)
+        for i, arr in enumerate(self.arrays):
+            self.arrays[i] = p.pup_array(f"field{i:02d}", arr)
+
+    def dirty(self, index: int) -> None:
+        """Perturb one field so the next pack_into round sees it changed."""
+        self.arrays[index % len(self.arrays)][0] += 1.0
+
+
+def legacy_pack(obj) -> PackedState:
+    """The seed ``pack()`` path: per-field chunk copies + one concatenation."""
+    p = PackingPUPer()
+    obj.pup(p)
+    return PackedState(p.buffer(), p.fields)
+
+
+def _best(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_pack(total_mib: float = 64.0, nfields: int = 16,
+               repeats: int = 5) -> dict:
+    """Legacy pack vs zero-copy pack vs steady-state pack_into."""
+    obj = MultiFieldState(nfields, int(total_mib * MIB))
+    t_legacy = _best(lambda: legacy_pack(obj), repeats)
+    t_pack = _best(lambda: pack(obj), repeats)
+    state = pack_into(obj)
+    t_into = _best(lambda: pack_into(obj, state), repeats)
+    nbytes = state.nbytes
+    return {
+        "payload_mib": nbytes / MIB,
+        "nfields": nfields,
+        "legacy_pack_s": t_legacy,
+        "pack_s": t_pack,
+        "pack_into_s": t_into,
+        "pack_speedup_vs_legacy": t_legacy / t_pack,
+        "pack_into_speedup_vs_legacy": t_legacy / t_into,
+        "pack_into_gib_per_s": nbytes / t_into / (1 << 30),
+    }
+
+
+def bench_fletcher(total_mib: float = 64.0, repeats: int = 3) -> dict:
+    """Raw Fletcher-32/64 and striped-digest throughput."""
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 256, size=int(total_mib * MIB), dtype=np.uint8)
+    t32 = _best(lambda: fletcher32(data), repeats)
+    t64 = _best(lambda: fletcher64(data), repeats)
+    t_striped = _best(lambda: checkpoint_checksum(data), repeats)
+    gib = data.nbytes / (1 << 30)
+    return {
+        "payload_mib": data.nbytes / MIB,
+        "fletcher32_s": t32,
+        "fletcher64_s": t64,
+        "striped_digest_s": t_striped,
+        "fletcher32_gib_per_s": gib / t32,
+        "fletcher64_gib_per_s": gib / t64,
+        "striped_digest_gib_per_s": gib / t_striped,
+    }
+
+
+def bench_incremental_checksum(total_mib: float = 64.0, nfields: int = 16,
+                               dirty_fields: int = 1,
+                               repeats: int = 5) -> dict:
+    """Field-granular digest with ``dirty_fields`` of ``nfields`` dirty vs
+    recomputing the digest from scratch every round."""
+    obj = MultiFieldState(nfields, int(total_mib * MIB))
+    state = pack_into(obj)
+    t_full = _best(lambda: checkpoint_checksum(state), repeats)
+    cache = DigestCache()
+    checkpoint_checksum(state, cache=cache)  # warm the cache
+    best = float("inf")
+    for round_no in range(repeats):
+        for d in range(dirty_fields):
+            obj.dirty(round_no * dirty_fields + d)
+        pack_into(obj, state, track_dirty=True)
+        t0 = time.perf_counter()
+        checkpoint_checksum(state, cache=cache)
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "payload_mib": state.nbytes / MIB,
+        "nfields": nfields,
+        "dirty_fields": dirty_fields,
+        "full_recompute_s": t_full,
+        "incremental_s": best,
+        "incremental_speedup": t_full / best,
+    }
+
+
+def bench_campaign(seeds: int = 8, workers: int = 4,
+                   total_iterations: int = 400) -> dict:
+    """Multi-seed campaign throughput, serial vs process-parallel.
+
+    The speedup tracks the machine's core count: on a single-core box the
+    parallel path can only add fork/IPC overhead (hence ``cpu_count`` in the
+    result), while the bitwise-identity check holds everywhere.
+    """
+    kwargs = dict(nodes_per_replica=2, total_iterations=total_iterations,
+                  checkpoint_interval=2.0, hard_mtbf=20.0, horizon=20_000.0)
+    t0 = time.perf_counter()
+    serial = run_campaign("synthetic", seeds=range(seeds), **kwargs)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_campaign("synthetic", seeds=range(seeds), workers=workers,
+                            **kwargs)
+    t_parallel = time.perf_counter() - t0
+    return {
+        "seeds": seeds,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_s": t_serial,
+        "parallel_s": t_parallel,
+        "parallel_speedup": t_serial / t_parallel,
+        "summaries_identical": serial.summary == parallel.summary,
+        "serial_seeds_per_s": seeds / t_serial,
+        "parallel_seeds_per_s": seeds / t_parallel,
+    }
+
+
+def run_all(*, quick: bool = False, total_mib: float = 64.0,
+            repeats: int = 5) -> dict:
+    """Run every micro-benchmark; ``quick`` shrinks sizes for smoke testing."""
+    if quick:
+        total_mib, repeats = 1.0, 1
+        campaign_kwargs = dict(seeds=2, workers=2, total_iterations=20)
+    else:
+        campaign_kwargs = dict(seeds=8, workers=4)
+    return {
+        "pack": bench_pack(total_mib=total_mib, repeats=repeats),
+        "fletcher": bench_fletcher(total_mib=total_mib,
+                                   repeats=max(2, repeats - 2)),
+        "incremental_checksum": bench_incremental_checksum(
+            total_mib=total_mib, repeats=repeats),
+        "campaign": bench_campaign(**campaign_kwargs),
+    }

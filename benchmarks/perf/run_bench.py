@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Run the checkpoint hot-path micro-benchmarks and emit ``BENCH_checkpoint.json``.
+
+Usage::
+
+    python benchmarks/perf/run_bench.py                 # full sizes (64 MiB)
+    python benchmarks/perf/run_bench.py --quick         # tiny smoke sizes
+    python benchmarks/perf/run_bench.py --mib 256 --out custom.json
+
+The JSON records per-benchmark timings and speedups plus environment metadata;
+``docs/performance.md`` explains how to read it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+import numpy as np  # noqa: E402
+
+from benchmarks.perf.bench_checkpoint import run_all  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sizes, one repeat (smoke mode)")
+    parser.add_argument("--mib", type=float, default=64.0,
+                        help="payload size in MiB for pack/checksum benches")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N timing repeats")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_checkpoint.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    results = run_all(quick=args.quick, total_mib=args.mib,
+                      repeats=args.repeats)
+    payload = {
+        "benchmark": "checkpoint_hot_path",
+        "quick": args.quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    pack = results["pack"]
+    inc = results["incremental_checksum"]
+    camp = results["campaign"]
+    print(f"wrote {args.out}")
+    print(f"pack        {pack['payload_mib']:8.1f} MiB  "
+          f"zero-copy {pack['pack_speedup_vs_legacy']:.2f}x, "
+          f"pack_into {pack['pack_into_speedup_vs_legacy']:.2f}x vs legacy "
+          f"({pack['pack_into_gib_per_s']:.2f} GiB/s steady state)")
+    print(f"checksum    {inc['payload_mib']:8.1f} MiB  "
+          f"incremental ({inc['dirty_fields']}/{inc['nfields']} dirty) "
+          f"{inc['incremental_speedup']:.1f}x vs full recompute")
+    print(f"campaign    {camp['seeds']} seeds   "
+          f"workers={camp['workers']} {camp['parallel_speedup']:.2f}x "
+          f"on {camp['cpu_count']} core(s), "
+          f"identical={camp['summaries_identical']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,7 +41,15 @@ from repro.network import (
     build_mapping,
     intrepid_allocation,
 )
-from repro.pup import PackedState, Pupable, PUPer, compare_checkpoints, pack, unpack
+from repro.pup import (
+    PackedState,
+    Pupable,
+    PUPer,
+    compare_checkpoints,
+    pack,
+    pack_into,
+    unpack,
+)
 
 __version__ = "1.0.0"
 
@@ -77,6 +85,7 @@ __all__ = [
     "PUPer",
     "compare_checkpoints",
     "pack",
+    "pack_into",
     "unpack",
     "__version__",
 ]

@@ -7,13 +7,15 @@ schedules and victim choices re-drawn each time) and aggregates outcomes.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.framework import RunReport
-from repro.harness.experiment import run_acr_experiment
+from repro.harness.experiment import run_experiment_report
 
 
 @dataclass
@@ -75,17 +77,65 @@ def summarize(reports: Sequence[RunReport]) -> CampaignSummary:
     )
 
 
+def _run_serial(app: str, seed_list: list[int],
+                experiment_kwargs: dict) -> list[RunReport]:
+    return [run_experiment_report(app, seed, experiment_kwargs)
+            for seed in seed_list]
+
+
+def _run_parallel(app: str, seed_list: list[int], workers: int,
+                  experiment_kwargs: dict) -> list[RunReport] | None:
+    """Fan seeds out over a process pool; ``None`` means "fall back to serial".
+
+    Results come back ordered by seed position regardless of completion
+    order, and each worker re-derives all randomness from its seed, so the
+    aggregate is bitwise-identical to the serial path.  Only *environmental*
+    failures (no process support, a pool that dies before doing work, or
+    unpicklable experiment kwargs) trigger the serial fallback — a genuine
+    experiment error propagates with its original type.
+    """
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    except (ImportError, NotImplementedError, OSError):
+        return None
+    try:
+        with executor:
+            futures = [
+                executor.submit(run_experiment_report, app, seed,
+                                experiment_kwargs)
+                for seed in seed_list
+            ]
+            return [f.result() for f in futures]
+    except (BrokenProcessPool, TypeError, AttributeError):
+        # TypeError/AttributeError: unpicklable kwargs (e.g. a closure-built
+        # injection plan) surface at submit or result time.
+        return None
+
+
 def run_campaign(
     app: str = "jacobi3d-charm",
     *,
     seeds: Sequence[int] = range(5),
+    workers: int | None = None,
     **experiment_kwargs,
 ) -> CampaignResult:
-    """Run :func:`run_acr_experiment` once per seed and aggregate."""
-    reports = []
+    """Run :func:`run_acr_experiment` once per seed and aggregate.
+
+    ``workers`` > 1 replays seeds concurrently on a ``ProcessPoolExecutor``
+    (each seed is an independent simulation — campaigns are embarrassingly
+    parallel).  The result is bitwise-identical to the serial path: reports
+    are ordered by seed and every worker derives its randomness from the
+    seed alone.  Where process pools are unavailable the runner silently
+    degrades to serial execution.
+    """
     seed_list = [int(s) for s in seeds]
-    for seed in seed_list:
-        result = run_acr_experiment(app, seed=seed, **experiment_kwargs)
-        reports.append(result.report)
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    nworkers = min(workers or 1, len(seed_list))
+    reports = None
+    if nworkers > 1:
+        reports = _run_parallel(app, seed_list, nworkers, experiment_kwargs)
+    if reports is None:
+        reports = _run_serial(app, seed_list, experiment_kwargs)
     return CampaignResult(reports=reports, seeds=seed_list,
                           summary=summarize(reports))

@@ -75,6 +75,19 @@ def run_acr_experiment(
     return ExperimentResult(report=report, acr=acr)
 
 
+def run_experiment_report(app: str, seed: int,
+                          experiment_kwargs: dict) -> RunReport:
+    """One campaign seed → its :class:`RunReport`.
+
+    Module-level (hence picklable) worker for the parallel campaign runner in
+    :mod:`repro.harness.campaign`; drops the ``ACR`` object so only the
+    report crosses the process boundary.  Results are deterministic per seed
+    regardless of which process runs them: every random draw flows from
+    SHA-256-derived :class:`~repro.util.rng.RngStream` seeds.
+    """
+    return run_acr_experiment(app, seed=seed, **experiment_kwargs).report
+
+
 def forward_path_overhead(
     app: str = "jacobi3d-charm",
     *,

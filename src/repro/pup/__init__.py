@@ -13,11 +13,16 @@ from repro.pup.checker import (
 )
 from repro.pup.checksum import (
     CHECKSUM_NBYTES,
+    DigestCache,
+    FieldDigest,
     checkpoint_checksum,
+    combine_digests,
+    field_digest,
     fletcher32,
     fletcher64,
 )
 from repro.pup.puper import (
+    BufferPackingPUPer,
     FieldRecord,
     PackedState,
     PackingPUPer,
@@ -27,6 +32,7 @@ from repro.pup.puper import (
     SizingPUPer,
     UnpackingPUPer,
     pack,
+    pack_into,
     sizeof,
     unpack,
 )
@@ -37,9 +43,14 @@ __all__ = [
     "compare_checkpoints",
     "compare_checksums",
     "CHECKSUM_NBYTES",
+    "DigestCache",
+    "FieldDigest",
     "checkpoint_checksum",
+    "combine_digests",
+    "field_digest",
     "fletcher32",
     "fletcher64",
+    "BufferPackingPUPer",
     "FieldRecord",
     "PackedState",
     "PackingPUPer",
@@ -49,6 +60,7 @@ __all__ = [
     "SizingPUPer",
     "UnpackingPUPer",
     "pack",
+    "pack_into",
     "sizeof",
     "unpack",
 ]

@@ -5,7 +5,11 @@ application describes its state once in a ``pup(p)`` method, and the same
 description drives four operations:
 
 * **sizing** — compute the checkpoint footprint (:class:`SizingPUPer`);
-* **packing** — serialize state into a flat byte buffer (:class:`PackingPUPer`);
+* **packing** — serialize state into a flat byte buffer.  The default
+  :func:`pack` path sizes the object first and then writes every field
+  directly into one preallocated buffer (:class:`BufferPackingPUPer`); the
+  chunk-and-concatenate :class:`PackingPUPer` remains as the streaming
+  fallback for objects whose size cannot be measured up front.
 * **unpacking** — restore state from a buffer (:class:`UnpackingPUPer`);
 * **checking** — compare two checkpoints field-by-field to detect silent data
   corruption (:mod:`repro.pup.checker`), including user-customizable per-field
@@ -17,6 +21,11 @@ is the deserialized one, so application code is written direction-agnostically::
     def pup(self, p):
         self.iteration = p.pup_int("iteration", self.iteration)
         self.grid = p.pup_array("grid", self.grid)
+
+Steady-state checkpointing should use :func:`pack_into`, which reuses the
+buffer (and field directory) of the previous round: after the first call the
+hot path allocates nothing and optionally tracks which fields actually
+changed, enabling incremental checksums (:mod:`repro.pup.checksum`).
 """
 
 from __future__ import annotations
@@ -77,6 +86,11 @@ class PUPer:
     is_unpacking: bool = False
     #: True when the PUPer only measures sizes.
     is_sizing: bool = False
+    #: Per-instance stack of nested-object scope names.  Kept on the instance
+    #: (not the module) so independent PUPers — e.g. on different campaign
+    #: worker processes or threads — can pup nested objects concurrently.
+    #: Lazily created so subclasses need not call ``super().__init__``.
+    _scopes: list[str] | None = None
 
     def _handle(
         self,
@@ -91,8 +105,13 @@ class PUPer:
 
     def _dispatch(self, name: str, arr: np.ndarray, *, rtol: float = 0.0,
                   atol: float = 0.0, skip_compare: bool = False) -> np.ndarray:
-        return self._handle(_qualify(name), arr, rtol=rtol, atol=atol,
+        return self._handle(self._qualify(name), arr, rtol=rtol, atol=atol,
                             skip_compare=skip_compare)
+
+    def _qualify(self, name: str) -> str:
+        if self._scopes:
+            return ".".join(self._scopes) + "." + name
+        return name
 
     # -- scalar helpers --------------------------------------------------------
     def pup_int(self, name: str, value: int) -> int:
@@ -141,8 +160,13 @@ class PUPer:
 
     def pup_object(self, name: str, obj: Pupable) -> Pupable:
         """Pup a nested object that itself implements ``pup``."""
-        with _scope(name):
+        if self._scopes is None:
+            self._scopes = []
+        self._scopes.append(name)
+        try:
             obj.pup(self)
+        finally:
+            self._scopes.pop()
         return obj
 
     def pup_list_of_arrays(
@@ -164,27 +188,6 @@ class PUPer:
         return out
 
 
-# -- field-name scoping for nested objects --------------------------------------
-_SCOPE_STACK: list[str] = []
-
-
-class _scope:
-    def __init__(self, name: str):
-        self.name = name
-
-    def __enter__(self):
-        _SCOPE_STACK.append(self.name)
-
-    def __exit__(self, *exc):
-        _SCOPE_STACK.pop()
-
-
-def _qualify(name: str) -> str:
-    if _SCOPE_STACK:
-        return ".".join(_SCOPE_STACK) + "." + name
-    return name
-
-
 class SizingPUPer(PUPer):
     """Counts the serialized size of an object without copying data."""
 
@@ -201,7 +204,15 @@ class SizingPUPer(PUPer):
 
 
 class PackingPUPer(PUPer):
-    """Serializes an object into a flat ``uint8`` buffer with a field directory."""
+    """Streaming packer: collects per-field chunks, concatenated on demand.
+
+    Copies every field twice (once into its chunk, once in the final
+    concatenation).  :func:`pack` no longer uses it — it sizes first and
+    writes through :class:`BufferPackingPUPer` in a single pass — but the
+    streaming path survives for objects whose pup description is too
+    expensive or side-effectful to run twice, and as the reference baseline
+    for the packing micro-benchmarks.
+    """
 
     def __init__(self) -> None:
         self._chunks: list[np.ndarray] = []
@@ -235,6 +246,112 @@ class PackingPUPer(PUPer):
         if not self._chunks:
             return np.empty(0, dtype=np.uint8)
         return np.concatenate(self._chunks)
+
+
+class BufferPackingPUPer(PUPer):
+    """Zero-copy packer: writes each field directly into a preallocated buffer.
+
+    Two modes:
+
+    * **first pass** (``expect=None``) — builds the field directory while
+      writing; the caller preallocates ``buffer`` from :class:`SizingPUPer`.
+    * **reuse** (``expect`` = previous round's directory) — every field is
+      validated against the previous round (name, dtype, shape) and written
+      into the same slice, so a drifting pup description raises
+      :class:`PUPError` instead of silently writing out of bounds.  With
+      ``track_dirty=True``, a field whose bytes are unchanged is left alone
+      (its cached checksum digest stays valid); changed fields bump their
+      entry in ``versions`` so incremental checksums know what to rehash.
+    """
+
+    def __init__(
+        self,
+        buffer: np.ndarray,
+        *,
+        expect: list[FieldRecord] | None = None,
+        versions: dict[str, int] | None = None,
+        track_dirty: bool = False,
+    ) -> None:
+        buf = np.asarray(buffer)
+        if buf.dtype != np.uint8 or buf.ndim != 1:
+            raise PUPError("pack buffer must be a flat uint8 array")
+        if not buf.flags.writeable or not buf.flags.c_contiguous:
+            raise PUPError("pack buffer must be writable and contiguous")
+        self._buffer = buf
+        self._expect = expect
+        self.versions: dict[str, int] = versions if versions is not None else {}
+        self._track_dirty = track_dirty
+        self.fields: list[FieldRecord] = [] if expect is None else expect
+        self._offset = 0
+        self._index = 0
+        self._names: set[str] = set()
+
+    def _handle(self, name, arr, *, rtol, atol, skip_compare):
+        flat = np.ascontiguousarray(arr).view(np.uint8).reshape(-1)
+        if self._expect is None:
+            if name in self._names:
+                raise PUPError(f"duplicate pup field name {name!r}")
+            self._names.add(name)
+            end = self._offset + flat.nbytes
+            if end > self._buffer.nbytes:
+                raise PUPError(
+                    f"field {name!r} overflows the sized pack buffer "
+                    f"({end} > {self._buffer.nbytes} bytes); the pup "
+                    "description changed between sizing and packing"
+                )
+            self._buffer[self._offset:end] = flat
+            self.fields.append(
+                FieldRecord(
+                    name=name,
+                    dtype=str(arr.dtype),
+                    shape=tuple(arr.shape),
+                    offset=self._offset,
+                    nbytes=flat.nbytes,
+                    rtol=rtol,
+                    atol=atol,
+                    skip_compare=skip_compare,
+                )
+            )
+            self._offset = end
+            return arr
+
+        # Reuse: the directory from the previous round is the contract.
+        if self._index >= len(self._expect):
+            raise PUPError(
+                f"pup description grew since last pack: unexpected field {name!r}"
+            )
+        rec = self._expect[self._index]
+        self._index += 1
+        if rec.name != name:
+            raise PUPError(
+                f"pup field order mismatch: expected {rec.name!r}, got {name!r}"
+            )
+        if str(arr.dtype) != rec.dtype or tuple(arr.shape) != rec.shape:
+            raise PUPError(
+                f"field {name!r} drifted since last pack: "
+                f"({rec.dtype}, {rec.shape}) -> ({arr.dtype}, {tuple(arr.shape)}); "
+                "repack from scratch instead of pack_into"
+            )
+        dst = self._buffer[rec.offset : rec.offset + rec.nbytes]
+        if self._track_dirty and np.array_equal(dst, flat):
+            return arr
+        dst[:] = flat
+        self.versions[name] = self.versions.get(name, 0) + 1
+        return arr
+
+    def finish(self) -> None:
+        """Assert the pup description matched the buffer / directory exactly."""
+        if self._expect is not None:
+            if self._index != len(self._expect):
+                raise PUPError(
+                    f"pup description consumed {self._index} of "
+                    f"{len(self._expect)} fields"
+                )
+        elif self._offset != self._buffer.nbytes:
+            raise PUPError(
+                f"pup description wrote {self._offset} of "
+                f"{self._buffer.nbytes} sized bytes"
+            )
 
 
 class UnpackingPUPer(PUPer):
@@ -283,24 +400,74 @@ class PackedState:
     """A serialized object state: buffer plus field directory.
 
     This is the unit that ACR stores, ships between buddies, and compares.
+    ``versions`` counts how many times each field's bytes have changed across
+    :func:`pack_into` rounds (missing name = 0); incremental checksum caches
+    key on it to decide which fields need rehashing.
     """
 
     buffer: np.ndarray
     fields: list[FieldRecord] = field(default_factory=list)
+    versions: dict[str, int] = field(default_factory=dict)
 
     @property
     def nbytes(self) -> int:
         return int(self.buffer.nbytes)
 
+    def version_of(self, name: str) -> int:
+        return self.versions.get(name, 0)
+
     def copy(self) -> "PackedState":
-        return PackedState(self.buffer.copy(), list(self.fields))
+        return PackedState(self.buffer.copy(), list(self.fields),
+                           dict(self.versions))
 
 
 def pack(obj: Pupable) -> PackedState:
-    """Serialize ``obj`` via its pup method."""
-    p = PackingPUPer()
+    """Serialize ``obj`` via its pup method.
+
+    Sizes the object first, then writes every field straight into one
+    preallocated buffer — a single copy of the payload, no chunk list, no
+    concatenation.  Requires the pup description to be deterministic across
+    the two passes (true for checkpoint state by construction; a description
+    that disagrees with its own sizing raises :class:`PUPError`).
+    """
+    sizer = SizingPUPer()
+    obj.pup(sizer)
+    buf = np.empty(sizer.nbytes, dtype=np.uint8)
+    p = BufferPackingPUPer(buf)
     obj.pup(p)
-    return PackedState(p.buffer(), p.fields)
+    p.finish()
+    return PackedState(buf, p.fields)
+
+
+def pack_into(
+    obj: Pupable,
+    state: PackedState | None = None,
+    *,
+    track_dirty: bool = False,
+) -> PackedState:
+    """Serialize ``obj``, reusing ``state``'s buffer and directory in place.
+
+    The steady-state checkpoint hot path: the first call (``state=None``)
+    allocates the buffer once; subsequent calls with the returned state write
+    into the *same* buffer object (identity is preserved — zero allocations
+    per round) and validate every field against the previous round's
+    directory, raising :class:`PUPError` on shape/dtype/order drift.
+
+    With ``track_dirty=True`` unchanged fields are detected (one compare, no
+    write) and their ``state.versions`` entry stays put, so an incremental
+    checksum cache (:class:`repro.pup.checksum.DigestCache`) only rehashes
+    fields that actually changed.  Leave it off when most fields change every
+    round — an unconditional write is cheaper than compare-then-write.
+    """
+    if state is None:
+        out = pack(obj)
+        out.versions = {}
+        return out
+    p = BufferPackingPUPer(state.buffer, expect=state.fields,
+                           versions=state.versions, track_dirty=track_dirty)
+    obj.pup(p)
+    p.finish()
+    return state
 
 
 def unpack(obj: Pupable, state: PackedState) -> None:

@@ -1,0 +1,49 @@
+"""Parallel campaign runner tests: worker pool vs serial bitwise identity."""
+
+import numpy as np
+import pytest
+
+from repro.harness.campaign import run_campaign
+
+_KWARGS = dict(nodes_per_replica=2, total_iterations=60,
+               checkpoint_interval=2.0, hard_mtbf=15.0, horizon=2000.0)
+
+
+class TestParallelCampaign:
+    def test_workers_produce_bitwise_identical_summary(self):
+        serial = run_campaign("synthetic", seeds=range(4), **_KWARGS)
+        parallel = run_campaign("synthetic", seeds=range(4), workers=4,
+                                **_KWARGS)
+        assert parallel.summary == serial.summary
+        assert parallel.seeds == serial.seeds
+        for a, b in zip(serial.reports, parallel.reports):
+            assert a.final_time == b.final_time
+            assert a.iterations_completed == b.iterations_completed
+            assert a.checkpoints_completed == b.checkpoints_completed
+            assert a.recoveries == b.recoveries
+            assert set(a.digests) == set(b.digests)
+            for rank in a.digests:
+                assert np.array_equal(a.digests[rank], b.digests[rank])
+
+    def test_reports_ordered_by_seed(self):
+        seeds = [7, 1, 5, 3]
+        result = run_campaign("synthetic", seeds=seeds, workers=2, **_KWARGS)
+        assert result.seeds == seeds
+        assert len(result.reports) == len(seeds)
+
+    def test_workers_capped_by_seed_count(self):
+        result = run_campaign("synthetic", seeds=[0], workers=8, **_KWARGS)
+        assert result.summary.runs == 1
+
+    def test_workers_one_stays_serial(self):
+        result = run_campaign("synthetic", seeds=range(2), workers=1,
+                              **_KWARGS)
+        assert result.summary.runs == 2
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_campaign("synthetic", seeds=range(2), workers=0, **_KWARGS)
+
+    def test_experiment_errors_propagate(self):
+        with pytest.raises(Exception):
+            run_campaign("no-such-app", seeds=range(2), workers=2, **_KWARGS)

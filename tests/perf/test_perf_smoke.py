@@ -1,0 +1,74 @@
+"""Perf-suite smoke tests: run every micro-benchmark once with tiny sizes.
+
+Marked ``perf_smoke`` so they can be selected standalone
+(``pytest -m perf_smoke``); they also run in the default suite, so the
+benchmarks in ``benchmarks/perf/`` cannot silently rot.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.perf.bench_checkpoint import (
+    MultiFieldState,
+    bench_campaign,
+    bench_fletcher,
+    bench_incremental_checksum,
+    bench_pack,
+    legacy_pack,
+    run_all,
+)
+from benchmarks.perf.run_bench import main as run_bench_main
+from repro.pup.puper import pack
+
+pytestmark = pytest.mark.perf_smoke
+
+TINY_MIB = 1 / 16  # 64 KiB payloads keep the smoke run fast
+
+
+class TestMicroBenchmarks:
+    def test_bench_pack_reports_speedups(self):
+        result = bench_pack(total_mib=TINY_MIB, nfields=4, repeats=1)
+        assert result["legacy_pack_s"] > 0
+        assert result["pack_s"] > 0
+        assert result["pack_into_s"] > 0
+        assert result["pack_speedup_vs_legacy"] > 0
+        assert result["pack_into_gib_per_s"] > 0
+
+    def test_bench_fletcher_reports_throughput(self):
+        result = bench_fletcher(total_mib=TINY_MIB, repeats=1)
+        for key in ("fletcher32_s", "fletcher64_s", "striped_digest_s"):
+            assert result[key] > 0
+
+    def test_bench_incremental_reports_speedup(self):
+        result = bench_incremental_checksum(total_mib=TINY_MIB, nfields=4,
+                                            repeats=2)
+        assert result["full_recompute_s"] > 0
+        assert result["incremental_s"] > 0
+        assert result["incremental_speedup"] > 0
+
+    def test_bench_campaign_parallel_matches_serial(self):
+        result = bench_campaign(seeds=2, workers=2, total_iterations=20)
+        assert result["summaries_identical"]
+        assert result["serial_s"] > 0 and result["parallel_s"] > 0
+
+    def test_legacy_pack_matches_zero_copy_pack(self):
+        obj = MultiFieldState(4, int(TINY_MIB * (1 << 20)))
+        legacy = legacy_pack(obj)
+        fast = pack(obj)
+        assert bytes(legacy.buffer) == bytes(fast.buffer)
+        assert [f.name for f in legacy.fields] == [f.name for f in fast.fields]
+
+
+class TestRunBenchEntryPoint:
+    def test_quick_mode_writes_json(self, tmp_path):
+        out = tmp_path / "BENCH_checkpoint.json"
+        assert run_bench_main(["--quick", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "checkpoint_hot_path"
+        assert set(payload["results"]) == {
+            "pack", "fletcher", "incremental_checksum", "campaign"}
+
+    def test_run_all_quick_covers_every_benchmark(self):
+        results = run_all(quick=True)
+        assert results["campaign"]["summaries_identical"]
