@@ -1,0 +1,42 @@
+"""Chaos testing for the ACR protocol state machine.
+
+Fuzz randomized, phase-aware fault schedules (:mod:`repro.chaos.fuzzer`),
+run them under a catalog of runtime invariants
+(:mod:`repro.chaos.monitor`), shrink failures to minimal replayable repro
+plans (:mod:`repro.chaos.shrinker`), and drive whole campaigns in parallel
+(:mod:`repro.chaos.campaign`).
+"""
+
+from repro.chaos.campaign import ChaosCampaignResult, run_chaos_campaign
+from repro.chaos.fuzzer import (
+    ChaosSchedule,
+    PhaseWindows,
+    TARGETING_MODES,
+    fuzz_schedule,
+    probe_phase_windows,
+)
+from repro.chaos.monitor import (
+    InvariantMonitor,
+    InvariantViolation,
+    LEGAL_TRANSITIONS,
+)
+from repro.chaos.runner import ChaosOutcome, run_chaos_seed, run_schedule
+from repro.chaos.shrinker import ShrinkResult, shrink_schedule
+
+__all__ = [
+    "ChaosCampaignResult",
+    "ChaosOutcome",
+    "ChaosSchedule",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "LEGAL_TRANSITIONS",
+    "PhaseWindows",
+    "ShrinkResult",
+    "TARGETING_MODES",
+    "fuzz_schedule",
+    "probe_phase_windows",
+    "run_chaos_campaign",
+    "run_chaos_seed",
+    "run_schedule",
+    "shrink_schedule",
+]

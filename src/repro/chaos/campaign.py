@@ -1,0 +1,92 @@
+"""Chaos campaigns: fuzz many seeds, in parallel, and aggregate verdicts.
+
+``run_chaos_campaign(seeds, workers=N)`` drives one monitored chaos run per
+seed over the same process-pool fan-out the experiment campaigns use (each
+seed re-derives everything from itself, so parallel results are
+bitwise-identical to serial), then shrinks every failing schedule to a
+minimal replayable repro plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.chaos.runner import ChaosOutcome, run_chaos_seed
+from repro.chaos.shrinker import ShrinkResult, shrink_schedule
+from repro.chaos.fuzzer import ChaosSchedule
+from repro.harness.campaign import fan_out
+
+
+@dataclass
+class ChaosCampaignResult:
+    """Verdicts of one chaos campaign."""
+
+    seeds: list[int]
+    outcomes: list[ChaosOutcome]
+    shrunk: list[ShrinkResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[ChaosOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def total_checks(self) -> int:
+        return sum(o.checks_performed for o in self.outcomes)
+
+    def coverage(self) -> dict[str, int]:
+        """Schedules per (scheme, mode) cell — the fuzzer's coverage matrix."""
+        cells: dict[str, int] = {}
+        for o in self.outcomes:
+            sched = o.schedule
+            key = "{}/{}/{}".format(
+                sched.get("scheme", "?"),
+                "async" if sched.get("async_checkpointing") else "blocking",
+                "checksum" if sched.get("use_checksum") else "full-compare",
+            )
+            cells[key] = cells.get(key, 0) + 1
+        return cells
+
+
+def run_chaos_campaign(
+    seeds: Sequence[int] | int,
+    *,
+    workers: int | None = None,
+    app: str = "jacobi3d-charm",
+    shrink: bool = True,
+    shrink_max_runs: int = 200,
+) -> ChaosCampaignResult:
+    """Fuzz + run + verify one schedule per seed; shrink any failures.
+
+    ``seeds`` is a sequence of seeds or a count (meaning ``range(count)``).
+    ``workers`` > 1 fans the runs out over a process pool; results are
+    ordered by seed and bitwise-identical to the serial path.
+    """
+    if isinstance(seeds, int):
+        seeds = range(seeds)
+    seed_list = [int(s) for s in seeds]
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    nworkers = min(workers or 1, max(len(seed_list), 1))
+    outcomes = None
+    if nworkers > 1:
+        outcomes = fan_out(run_chaos_seed,
+                           [(seed, app) for seed in seed_list], nworkers)
+    if outcomes is None:
+        outcomes = [run_chaos_seed(seed, app) for seed in seed_list]
+    result = ChaosCampaignResult(seeds=seed_list, outcomes=outcomes)
+    if shrink:
+        for failure in result.failures:
+            schedule = ChaosSchedule.from_dict(failure.schedule)
+            try:
+                result.shrunk.append(
+                    shrink_schedule(schedule, max_runs=shrink_max_runs))
+            except ValueError:
+                # The failure did not reproduce on replay — report it
+                # unshrunk rather than dropping it on the floor.
+                continue
+    return result

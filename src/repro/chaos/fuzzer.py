@@ -1,0 +1,274 @@
+"""Chaos schedule fuzzing: randomized, phase-aware fault schedules.
+
+One seed deterministically generates one :class:`ChaosSchedule` — a full ACR
+configuration (scheme × blocking/async × checksum/full-compare, node count,
+checkpoint period) plus an :class:`~repro.faults.injector.InjectionPlan`
+whose fault *timing is aimed at protocol phases*.  A failure-free probe run
+of the chosen configuration maps out where consensus rounds, pack/transfer
+windows, and post-checkpoint gaps fall on the clock; faults are then placed
+inside those windows (or chained after an earlier fault to land in recovery
+and weak-pending windows, or fired back-to-back at a buddy pair).
+
+Everything is derived from ``RngStream(seed, ...)``, so a schedule — and the
+monitored run it drives — is bitwise-reproducible from its seed alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from repro.core.config import ACRConfig
+from repro.core.events import TimelineKind
+from repro.faults.injector import FaultEvent, FaultKind, InjectionPlan
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+#: The coverage base: every combination of scheme × checkpoint mode ×
+#: comparison mode appears once per 12 consecutive seeds.
+SCHEMES = ("strong", "medium", "weak")
+
+#: Fault-timing targeting modes the fuzzer draws from.
+TARGETING_MODES = (
+    "consensus",        # inside a consensus round (request → decision)
+    "pack-transfer",    # between the decision and checkpoint completion
+    "post-checkpoint",  # right after a checkpoint commits
+    "chained",          # shortly after an earlier fault: recovery /
+                        # weak-pending windows
+    "buddy-pair",       # back-to-back hard faults on one buddy pair
+    "random",           # anywhere in the run
+)
+
+#: Heartbeat detection latency bound used when chaining faults into the
+#: recovery window opened by an earlier fault (timeout_factor * interval).
+_DETECTION_LATENCY = 4.0 * 0.5
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One fuzzed scenario: configuration axes plus a fault schedule."""
+
+    seed: int
+    app: str
+    nodes_per_replica: int
+    scheme: str
+    async_checkpointing: bool
+    use_checksum: bool
+    checkpoint_interval: float
+    total_iterations: int
+    tasks_per_node: int
+    spare_nodes: int
+    horizon: float
+    events: tuple[FaultEvent, ...] = ()
+    #: Targeting mode used for each entry of ``events`` (diagnostics only).
+    modes: tuple[str, ...] = ()
+
+    def plan(self) -> InjectionPlan:
+        return InjectionPlan(list(self.events))
+
+    def config(self) -> ACRConfig:
+        from repro.model.schemes import ResilienceScheme
+
+        return ACRConfig(
+            scheme=ResilienceScheme(self.scheme),
+            async_checkpointing=self.async_checkpointing,
+            use_checksum=self.use_checksum,
+            checkpoint_interval=self.checkpoint_interval,
+            total_iterations=self.total_iterations,
+            tasks_per_node=self.tasks_per_node,
+            spare_nodes=self.spare_nodes,
+            app_scale=1e-4,
+            seed=self.seed,
+        )
+
+    def with_events(self, events: tuple[FaultEvent, ...],
+                    modes: tuple[str, ...] | None = None) -> "ChaosSchedule":
+        if modes is None:
+            modes = ("?",) * len(events)
+        return replace(self, events=tuple(events), modes=tuple(modes))
+
+    # -- serialization (replayable repro plans) ---------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "app": self.app,
+            "nodes_per_replica": self.nodes_per_replica,
+            "scheme": self.scheme,
+            "async_checkpointing": self.async_checkpointing,
+            "use_checksum": self.use_checksum,
+            "checkpoint_interval": self.checkpoint_interval,
+            "total_iterations": self.total_iterations,
+            "tasks_per_node": self.tasks_per_node,
+            "spare_nodes": self.spare_nodes,
+            "horizon": self.horizon,
+            "events": [
+                {"time": e.time, "kind": str(e.kind), "replica": e.replica,
+                 "node_id": e.node_id}
+                for e in self.events
+            ],
+            "modes": list(self.modes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSchedule":
+        events = tuple(
+            FaultEvent(time=float(e["time"]), kind=FaultKind(e["kind"]),
+                       replica=int(e["replica"]), node_id=int(e["node_id"]))
+            for e in data["events"]
+        )
+        modes = tuple(data.get("modes") or ("?",) * len(events))
+        return cls(
+            seed=int(data["seed"]),
+            app=str(data["app"]),
+            nodes_per_replica=int(data["nodes_per_replica"]),
+            scheme=str(data["scheme"]),
+            async_checkpointing=bool(data["async_checkpointing"]),
+            use_checksum=bool(data["use_checksum"]),
+            checkpoint_interval=float(data["checkpoint_interval"]),
+            total_iterations=int(data["total_iterations"]),
+            tasks_per_node=int(data["tasks_per_node"]),
+            spare_nodes=int(data["spare_nodes"]),
+            horizon=float(data["horizon"]),
+            events=events,
+            modes=modes,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSchedule":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class PhaseWindows:
+    """Protocol-phase time windows mapped out by a failure-free probe run."""
+
+    consensus: tuple[tuple[float, float], ...]
+    pack_transfer: tuple[tuple[float, float], ...]
+    checkpoint_done: tuple[float, ...]
+    final_time: float
+
+
+def probe_phase_windows(schedule: ChaosSchedule) -> PhaseWindows:
+    """Run the schedule's configuration fault-free and extract phase windows."""
+    from repro.core.framework import ACR
+
+    acr = ACR(schedule.app, nodes_per_replica=schedule.nodes_per_replica,
+              config=schedule.config(), injection_plan=InjectionPlan())
+    report = acr.run(until=schedule.horizon, max_events=50_000_000)
+    starts = report.timeline.times_of(TimelineKind.CONSENSUS_START)
+    decisions = report.timeline.times_of(TimelineKind.CONSENSUS_DECIDED)
+    dones = report.timeline.times_of(TimelineKind.CHECKPOINT_DONE)
+    consensus = tuple(zip(starts, decisions))
+    pack_transfer = tuple(zip(decisions, dones))
+    return PhaseWindows(
+        consensus=consensus,
+        pack_transfer=pack_transfer,
+        checkpoint_done=tuple(dones),
+        final_time=report.final_time,
+    )
+
+
+def _pick_window(rng: RngStream,
+                 windows: tuple[tuple[float, float], ...]) -> float | None:
+    usable = [(a, b) for a, b in windows if b > a]
+    if not usable:
+        return None
+    a, b = usable[int(rng.integers(0, len(usable)))]
+    return float(rng.uniform(a, b))
+
+
+def fuzz_schedule(seed: int, *, app: str = "jacobi3d-charm") -> ChaosSchedule:
+    """Deterministically fuzz one schedule from ``seed``.
+
+    The configuration axes cycle so any 12 consecutive seeds cover all three
+    schemes × blocking/async × checksum/full-compare; the remaining knobs and
+    the fault schedule are drawn from seed-derived random streams.
+    """
+    if seed < 0:
+        raise ConfigurationError(f"chaos seed must be >= 0, got {seed}")
+    rng = RngStream(seed, "chaos/fuzzer")
+    scheme = SCHEMES[seed % 3]
+    async_ckpt = bool((seed // 3) % 2)
+    use_checksum = bool((seed // 6) % 2)
+    nodes = int(rng.integers(2, 5))
+    tasks_per_node = int(rng.integers(1, 3))
+    interval = float(rng.uniform(1.5, 5.0))
+    iterations = int(rng.integers(40, 121))
+    base = ChaosSchedule(
+        seed=seed,
+        app=app,
+        nodes_per_replica=nodes,
+        scheme=scheme,
+        async_checkpointing=async_ckpt,
+        use_checksum=use_checksum,
+        checkpoint_interval=interval,
+        total_iterations=iterations,
+        tasks_per_node=tasks_per_node,
+        spare_nodes=16,
+        horizon=0.0,  # patched below from the probe run
+        events=(),
+    )
+    # Probe with a generous provisional horizon, then bound the chaotic run
+    # at a multiple of the failure-free duration (rollbacks cost rework).
+    probe_sched = replace(base, horizon=10_000.0)
+    windows = probe_phase_windows(probe_sched)
+    horizon = 12.0 * windows.final_time + 120.0
+    events, modes = _draw_faults(rng, base, windows)
+    return replace(base, horizon=horizon, events=tuple(events),
+                   modes=tuple(modes))
+
+
+def _draw_faults(rng: RngStream, sched: ChaosSchedule,
+                 windows: PhaseWindows) -> tuple[list[FaultEvent], list[str]]:
+    n_faults = int(rng.integers(1, 5))
+    events: list[FaultEvent] = []
+    modes: list[str] = []
+    mode_rng = rng.child("modes")
+    for i in range(n_faults):
+        mode = TARGETING_MODES[int(mode_rng.integers(0, len(TARGETING_MODES)))]
+        kind = (FaultKind.SDC if rng.uniform() < 0.25 else FaultKind.HARD)
+        replica = int(rng.integers(0, 2))
+        rank = int(rng.integers(0, sched.nodes_per_replica))
+        if mode == "consensus":
+            t = _pick_window(rng, windows.consensus)
+        elif mode == "pack-transfer":
+            t = _pick_window(rng, windows.pack_transfer)
+        elif mode == "post-checkpoint":
+            if windows.checkpoint_done:
+                done = windows.checkpoint_done[
+                    int(rng.integers(0, len(windows.checkpoint_done)))]
+                t = done + float(rng.uniform(0.0, 0.3))
+            else:
+                t = None
+        elif mode == "chained" and events:
+            # Land in the detection + recovery (or weak-pending) window the
+            # previous fault opens; hard faults only — that is the cascade.
+            prev = events[-1]
+            t = prev.time + _DETECTION_LATENCY * float(rng.uniform(0.5, 3.0))
+            kind = FaultKind.HARD
+        elif mode == "buddy-pair":
+            # Two back-to-back hard faults on the same rank, both replicas:
+            # the §2.3 worst case (nobody holds the pair's checkpoint).
+            t = float(rng.uniform(1.0, max(windows.final_time, 2.0)))
+            gap = float(rng.uniform(0.0, 3.0))
+            events.append(FaultEvent(time=t, kind=FaultKind.HARD,
+                                     replica=replica, node_id=rank))
+            modes.append(mode)
+            events.append(FaultEvent(time=t + gap, kind=FaultKind.HARD,
+                                     replica=1 - replica, node_id=rank))
+            modes.append(mode)
+            continue
+        else:
+            mode = "random"
+            t = None
+        if t is None:
+            mode = "random"
+            t = float(rng.uniform(0.5, max(windows.final_time, 2.0)))
+        events.append(FaultEvent(time=float(t), kind=kind, replica=replica,
+                                 node_id=rank))
+        modes.append(mode)
+    order = sorted(range(len(events)), key=lambda j: events[j].time)
+    return [events[j] for j in order], [modes[j] for j in order]

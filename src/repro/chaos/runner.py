@@ -1,0 +1,101 @@
+"""Execute one chaos schedule under full invariant monitoring.
+
+The runner is the bridge between the fuzzer and the framework: it builds the
+ACR job a :class:`~repro.chaos.fuzzer.ChaosSchedule` describes, attaches an
+:class:`~repro.chaos.monitor.InvariantMonitor`, runs the simulation, and
+folds the outcome — including any violation and a reproducibility
+fingerprint — into a picklable :class:`ChaosOutcome`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.chaos.fuzzer import ChaosSchedule, fuzz_schedule
+from repro.chaos.monitor import InvariantMonitor, InvariantViolation
+from repro.core.events import TimelineKind
+from repro.util.errors import ACRError
+
+
+@dataclass
+class ChaosOutcome:
+    """Result of one monitored chaos run (picklable, crosses process pools)."""
+
+    seed: int
+    ok: bool
+    invariant: str | None = None
+    violation: str | None = None
+    completed: bool = False
+    aborted_reason: str | None = None
+    final_time: float = 0.0
+    checkpoints: int = 0
+    rollbacks: int = 0
+    hard_injected: int = 0
+    hard_detected: int = 0
+    sdc_injected: int = 0
+    sdc_detected: int = 0
+    recoveries: dict[str, int] = field(default_factory=dict)
+    checks_performed: int = 0
+    #: SHA-256 over the run's observable behaviour; equal fingerprints mean
+    #: bitwise-identical replays.
+    fingerprint: str = ""
+    schedule: dict = field(default_factory=dict)
+
+    @property
+    def scheme(self) -> str:
+        return str(self.schedule.get("scheme", "?"))
+
+
+def _fingerprint(report) -> str:
+    h = hashlib.sha256()
+    h.update(repr(report.final_time).encode())
+    h.update(repr(report.iterations_completed).encode())
+    for e in report.timeline.events:
+        h.update(f"{e.time!r}:{e.kind}:{sorted(e.detail.items())!r}".encode())
+    for replica in sorted(report.digests):
+        h.update(report.digests[replica].tobytes())
+    return h.hexdigest()
+
+
+def run_schedule(schedule: ChaosSchedule) -> ChaosOutcome:
+    """Run one schedule to its horizon with every invariant armed."""
+    from repro.core.framework import ACR
+
+    acr = ACR(schedule.app, nodes_per_replica=schedule.nodes_per_replica,
+              config=schedule.config(), injection_plan=schedule.plan())
+    monitor = InvariantMonitor().attach(acr)
+    outcome = ChaosOutcome(seed=schedule.seed, ok=True,
+                           schedule=schedule.to_dict())
+    try:
+        report = acr.run(until=schedule.horizon, max_events=50_000_000)
+        monitor.final_check(report)
+    except InvariantViolation as violation:
+        outcome.ok = False
+        outcome.invariant = violation.invariant
+        outcome.violation = str(violation)
+    except ACRError as error:
+        # Any other library error escaping the state machine is itself a
+        # protocol defect: the run must end in done, not in a stack trace.
+        outcome.ok = False
+        outcome.invariant = "no-crash"
+        outcome.violation = f"{type(error).__name__}: {error}"
+    report = acr.report
+    outcome.completed = report.completed
+    outcome.aborted_reason = report.aborted_reason
+    outcome.final_time = acr.sim.now
+    outcome.checkpoints = report.checkpoints_completed
+    outcome.rollbacks = report.rollbacks
+    outcome.hard_injected = report.hard_injected
+    outcome.hard_detected = report.hard_detected
+    outcome.sdc_injected = report.sdc_injected
+    outcome.sdc_detected = report.sdc_detected
+    outcome.recoveries = dict(report.recoveries)
+    outcome.checks_performed = monitor.checks_performed
+    outcome.fingerprint = _fingerprint(report)
+    return outcome
+
+
+def run_chaos_seed(seed: int, app: str = "jacobi3d-charm") -> ChaosOutcome:
+    """Fuzz + run one seed end to end (module-level, hence picklable)."""
+    return run_schedule(fuzz_schedule(seed, app=app))

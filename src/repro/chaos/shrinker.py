@@ -1,0 +1,112 @@
+"""Minimize a failing chaos schedule to a replayable repro plan.
+
+Classic delta debugging (Zeller's ddmin) over the fault-event list: chunks of
+events are bisected away while the invariant violation persists, converging
+on a 1-minimal schedule — removing any single remaining fault makes the
+failure disappear.  Because every run is a deterministic replay of its
+schedule, a minimized plan is a perfect regression test: serialize it with
+``ChaosSchedule.to_json`` and replay it with ``repro chaos --replay``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.chaos.fuzzer import ChaosSchedule
+from repro.chaos.runner import ChaosOutcome, run_schedule
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized schedule plus the shrinking effort it took."""
+
+    schedule: ChaosSchedule
+    outcome: ChaosOutcome
+    original_events: int
+    minimized_events: int
+    runs_spent: int
+
+    @property
+    def removed(self) -> int:
+        return self.original_events - self.minimized_events
+
+
+def _default_fails(schedule: ChaosSchedule) -> ChaosOutcome | None:
+    """Run the schedule; truthy (the outcome) when an invariant still breaks."""
+    outcome = run_schedule(schedule)
+    return None if outcome.ok else outcome
+
+
+def shrink_schedule(
+    schedule: ChaosSchedule,
+    *,
+    fails: Callable[[ChaosSchedule], ChaosOutcome | None] | None = None,
+    max_runs: int = 200,
+) -> ShrinkResult:
+    """ddmin the schedule's fault list down to a minimal failing core.
+
+    ``fails(candidate)`` returns a failing :class:`ChaosOutcome` (or ``None``
+    if the candidate passes); the default replays the candidate under the
+    invariant monitor.  ``max_runs`` bounds the total replays spent.
+    """
+    fails = fails or _default_fails
+    runs = 0
+
+    def test(events: list) -> ChaosOutcome | None:
+        nonlocal runs
+        if runs >= max_runs:
+            return None
+        runs += 1
+        candidate = schedule.with_events(tuple(events))
+        return fails(candidate)
+
+    events = list(schedule.events)
+    outcome = fails(schedule)
+    runs += 1
+    if outcome is None:
+        raise ValueError("shrink_schedule needs a failing schedule")
+
+    granularity = 2
+    while len(events) >= 2 and runs < max_runs:
+        chunk = max(1, len(events) // granularity)
+        reduced = False
+        for start in range(0, len(events), chunk):
+            complement = events[:start] + events[start + chunk:]
+            if not complement:
+                continue
+            failing = test(complement)
+            if failing is not None:
+                events = complement
+                outcome = failing
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+
+    # Final 1-minimality sweep: drop single events while the failure holds.
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        for i in range(len(events)):
+            if len(events) <= 1:
+                break
+            candidate = events[:i] + events[i + 1:]
+            failing = test(candidate)
+            if failing is not None:
+                events = candidate
+                outcome = failing
+                changed = True
+                break
+
+    minimized = schedule.with_events(tuple(events))
+    return ShrinkResult(
+        schedule=minimized,
+        outcome=outcome,
+        original_events=len(schedule.events),
+        minimized_events=len(events),
+        runs_spent=runs,
+    )

@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``):
     python -m repro model --sockets 16384 --delta 15 --fit 100
     python -m repro figure fig8 --apps jacobi3d-charm leanmd
     python -m repro figure fig12 --nodes 8 --horizon 600
+    python -m repro chaos --seeds 500 --workers 8
+    python -m repro chaos --replay repro-seed42.json
 """
 
 from __future__ import annotations
@@ -90,6 +92,21 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--seed", type=int, default=3)
 
     sub.add_parser("table2", help="print Table 2 (mini-app configurations)")
+
+    chaos_p = sub.add_parser(
+        "chaos", help="fuzz fault schedules against the protocol invariants")
+    chaos_p.add_argument("--seeds", type=int, default=100,
+                         help="number of fuzzer seeds (schedules) to run")
+    chaos_p.add_argument("--workers", type=int, default=None,
+                         help="process-pool width (default: serial)")
+    chaos_p.add_argument("--app", default="jacobi3d-charm",
+                         choices=MINIAPP_NAMES)
+    chaos_p.add_argument("--no-shrink", action="store_true",
+                         help="skip ddmin minimization of failing schedules")
+    chaos_p.add_argument("--out", default=None, metavar="DIR",
+                         help="write minimized repro plans as JSON into DIR")
+    chaos_p.add_argument("--replay", default=None, metavar="PLAN.json",
+                         help="replay one serialized schedule instead of fuzzing")
     return parser
 
 
@@ -284,6 +301,67 @@ def _cmd_table2() -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import (
+        ChaosSchedule,
+        run_chaos_campaign,
+        run_schedule,
+    )
+
+    if args.replay is not None:
+        with open(args.replay, "r", encoding="utf-8") as fh:
+            schedule = ChaosSchedule.from_json(fh.read())
+        outcome = run_schedule(schedule)
+        rows = [
+            ["seed", outcome.seed],
+            ["verdict", "ok" if outcome.ok else
+             f"FAIL [{outcome.invariant}]"],
+            ["completed", outcome.completed],
+            ["invariant checks", outcome.checks_performed],
+            ["fingerprint", outcome.fingerprint[:16]],
+        ]
+        if outcome.violation:
+            rows.append(["violation", outcome.violation])
+        if outcome.aborted_reason:
+            rows.append(["aborted", outcome.aborted_reason])
+        print(format_table(["metric", "value"], rows,
+                           title=f"chaos replay: {args.replay}"))
+        return 0 if outcome.ok else 1
+
+    result = run_chaos_campaign(
+        args.seeds, workers=args.workers, app=args.app,
+        shrink=not args.no_shrink)
+    print(format_table(
+        ["scheme / mode", "schedules"],
+        [[cell, count] for cell, count in sorted(result.coverage().items())],
+        title=f"chaos campaign: {args.seeds} schedules, "
+              f"{result.total_checks} invariant checks"))
+    if result.ok:
+        print(f"\nall {len(result.outcomes)} schedules green")
+        return 0
+    print(f"\n{len(result.failures)} failing schedule(s):")
+    shrunk_by_seed = {s.schedule.seed: s for s in result.shrunk}
+    for failure in result.failures:
+        line = (f"  seed {failure.seed}: [{failure.invariant}] "
+                f"{failure.violation}")
+        shrink = shrunk_by_seed.get(failure.seed)
+        if shrink is not None:
+            line += (f"  (minimized {shrink.original_events} -> "
+                     f"{shrink.minimized_events} faults)")
+        print(line)
+        if args.out is not None:
+            import os
+
+            os.makedirs(args.out, exist_ok=True)
+            plan = (shrink.schedule if shrink is not None
+                    else ChaosSchedule.from_dict(failure.schedule))
+            path = os.path.join(args.out, f"repro-seed{failure.seed}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(plan.to_json())
+            print(f"    repro plan written to {path}")
+    return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -297,6 +375,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "table2":
         return _cmd_table2()
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

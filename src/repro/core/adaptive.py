@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass
 
 from repro.model.daly import daly_tau
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, SimulationError
 
 
 @dataclass(frozen=True)
@@ -63,10 +63,21 @@ class AdaptiveIntervalController:
         self.interval_history: list[tuple[float, float]] = []  # (time, interval)
 
     def record_failure(self, time: float) -> None:
-        """Feed one observed failure (detection time) into the history."""
-        if self.failure_times and time < self.failure_times[-1]:
-            raise ConfigurationError("failure times must be non-decreasing")
-        self.failure_times.append(float(time))
+        """Feed one observed failure (detection time) into the history.
+
+        Detection times are runtime-observed data, not configuration: two
+        detections can land in the same simulated instant (a heartbeat and the
+        consensus watchdog racing), so a slightly out-of-order arrival is
+        clamped to the last recorded time rather than rejected.  Only a value
+        that cannot be a time at all is an error.
+        """
+        t = float(time)
+        if not math.isfinite(t) or t < 0.0:
+            raise SimulationError(
+                f"failure time must be finite and non-negative, got {time}")
+        if self.failure_times and t < self.failure_times[-1]:
+            t = self.failure_times[-1]
+        self.failure_times.append(t)
 
     # -- fitting -----------------------------------------------------------------
     def fit(self, now: float) -> FitResult | None:
@@ -78,11 +89,16 @@ class AdaptiveIntervalController:
         mean_gap = now / n
         if not self.assume_weibull:
             return FitResult(n, 1.0, mean_gap, mean_gap)
-        log_sum = sum(math.log(now / t) for t in times if t < now)
-        if log_sum <= 0:
+        log_sum = sum(math.log(now / t) for t in times)
+        # A failure at exactly ``now`` contributes ln(now/now) = 0 to the sum
+        # while still counting in ``n``, biasing the shape upward: the window
+        # is then *failure*-truncated, and the Crow-AMSAA estimator divides by
+        # n - 1 instead of n (Crow 1975).
+        k_numerator = n - 1 if times[-1] >= now else n
+        if log_sum <= 0 or k_numerator < 1:
             shape = 1.0
         else:
-            shape = n / log_sum
+            shape = k_numerator / log_sum
         shape = min(max(shape, 0.05), 20.0)
         hazard = shape * n / now
         return FitResult(n, shape, 1.0 / hazard, mean_gap)

@@ -50,6 +50,16 @@ class CheckpointStore:
         self._candidate: dict[int, CheckpointGeneration] = {}
         self.commits = 0
         self.discards = 0
+        #: Store observers (e.g. the chaos InvariantMonitor); each may
+        #: implement ``on_commit(replica, gen)``, ``on_install(replica, gen)``
+        #: and ``on_discard(replica)``.
+        self.observers: list = []
+
+    def _notify(self, hook_name: str, *args) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, hook_name, None)
+            if hook is not None:
+                hook(*args)
 
     # -- candidate lifecycle -----------------------------------------------------
     def begin_candidate(self, replica: int, iteration: int, wallclock: float) -> None:
@@ -75,11 +85,13 @@ class CheckpointStore:
             )
         self._safe[replica] = gen
         self.commits += 1
+        self._notify("on_commit", replica, gen)
         return gen
 
     def discard(self, replica: int) -> None:
         if self._candidate.pop(replica, None) is not None:
             self.discards += 1
+            self._notify("on_discard", replica)
 
     # -- safe generation access ------------------------------------------------------
     def install_safe(self, replica: int, gen: CheckpointGeneration) -> None:
@@ -88,6 +100,7 @@ class CheckpointStore:
         if not gen.complete(self.nodes_per_replica):
             raise SimulationError("cannot install an incomplete generation")
         self._safe[replica] = gen
+        self._notify("on_install", replica, gen)
 
     def safe(self, replica: int) -> CheckpointGeneration | None:
         return self._safe.get(replica)

@@ -105,7 +105,13 @@ class ConsensusController:
         self.active = False
         self.rounds_aborted += 1
         for nid in self.scope:
-            for t in self.nodes[nid].tasks:
+            node = self.nodes[nid]
+            if not node.alive:
+                # A dead node's tasks must stay dead until its recovery
+                # restores them; resuming them here would resurrect work on a
+                # failed node behind the recovery machinery's back.
+                continue
+            for t in node.tasks:
                 t.resume()
         self._agents = {}
 

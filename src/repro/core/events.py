@@ -44,9 +44,15 @@ class Timeline:
 
     def __init__(self) -> None:
         self.events: list[TimelineEvent] = []
+        #: Optional hook fired with each freshly recorded event (used by the
+        #: chaos InvariantMonitor to check the stream as it is produced).
+        self.on_record = None
 
     def record(self, time: float, kind: TimelineKind, **detail) -> None:
-        self.events.append(TimelineEvent(time, kind, detail))
+        event = TimelineEvent(time, kind, detail)
+        self.events.append(event)
+        if self.on_record is not None:
+            self.on_record(event)
 
     def of_kind(self, kind: TimelineKind) -> list[TimelineEvent]:
         return [e for e in self.events if e.kind is kind]

@@ -96,6 +96,10 @@ class ACR:
         injection_plan: InjectionPlan | None = None,
         prediction_trace: PredictionTrace | None = None,
     ):
+        #: Protocol observers (e.g. the chaos InvariantMonitor).  Each may
+        #: implement ``on_phase_change(acr, old, new)``; attached before any
+        #: phase assignment so even construction-time transitions are seen.
+        self.observers: list = []
         self.config = config or ACRConfig()
         self.app_name = app_name
         self.n = int(nodes_per_replica)
@@ -184,6 +188,7 @@ class ACR:
         self._checkpoint_timer: EventHandle | None = None
         self._phase_events: list[EventHandle] = []
         self._background_event: EventHandle | None = None
+        self._watchdog_event: EventHandle | None = None
         self._checkpoint_deferred = False
         self._final_requested = False
         self._weak_pending: Node | None = None
@@ -193,6 +198,25 @@ class ACR:
         self._handled_deaths: set[tuple[int, int]] = set()
         self._sdc_rollback_streak = 0
         self._started = False
+
+    # -- observable protocol phase ------------------------------------------------------
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    @phase.setter
+    def phase(self, new: str) -> None:
+        old = getattr(self, "_phase", None)
+        self._phase = new
+        if old != new:
+            for obs in self.observers:
+                hook = getattr(obs, "on_phase_change", None)
+                if hook is not None:
+                    hook(self, old, new)
+
+    def attach_observer(self, observer) -> None:
+        """Register a protocol observer (phase transitions, via the setter)."""
+        self.observers.append(observer)
 
     # -- identifiers ------------------------------------------------------------------
     def _node_id(self, replica: int, rank: int) -> int:
@@ -274,8 +298,10 @@ class ACR:
     # -- periodic checkpoint scheduling ------------------------------------------------
     def _current_interval(self) -> float:
         if self.adaptive is not None:
+            # The controller's interval_history is the single source of truth
+            # for adapted periods; _finalize publishes it on the report, and
+            # the timeline's INTERVAL_ADAPTED events mirror it one-for-one.
             interval = self.adaptive.next_interval(self.sim.now)
-            self.report.interval_history.append((self.sim.now, interval))
             self.timeline.record(self.sim.now, TimelineKind.INTERVAL_ADAPTED,
                                  interval=interval)
             return interval
@@ -325,23 +351,51 @@ class ACR:
         rid = self.consensus.start_round(scope, on_complete)
         timeout = 3.0 * (self.config.heartbeat_timeout_factor
                          * self.config.heartbeat_interval) + 1.0
-        self.sim.schedule(timeout, self._consensus_watchdog, rid, timeout)
+        if self._watchdog_event is not None:
+            self._watchdog_event.cancel()
+        self._watchdog_event = self.sim.schedule(
+            timeout, self._consensus_watchdog, rid, timeout)
+
+    def _live_detector(self, prefer: list[int] | None = None) -> Node | None:
+        """A live node to attribute a detection to: in ``prefer`` scope first,
+        then anywhere in the machine."""
+        if prefer:
+            for nid in prefer:
+                if self.nodes[nid].alive:
+                    return self.nodes[nid]
+        for node in self.nodes.values():
+            if node.alive:
+                return node
+        return None
 
     def _consensus_watchdog(self, rid: int, timeout: float) -> None:
+        self._watchdog_event = None
+        if self.phase == "done":
+            return
         if not self.consensus.active or self.consensus.round_id != rid:
             return
         dead = [self.nodes[nid] for nid in self.consensus.scope
                 if not self.nodes[nid].alive]
         if dead:
-            # A node that was "handled" but is still dead this long after the
-            # round started had its recovery lost; clear the dedup entry so
-            # the detection path runs again.
-            self._handled_deaths.discard(
-                (dead[0].node_id, dead[0].failures_survived))
-            self._on_death_detected(self.nodes[self.consensus.scope[0]], dead[0])
+            detector = self._live_detector(prefer=self.consensus.scope)
+            if detector is None:
+                self._abort("no live node left to detect consensus stall")
+                return
+            # Every dead node in scope stalls the round, and a node that was
+            # "handled" but is still dead this long after the round started
+            # had its recovery lost; clear the dedup entries so the detection
+            # path runs again for each of them.
+            for node in dead:
+                if self.phase == "done":
+                    return
+                if not node.alive:  # an earlier victim's recovery may have revived it
+                    self._handled_deaths.discard(
+                        (node.node_id, node.failures_survived))
+                    self._on_death_detected(detector, node)
             return
         # No dead node: the round is just slow (tasks draining); keep watching.
-        self.sim.schedule(timeout, self._consensus_watchdog, rid, timeout)
+        self._watchdog_event = self.sim.schedule(
+            timeout, self._consensus_watchdog, rid, timeout)
 
     # -- checkpoint phases ----------------------------------------------------------------
     def _on_consensus_done(self, round_id: int, iteration: int) -> None:
@@ -414,8 +468,12 @@ class ACR:
         committed = {r: self.store.commit(r) for r in replicas}
         self._sdc_rollback_streak = 0
         self.report.checkpoints_completed += 1
+        # compared=False marks a solo (weak-pending) checkpoint: with only
+        # one replica participating there is no SDC comparison — the §2.3
+        # vulnerability window the Section-5 model quantifies.
         self.timeline.record(self.sim.now, TimelineKind.CHECKPOINT_DONE,
-                             iteration=iteration)
+                             iteration=iteration,
+                             compared=len(replicas) == 2)
         if self._weak_pending is not None:
             self._start_weak_shipment(committed[replicas[0]])
             # The healthy replica resumes immediately: zero-overhead recovery.
@@ -660,8 +718,7 @@ class ACR:
         duration = breakdown.total + self.config.spare_boot_time
         self.report.recovery_time += duration
         self._phase_events = [
-            self.sim.schedule(duration, self._finish_double_failure,
-                              (first, dead), from_scratch)
+            self.sim.schedule(duration, self._finish_double_failure, from_scratch)
         ]
 
     def _second_failure(self, dead: Node) -> None:
@@ -671,35 +728,56 @@ class ACR:
         self.consensus.abort_round()
         for r in (0, 1):
             self.store.discard(r)
-        first = self._recovering_node
-        pending = self._weak_pending
         self._recovering_node = None
         self._weak_pending = None
-        victims = tuple(v for v in (first, pending, dead) if v is not None)
         breakdown = self.cost.restart_breakdown(
             self.profile, self.mapping, scheme="medium", crashed_pair=dead.rank
         )
         duration = breakdown.total + self.config.spare_boot_time
         self.report.recovery_time += duration
         self._phase_events = [
-            self.sim.schedule(duration, self._finish_double_failure, victims, False)
+            self.sim.schedule(duration, self._finish_double_failure, False)
         ]
 
-    def _finish_double_failure(self, victims: tuple[Node, ...],
-                               from_scratch: bool) -> None:
+    def _finish_double_failure(self, from_scratch: bool) -> None:
         self._phase_events = []
-        # Revive every dead node, not just this call's victims: a cascade of
-        # failures during recovery replaces the scheduled finish repeatedly,
-        # and earlier victims must not be stranded dead.
+        # Revive every dead node, not just this recovery's detected victims: a
+        # cascade of failures during recovery replaces the scheduled finish
+        # repeatedly, and earlier victims must not be stranded dead.  A node
+        # whose death was never detected (e.g. its buddy died too) is swept up
+        # here — its replacement still comes out of the spare pool.
         for v in self.nodes.values():
-            if not v.alive:
-                v.revive()
-                self.heartbeat.notify_revived(v.node_id)
+            if v.alive:
+                continue
+            key = (v.node_id, v.failures_survived)
+            if key not in self._handled_deaths:
+                if self._spares_left <= 0:
+                    self._abort("spare node pool exhausted")
+                    return
+                self._handled_deaths.add(key)
+                self._spares_left -= 1
+                self.report.spare_nodes_used += 1
+                self.report.hard_detected += 1
+                self.timeline.record(self.sim.now, TimelineKind.HARD_FAULT_DETECTED,
+                                     replica=v.replica, rank=v.rank, swept=True)
+            v.revive()
+            self.heartbeat.notify_revived(v.node_id)
         if from_scratch:
             for replica in (0, 1):
                 self.store.install_safe(
                     replica, self.store.clone_generation(self._initial_gen[replica])
                 )
+        # A weak-pending solo checkpoint may have committed on the healthy
+        # replica before this failure abandoned the shipment, leaving the two
+        # safe generations at different iterations.  Rolling the replicas back
+        # to *different* states risks a comparison livelock (§2.3) — adopt the
+        # newer generation for both, exactly as the lost shipment would have.
+        it0, it1 = self.store.safe_iteration(0), self.store.safe_iteration(1)
+        if it0 is not None and it1 is not None and it0 != it1:
+            newer = 0 if it0 > it1 else 1
+            self.store.install_safe(
+                1 - newer, self.store.clone_generation(self.store.safe(newer))
+            )
         for replica in (0, 1):
             self._restore_replica(replica, self.store.safe(replica))
         self.report.rollbacks += 1
@@ -750,15 +828,32 @@ class ACR:
         else:
             self._arm_checkpoint_timer()
 
+    def _quiesce_timers(self) -> None:
+        """Cancel every protocol timer the job owns.  After ``done`` the event
+        queue must hold no orphaned checkpoint timers, phase events, background
+        transfers, or consensus watchdogs — only perpetual heartbeat ticks."""
+        if self._checkpoint_timer is not None:
+            self._checkpoint_timer.cancel()
+            self._checkpoint_timer = None
+        self._cancel_phase_events()
+        if self._background_event is not None:
+            self._background_event.cancel()
+            self._background_event = None
+        if self._watchdog_event is not None:
+            self._watchdog_event.cancel()
+            self._watchdog_event = None
+
     def _finish_job(self) -> None:
+        self._quiesce_timers()
+        self.report.completed = True
         self.phase = "done"
         self.timeline.record(self.sim.now, TimelineKind.JOB_END)
-        self.report.completed = True
         self.sim.stop()
 
     def _abort(self, reason: str) -> None:
-        self.phase = "done"
+        self._quiesce_timers()
         self.report.aborted_reason = reason
+        self.phase = "done"
         self.timeline.record(self.sim.now, TimelineKind.JOB_END, aborted=reason)
         self.sim.stop()
 
@@ -790,6 +885,8 @@ class ACR:
             else:
                 rep.digests[replica] = self.apps[replica].result_digest()
         if self.adaptive is not None:
+            # Publish the controller's authoritative history (see
+            # _current_interval); nothing else writes rep.interval_history.
             rep.interval_history = list(self.adaptive.interval_history)
         if self.config.total_iterations is not None and rep.completed:
             reference = make_app(self.app_name, self.n,

@@ -77,6 +77,31 @@ def summarize(reports: Sequence[RunReport]) -> CampaignSummary:
     )
 
 
+def fan_out(fn, arg_tuples: Sequence[tuple], workers: int) -> list | None:
+    """Fan ``fn(*args)`` calls out over a process pool.
+
+    The shared engine behind experiment and chaos campaigns.  Results come
+    back ordered by input position regardless of completion order, and every
+    worker re-derives its randomness from its own arguments, so the aggregate
+    is bitwise-identical to a serial loop.  Returns ``None`` — meaning "fall
+    back to serial" — only on *environmental* failures (no process support, a
+    pool that dies before doing work, or unpicklable arguments); a genuine
+    task error propagates with its original type.
+    """
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    except (ImportError, NotImplementedError, OSError):
+        return None
+    try:
+        with executor:
+            futures = [executor.submit(fn, *args) for args in arg_tuples]
+            return [f.result() for f in futures]
+    except (BrokenProcessPool, TypeError, AttributeError):
+        # TypeError/AttributeError: unpicklable arguments (e.g. a
+        # closure-built injection plan) surface at submit or result time.
+        return None
+
+
 def _run_serial(app: str, seed_list: list[int],
                 experiment_kwargs: dict) -> list[RunReport]:
     return [run_experiment_report(app, seed, experiment_kwargs)
@@ -85,31 +110,10 @@ def _run_serial(app: str, seed_list: list[int],
 
 def _run_parallel(app: str, seed_list: list[int], workers: int,
                   experiment_kwargs: dict) -> list[RunReport] | None:
-    """Fan seeds out over a process pool; ``None`` means "fall back to serial".
-
-    Results come back ordered by seed position regardless of completion
-    order, and each worker re-derives all randomness from its seed, so the
-    aggregate is bitwise-identical to the serial path.  Only *environmental*
-    failures (no process support, a pool that dies before doing work, or
-    unpicklable experiment kwargs) trigger the serial fallback — a genuine
-    experiment error propagates with its original type.
-    """
-    try:
-        executor = ProcessPoolExecutor(max_workers=workers)
-    except (ImportError, NotImplementedError, OSError):
-        return None
-    try:
-        with executor:
-            futures = [
-                executor.submit(run_experiment_report, app, seed,
-                                experiment_kwargs)
-                for seed in seed_list
-            ]
-            return [f.result() for f in futures]
-    except (BrokenProcessPool, TypeError, AttributeError):
-        # TypeError/AttributeError: unpicklable kwargs (e.g. a closure-built
-        # injection plan) surface at submit or result time.
-        return None
+    """Fan seeds out over a process pool; ``None`` means "fall back to serial"."""
+    return fan_out(run_experiment_report,
+                   [(app, seed, experiment_kwargs) for seed in seed_list],
+                   workers)
 
 
 def run_campaign(

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.adaptive import AdaptiveIntervalController
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, SimulationError
 
 
 def controller(**kw):
@@ -47,11 +47,43 @@ class TestFitting:
         fit = c.fit(1800.0)
         assert 0.7 < fit.shape < 1.5
 
-    def test_failures_must_be_ordered(self):
+    def test_out_of_order_failure_clamped_not_rejected(self):
+        # Runtime detections can race slightly out of order (heartbeat vs
+        # consensus watchdog); they are clamped to the last recorded time.
         c = controller()
         c.record_failure(10.0)
-        with pytest.raises(ConfigurationError):
-            c.record_failure(5.0)
+        c.record_failure(5.0)
+        assert c.failure_times == [10.0, 10.0]
+
+    def test_non_time_failure_value_rejected(self):
+        c = controller()
+        with pytest.raises(SimulationError):
+            c.record_failure(float("nan"))
+        with pytest.raises(SimulationError):
+            c.record_failure(-1.0)
+
+    def test_failure_at_observation_time_not_inflating_shape(self):
+        # A uniform-rate stream whose last failure lands exactly at the fit
+        # time is failure-truncated; the (n-1) correction keeps the shape
+        # estimate near 1 instead of biasing it upward.
+        c = controller()
+        for t in range(100, 1801, 100):
+            c.record_failure(float(t))
+        truncated = c.fit(1800.0)          # last failure at t == now
+        open_window = c.fit(1850.0)        # same failures, window open past them
+        assert 0.7 < truncated.shape < 1.5
+        assert truncated.shape <= open_window.shape * 1.5
+
+    def test_truncated_vs_open_window_consistency(self):
+        # The same front-loaded stream must not jump in shape merely because
+        # the observation window ends on the last failure.
+        times = [1800.0 * (i / 19) ** (1 / 0.6) for i in range(1, 20)]
+        c = controller()
+        for t in sorted(times):
+            c.record_failure(t)
+        at_failure = c.fit(max(times))
+        just_after = c.fit(max(times) + 1e-6)
+        assert at_failure.shape == pytest.approx(just_after.shape, rel=0.15)
 
 
 class TestIntervalDecision:

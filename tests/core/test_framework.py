@@ -280,6 +280,21 @@ class TestAdaptiveMode:
         assert all(1.0 <= v <= 30.0 for _, v in report.interval_history)
         assert report.completed and report.result_correct
 
+    def test_interval_history_single_source_of_truth(self):
+        # The controller owns the history; the report is a copy of it and the
+        # timeline's INTERVAL_ADAPTED events mirror it one-for-one.
+        plan = InjectionPlan([
+            FaultEvent(time=t, kind=FaultKind.HARD, replica=0, node_id=1)
+            for t in (3.0, 5.0, 8.0)
+        ])
+        acr, report = run(plan=plan, adaptive=True, adaptive_initial_interval=2.0,
+                          adaptive_min_interval=1.0, adaptive_max_interval=30.0,
+                          total_iterations=600, scheme=ResilienceScheme.MEDIUM)
+        assert report.interval_history == acr.adaptive.interval_history
+        adapted = [(e.time, e.detail["interval"])
+                   for e in report.timeline.of_kind(TimelineKind.INTERVAL_ADAPTED)]
+        assert adapted == report.interval_history
+
 
 class TestValidation:
     def test_bad_node_count(self):
