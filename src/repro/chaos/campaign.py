@@ -16,6 +16,7 @@ from repro.chaos.runner import ChaosOutcome, run_chaos_seed
 from repro.chaos.shrinker import ShrinkResult, shrink_schedule
 from repro.chaos.fuzzer import ChaosSchedule
 from repro.harness.campaign import fan_out
+from repro.obs.metrics import merge_snapshots
 
 
 @dataclass
@@ -37,6 +38,11 @@ class ChaosCampaignResult:
     @property
     def total_checks(self) -> int:
         return sum(o.checks_performed for o in self.outcomes)
+
+    def merged_metrics(self) -> dict:
+        """Campaign-wide metrics snapshot (counters add, gauges take max,
+        histograms merge bucket-wise across every schedule's run)."""
+        return merge_snapshots([o.metrics for o in self.outcomes])
 
     def coverage(self) -> dict[str, int]:
         """Schedules per (scheme, mode) cell — the fuzzer's coverage matrix."""

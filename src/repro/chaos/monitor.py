@@ -109,7 +109,9 @@ class InvariantMonitor:
         self._acr = acr
         acr.attach_observer(self)
         acr.store.observers.append(self)
-        acr.timeline.on_record = self._on_timeline_event
+        # Subscribe (don't clobber): the telemetry tracer and this monitor
+        # can both observe the same run's timeline.
+        acr.timeline.subscribe(self._on_timeline_event)
         return self
 
     def _fail(self, invariant: str, message: str) -> None:

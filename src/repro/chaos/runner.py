@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.chaos.fuzzer import ChaosSchedule, fuzz_schedule
 from repro.chaos.monitor import InvariantMonitor, InvariantViolation
 from repro.core.events import TimelineKind
+from repro.obs.metrics import MetricsRegistry
 from repro.util.errors import ACRError
 
 
@@ -41,6 +42,10 @@ class ChaosOutcome:
     #: bitwise-identical replays.
     fingerprint: str = ""
     schedule: dict = field(default_factory=dict)
+    #: End-of-run metrics snapshot (plain dict, see
+    #: :meth:`repro.obs.metrics.MetricsRegistry.snapshot`) — the flight
+    #: recorder a failing schedule ships home alongside its repro plan.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def scheme(self) -> str:
@@ -63,7 +68,8 @@ def run_schedule(schedule: ChaosSchedule) -> ChaosOutcome:
     from repro.core.framework import ACR
 
     acr = ACR(schedule.app, nodes_per_replica=schedule.nodes_per_replica,
-              config=schedule.config(), injection_plan=schedule.plan())
+              config=schedule.config(), injection_plan=schedule.plan(),
+              metrics=MetricsRegistry())
     monitor = InvariantMonitor().attach(acr)
     outcome = ChaosOutcome(seed=schedule.seed, ok=True,
                            schedule=schedule.to_dict())
@@ -93,6 +99,9 @@ def run_schedule(schedule: ChaosSchedule) -> ChaosOutcome:
     outcome.recoveries = dict(report.recoveries)
     outcome.checks_performed = monitor.checks_performed
     outcome.fingerprint = _fingerprint(report)
+    # Snapshot even when the run died mid-protocol: the metrics of a failing
+    # schedule are exactly the ones worth keeping.
+    outcome.metrics = acr.metrics_snapshot()
     return outcome
 
 

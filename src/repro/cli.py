@@ -5,6 +5,8 @@ Usage (also via ``python -m repro``):
     python -m repro apps
     python -m repro run --app jacobi3d-charm --nodes 4 --scheme strong \
         --iterations 200 --hard-mtbf 30 --sdc-mtbf 50 --seed 1
+    python -m repro run --trace-out t.json --metrics-out m.json
+    python -m repro report --metrics m.json --trace t.json
     python -m repro model --sockets 16384 --delta 15 --fit 100
     python -m repro figure fig8 --apps jacobi3d-charm leanmd
     python -m repro figure fig12 --nodes 8 --horizon 600
@@ -62,6 +64,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--checksum", action="store_true",
                        help="compare Fletcher digests instead of full state")
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the run's phase spans as a Chrome "
+                            "trace_event JSON (load in Perfetto)")
+    run_p.add_argument("--trace-format", default="chrome",
+                       choices=["chrome", "jsonl"],
+                       help="trace file format (default: chrome)")
+    run_p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the run's metrics-registry snapshot as JSON")
 
     model_p = sub.add_parser("model", help="query the Section-5 model")
     model_p.add_argument("--sockets", type=int, default=16384,
@@ -93,6 +103,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table2", help="print Table 2 (mini-app configurations)")
 
+    report_p = sub.add_parser(
+        "report", help="render saved telemetry (trace / metrics JSON)")
+    report_p.add_argument("--metrics", default=None, metavar="FILE",
+                          help="metrics JSON from `repro run --metrics-out`")
+    report_p.add_argument("--trace", default=None, metavar="FILE",
+                          help="Chrome trace JSON from `repro run --trace-out`")
+
     chaos_p = sub.add_parser(
         "chaos", help="fuzz fault schedules against the protocol invariants")
     chaos_p.add_argument("--seeds", type=int, default=100,
@@ -123,7 +140,31 @@ def _cmd_apps() -> int:
     return 0
 
 
+def _phase_breakdown_rows(phase_times: dict[str, float],
+                          checkpoint_time: float,
+                          recovery_time: float) -> tuple[list, str]:
+    """Rows for a per-phase protocol-time table plus a consistency line."""
+    total = sum(phase_times.values())
+    rows = [[phase, round(t, 4),
+             round(100.0 * t / total, 2) if total > 0 else 0.0]
+            for phase, t in sorted(phase_times.items())]
+    budget = checkpoint_time + recovery_time
+    drift = abs(total - budget) / budget if budget > 0 else 0.0
+    note = (f"phase sum {total:.4f} s vs checkpoint+recovery {budget:.4f} s "
+            f"(drift {100.0 * drift:.3f}%)")
+    return rows, note
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    tracer = metrics = None
+    if args.trace_out is not None:
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+    if args.metrics_out is not None:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     result = run_acr_experiment(
         args.app,
         nodes_per_replica=args.nodes,
@@ -135,6 +176,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         hard_mtbf=args.hard_mtbf,
         sdc_mtbf=args.sdc_mtbf,
         seed=args.seed,
+        tracer=tracer,
+        metrics=metrics,
     )
     r = result.report
     rows = [
@@ -153,9 +196,106 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(format_table(["metric", "value"], rows,
                        title=f"ACR run: {args.app}, {args.scheme} scheme, "
                              f"{args.nodes} nodes/replica"))
-    print("\ntimeline ('X' failure, '|' checkpoint):")
+    if r.phase_times:
+        phase_rows, note = _phase_breakdown_rows(
+            r.phase_times, r.checkpoint_time, r.recovery_time)
+        print()
+        print(format_table(["phase", "time (s)", "share %"], phase_rows,
+                           title="protocol time by phase"))
+        print(note)
+    print("\ntimeline:")
     print(r.timeline.render_ascii(width=80))
+    if tracer is not None:
+        from repro.obs import write_trace
+
+        write_trace(tracer, args.trace_out, fmt=args.trace_format)
+        print(f"\ntrace written to {args.trace_out} "
+              f"({len(tracer.spans)} spans, "
+              f"{len(tracer.phase_names())} phase types)")
+    if metrics is not None:
+        from repro.obs import write_metrics
+
+        write_metrics(r.metrics_snapshot or {}, args.metrics_out,
+                      app=args.app, scheme=args.scheme, seed=args.seed)
+        print(f"metrics written to {args.metrics_out}")
     return 0 if (r.completed and r.aborted_reason is None) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render telemetry files written by ``repro run``."""
+    from repro.obs import (
+        load_json,
+        snapshot_percentile,
+        trace_phase_summary,
+        validate_chrome_trace,
+    )
+
+    if args.metrics is None and args.trace is None:
+        print("nothing to report: pass --metrics and/or --trace",
+              file=sys.stderr)
+        return 2
+    status = 0
+    if args.metrics is not None:
+        snap = load_json(args.metrics)
+        gauges = snap.get("gauges", {})
+        prefix = "acr.phase_time_s{phase="
+        phase_times = {k[len(prefix):-1]: v for k, v in gauges.items()
+                       if k.startswith(prefix)}
+        if phase_times:
+            phase_rows, note = _phase_breakdown_rows(
+                phase_times,
+                gauges.get("acr.checkpoint_time_s", 0.0),
+                gauges.get("acr.recovery_time_s", 0.0))
+            print(format_table(["phase", "time (s)", "share %"], phase_rows,
+                               title=f"protocol time by phase ({args.metrics})"))
+            print(note)
+            print()
+        counters = snap.get("counters", {})
+        if counters:
+            print(format_table(
+                ["counter", "value"],
+                [[k, int(v) if float(v).is_integer() else v]
+                 for k, v in sorted(counters.items())],
+                title="counters"))
+            print()
+        other_gauges = {k: v for k, v in gauges.items()
+                        if not k.startswith(prefix)}
+        if other_gauges:
+            print(format_table(
+                ["gauge", "value"],
+                [[k, v] for k, v in sorted(other_gauges.items())],
+                title="gauges"))
+            print()
+        histograms = snap.get("histograms", {})
+        if histograms:
+            print(format_table(
+                ["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+                [[k, h["count"],
+                  round(h["sum"] / h["count"], 6) if h["count"] else 0.0,
+                  round(snapshot_percentile(h, 50), 6),
+                  round(snapshot_percentile(h, 90), 6),
+                  round(snapshot_percentile(h, 99), 6),
+                  round(h["max"], 6)]
+                 for k, h in sorted(histograms.items())],
+                title="histograms (seconds)"))
+            print()
+    if args.trace is not None:
+        payload = load_json(args.trace)
+        problems = validate_chrome_trace(payload)
+        if problems:
+            print(f"invalid Chrome trace {args.trace}:", file=sys.stderr)
+            for p in problems[:10]:
+                print(f"  {p}", file=sys.stderr)
+            status = 1
+        else:
+            summary = trace_phase_summary(payload)
+            print(format_table(
+                ["span", "count", "total (s)"],
+                [[name, count, round(total, 4)]
+                 for name, (count, total) in sorted(summary.items())],
+                title=f"trace span summary ({args.trace}, "
+                      f"{len(payload['traceEvents'])} events)"))
+    return status
 
 
 def _cmd_model(args: argparse.Namespace) -> int:
@@ -375,6 +515,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "table2":
         return _cmd_table2()
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -50,6 +50,9 @@ class CheckpointStore:
         self._candidate: dict[int, CheckpointGeneration] = {}
         self.commits = 0
         self.discards = 0
+        #: High-water mark of :meth:`memory_bytes` across the store's life,
+        #: sampled at every commit/install (the telemetry layer reports it).
+        self.high_water_bytes = 0
         #: Store observers (e.g. the chaos InvariantMonitor); each may
         #: implement ``on_commit(replica, gen)``, ``on_install(replica, gen)``
         #: and ``on_discard(replica)``.
@@ -70,6 +73,11 @@ class CheckpointStore:
         if gen is None:
             raise SimulationError(f"no candidate open for replica {replica}")
         gen.shards[rank] = state
+        if rank == self.nodes_per_replica - 1:
+            # The candidate just filled while the safe generation still
+            # exists: the double-buffering peak.
+            self.high_water_bytes = max(self.high_water_bytes,
+                                        self.memory_bytes())
 
     def candidate(self, replica: int) -> CheckpointGeneration | None:
         return self._candidate.get(replica)
@@ -85,6 +93,7 @@ class CheckpointStore:
             )
         self._safe[replica] = gen
         self.commits += 1
+        self.high_water_bytes = max(self.high_water_bytes, self.memory_bytes())
         self._notify("on_commit", replica, gen)
         return gen
 
@@ -100,6 +109,7 @@ class CheckpointStore:
         if not gen.complete(self.nodes_per_replica):
             raise SimulationError("cannot install an incomplete generation")
         self._safe[replica] = gen
+        self.high_water_bytes = max(self.high_water_bytes, self.memory_bytes())
         self._notify("on_install", replica, gen)
 
     def safe(self, replica: int) -> CheckpointGeneration | None:

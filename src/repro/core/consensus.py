@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.messages import Message, MsgKind
 from repro.runtime.node import Node
 from repro.runtime.task import TaskState
@@ -61,17 +63,33 @@ class ConsensusController:
         self.rounds_started = 0
         self.rounds_completed = 0
         self.rounds_aborted = 0
+        #: Telemetry tracer (a no-op unless the framework installs a real
+        #: one).  Each round emits a ``consensus.round`` span with the four
+        #: protocol sub-phases as children.
+        self.tracer = NULL_TRACER
+        #: Telemetry metrics registry (no-op by default); completed rounds
+        #: feed a wall-time histogram.
+        self.metrics = NULL_METRICS
+        self._sim = next(iter(nodes.values())).sim if nodes else None
+        self._round_span = None
+        self._t_start = 0.0
+        self._t_decided = 0.0
+        self._t_last_decision = 0.0
+        self._t_last_ready = 0.0
         for node in nodes.values():
             node.control_handler = self._on_control
             node.on_all_tasks_ready = self._on_node_all_ready
 
     # -- round lifecycle --------------------------------------------------------
     def start_round(self, scope: list[int],
-                    on_complete: Callable[[int, int], None]) -> int:
+                    on_complete: Callable[[int, int], None],
+                    *, span_parent=None) -> int:
         """Begin a consensus round over ``scope`` (list of node ids).
 
         ``on_complete(round_id, iteration)`` fires when every task in scope is
         paused at the decided iteration.  Returns the round id.
+        ``span_parent`` parents this round's telemetry span (e.g. under the
+        enclosing checkpoint or medium-recovery span).
         """
         if self.active:
             raise SimulationError("consensus round already active")
@@ -80,6 +98,12 @@ class ConsensusController:
         self.round_id += 1
         self.rounds_started += 1
         self.active = True
+        now = self._sim.now if self._sim is not None else 0.0
+        self._t_start = self._t_decided = now
+        self._t_last_decision = self._t_last_ready = now
+        self._round_span = self.tracer.begin(
+            "consensus.round", now, parent=span_parent,
+            round=self.round_id, scope=len(scope))
         self.scope = list(scope)
         self.on_complete = on_complete
         self.decided_iteration = None
@@ -104,6 +128,9 @@ class ConsensusController:
             return
         self.active = False
         self.rounds_aborted += 1
+        now = self._sim.now if self._sim is not None else 0.0
+        self.tracer.end(self._round_span, now, aborted=True)
+        self._round_span = None
         for nid in self.scope:
             node = self.nodes[nid]
             if not node.alive:
@@ -178,6 +205,8 @@ class ConsensusController:
         else:
             # Root: Phase 3 — the checkpoint iteration is decided.
             self.decided_iteration = agent.subtree_max
+            if self._sim is not None:
+                self._t_decided = self._sim.now
             self._send(nid, nid, "cons-decision",
                        (self.round_id, agent.subtree_max))
 
@@ -190,6 +219,8 @@ class ConsensusController:
         agent = self._agents[nid]
         node = self.nodes[nid]
         agent.decided = decided
+        if self._sim is not None:
+            self._t_last_decision = self._sim.now
         agent.pending_ready = set(agent.children)
         for child in agent.children:
             self._send(nid, child, "cons-decision", (self.round_id, decided))
@@ -207,6 +238,8 @@ class ConsensusController:
         if agent is None or agent.decided is None or agent.local_ready_sent:
             return
         agent.local_ready_sent = True
+        if self._sim is not None:
+            self._t_last_ready = self._sim.now
         self._maybe_send_ready_up(node.node_id)
 
     def _on_ready(self, msg: Message) -> None:
@@ -229,5 +262,37 @@ class ConsensusController:
         else:
             self.active = False
             self.rounds_completed += 1
+            if self._sim is not None:
+                self.metrics.histogram("consensus.round_duration_s").observe(
+                    self._sim.now - self._t_start)
+            self._emit_round_spans()
             if self.on_complete is not None:
                 self.on_complete(self.round_id, self.decided_iteration)
+
+    def _emit_round_spans(self) -> None:
+        """Close the round span and emit its four sub-phase children.
+
+        The boundaries come from the round's observed protocol milestones:
+        the max reduction runs from round start to the root's decision, the
+        decision broadcast until the last node handles it, the drain until
+        the last node's tasks pause at the decided iteration, and the
+        readiness reduction until the round completes.  Each boundary is
+        clamped monotone so float ties cannot produce negative spans.
+        """
+        if self._sim is None or self._round_span is None:
+            return
+        now = self._sim.now
+        t0 = self._t_start
+        t1 = max(t0, self._t_decided)
+        t2 = max(t1, self._t_last_decision)
+        t3 = max(t2, self._t_last_ready)
+        parent = self._round_span
+        rid = self.round_id
+        self.tracer.emit("consensus.reduce_max", t0, t1, parent=parent, round=rid)
+        self.tracer.emit("consensus.broadcast", t1, t2, parent=parent, round=rid)
+        self.tracer.emit("consensus.drain", t2, t3, parent=parent, round=rid)
+        self.tracer.emit("consensus.ready_reduce", t3, now, parent=parent,
+                         round=rid)
+        self.tracer.end(self._round_span, now,
+                        decided_iteration=self.decided_iteration)
+        self._round_span = None

@@ -40,19 +40,52 @@ class TimelineEvent:
 
 
 class Timeline:
-    """Append-only, time-ordered record of one simulated run."""
+    """Append-only, time-ordered record of one simulated run.
+
+    The timeline doubles as the run's event bus: any number of subscribers
+    (the chaos ``InvariantMonitor``, the telemetry tracer, tests) can observe
+    each event as it is recorded via :meth:`subscribe` without clobbering
+    each other.
+    """
 
     def __init__(self) -> None:
         self.events: list[TimelineEvent] = []
-        #: Optional hook fired with each freshly recorded event (used by the
-        #: chaos InvariantMonitor to check the stream as it is produced).
-        self.on_record = None
+        self._subscribers: list = []
+        self._legacy_on_record = None
+
+    # -- subscription ---------------------------------------------------------
+    def subscribe(self, fn) -> None:
+        """Add ``fn(event)`` to be called with each freshly recorded event."""
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn) -> None:
+        """Remove a subscriber (no-op if it was never subscribed)."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    @property
+    def on_record(self):
+        """Backward-compat shim for the old single-subscriber slot.
+
+        Assigning replaces only the legacy hook — subscribers added with
+        :meth:`subscribe` are unaffected.  New code should use
+        :meth:`subscribe` / :meth:`unsubscribe`.
+        """
+        return self._legacy_on_record
+
+    @on_record.setter
+    def on_record(self, fn) -> None:
+        self._legacy_on_record = fn
 
     def record(self, time: float, kind: TimelineKind, **detail) -> None:
         event = TimelineEvent(time, kind, detail)
         self.events.append(event)
-        if self.on_record is not None:
-            self.on_record(event)
+        for fn in self._subscribers:
+            fn(event)
+        if self._legacy_on_record is not None:
+            self._legacy_on_record(event)
 
     def of_kind(self, kind: TimelineKind) -> list[TimelineEvent]:
         return [e for e in self.events if e.kind is kind]
@@ -66,24 +99,40 @@ class Timeline:
         times = self.times_of(TimelineKind.CHECKPOINT_DONE)
         return [b - a for a, b in zip(times, times[1:])]
 
-    def render_ascii(self, *, width: int = 100, horizon: float | None = None) -> str:
-        """A textual Figure 12: '|' checkpoints, 'X' failures, '.' progress."""
+    #: render_ascii marker per event kind, in increasing visual precedence.
+    _MARKERS = {
+        TimelineKind.CHECKPOINT_DONE: "|",
+        TimelineKind.RECOVERY_DONE: "R",
+        TimelineKind.SDC_INJECTED: "s",
+        TimelineKind.HARD_FAULT_INJECTED: "X",
+    }
+    _PRECEDENCE = {".": 0, "|": 1, "R": 2, "s": 3, "X": 4}
+    LEGEND = ("legend: '|' checkpoint  's' sdc injected  'X' hard fault  "
+              "'R' recovery done  '.' progress")
+
+    def render_ascii(self, *, width: int = 100, horizon: float | None = None,
+                     legend: bool = True) -> str:
+        """A textual Figure 12 lane plus a legend line.
+
+        SDC injections (``s``), hard faults (``X``), recoveries (``R``) and
+        checkpoints (``|``) are distinct; when events collide in one column
+        the rarer/graver marker wins (X > s > R > |).  A zero or negative
+        ``horizon`` (e.g. a run that ended at t=0) degenerates safely to a
+        single-column view instead of dividing by zero.
+        """
         if not self.events:
             return "(empty timeline)"
+        width = max(int(width), 1)
         end = horizon if horizon is not None else max(e.time for e in self.events)
         end = max(end, 1e-9)
         lane = ["."] * width
 
-        def put(t: float, ch: str) -> None:
-            i = min(int(t / end * (width - 1)), width - 1)
-            # Failures dominate checkpoints visually when they collide.
-            if ch == "X" or lane[i] == ".":
+        for e in self.events:
+            ch = self._MARKERS.get(e.kind)
+            if ch is None:
+                continue
+            i = min(max(int(e.time / end * (width - 1)), 0), width - 1)
+            if self._PRECEDENCE[ch] > self._PRECEDENCE[lane[i]]:
                 lane[i] = ch
-
-        for e in self.events:
-            if e.kind is TimelineKind.CHECKPOINT_DONE:
-                put(e.time, "|")
-        for e in self.events:
-            if e.kind in (TimelineKind.HARD_FAULT_INJECTED, TimelineKind.SDC_INJECTED):
-                put(e.time, "X")
-        return "".join(lane)
+        line = "".join(lane)
+        return f"{line}\n{self.LEGEND}" if legend else line

@@ -32,6 +32,8 @@ from repro.faults.bitflip import BitFlipInjector
 from repro.faults.injector import FaultEvent, FaultKind, InjectionPlan
 from repro.model.schemes import ResilienceScheme
 from repro.network.allocation import torus_for_nodes
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.network.costs import CostModel, MachineConstants
 from repro.network.mapping import build_mapping
 from repro.pup.puper import pack, unpack
@@ -76,11 +78,24 @@ class RunReport:
     result_correct: bool | None = None
     timeline: Timeline = field(default_factory=Timeline)
     interval_history: list[tuple[float, float]] = field(default_factory=list)
+    #: Per-phase decomposition of the protocol time charged to
+    #: ``checkpoint_time`` + ``recovery_time`` (keys like
+    #: ``checkpoint.local`` or ``recovery.strong``); the values sum to
+    #: exactly those two fields — the Fig. 8–10 breakdown for this run.
+    phase_times: dict[str, float] = field(default_factory=dict)
+    #: Metrics-registry snapshot taken at finalization (None when telemetry
+    #: was disabled); picklable, so campaigns can merge it across workers.
+    metrics_snapshot: dict | None = None
 
     @property
     def overhead_fraction(self) -> float:
         busy = self.checkpoint_time + self.recovery_time
         return busy / self.final_time if self.final_time > 0 else 0.0
+
+    @property
+    def phase_time_sum(self) -> float:
+        """Sum of the per-phase breakdown (== checkpoint_time + recovery_time)."""
+        return sum(self.phase_times.values())
 
 
 class ACR:
@@ -95,7 +110,15 @@ class ACR:
         machine: MachineConstants | None = None,
         injection_plan: InjectionPlan | None = None,
         prediction_trace: PredictionTrace | None = None,
+        tracer=None,
+        metrics=None,
     ):
+        #: Telemetry: a no-op tracer/registry unless the caller opts in
+        #: (``repro run --trace-out/--metrics-out``, campaigns, chaos runs).
+        #: Neither ever schedules simulator events, so instrumented and
+        #: un-instrumented runs are bit-identical executions.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: Protocol observers (e.g. the chaos InvariantMonitor).  Each may
         #: implement ``on_phase_change(acr, old, new)``; attached before any
         #: phase assignment so even construction-time transitions are seen.
@@ -156,6 +179,8 @@ class ACR:
 
         # --- protocol machinery ---------------------------------------------------
         self.consensus = ConsensusController(self.nodes)
+        self.consensus.tracer = self.tracer
+        self.consensus.metrics = self.metrics
         self.heartbeat = HeartbeatMonitor(
             list(self.nodes.values()),
             self.buddy_of,
@@ -198,6 +223,75 @@ class ACR:
         self._handled_deaths: set[tuple[int, int]] = set()
         self._sdc_rollback_streak = 0
         self._started = False
+
+        # --- telemetry span bookkeeping ---------------------------------------------
+        self._span_checkpoint = None
+        self._span_recovery = None
+        self._span_rollback = None
+        self._rework_span = None
+        self._rework_target: int | None = None
+        self._last_ckpt_breakdown = None
+        if self.tracer.enabled:
+            # Mirror every timeline event as a trace instant so the exported
+            # trace is a self-contained flight recording of the run.
+            self.timeline.subscribe(self._tracer_instant)
+
+    def _tracer_instant(self, event) -> None:
+        self.tracer.instant(f"timeline.{event.kind.value}", event.time,
+                            **event.detail)
+
+    def _charge(self, phase: str, duration: float, bucket: str) -> None:
+        """Account protocol time to a named phase.
+
+        Every second of ``checkpoint_time`` and ``recovery_time`` flows
+        through here, so ``report.phase_times`` decomposes those two totals
+        exactly; the metrics histogram gets the same observation.
+        """
+        if duration == 0.0:
+            return
+        rep = self.report
+        rep.phase_times[phase] = rep.phase_times.get(phase, 0.0) + duration
+        if bucket == "checkpoint":
+            rep.checkpoint_time += duration
+        else:
+            rep.recovery_time += duration
+        self.metrics.histogram("phase.duration_s", phase=phase).observe(duration)
+
+    # -- rework span tracking (tracer-only; zero cost when disabled) ----------------
+    def _note_rework_target(self) -> None:
+        """Remember the pre-rollback progress so the re-execution back to it
+        can be traced as a ``rework`` span."""
+        if not self.tracer.enabled:
+            return
+        progress = [t.progress for r in (0, 1) for t in self.tasks[r]]
+        self._pending_rework_from = min(progress) if progress else 0
+
+    def _begin_rework_span(self) -> None:
+        if not self.tracer.enabled:
+            return
+        target = getattr(self, "_pending_rework_from", 0)
+        restored = [t.progress for r in (0, 1) for t in self.tasks[r]]
+        base = min(restored) if restored else 0
+        if self._rework_span is not None:
+            # A second rollback landed before the first rework finished.
+            self.tracer.end(self._rework_span, self.sim.now, interrupted=True)
+            self._rework_span = None
+            self._rework_target = None
+        if target > base:
+            self._rework_span = self.tracer.begin(
+                "rework", self.sim.now, from_iteration=base,
+                to_iteration=target)
+            self._rework_target = target
+
+    def _check_rework_done(self) -> None:
+        if self._rework_target is None:
+            return
+        if all(t.progress >= self._rework_target
+               for r in (0, 1) for t in self.tasks[r]):
+            self.tracer.end(self._rework_span, self.sim.now,
+                            iterations=self._rework_target)
+            self._rework_span = None
+            self._rework_target = None
 
     # -- observable protocol phase ------------------------------------------------------
     @property
@@ -337,9 +431,14 @@ class ACR:
             scope = self._all_scope()
         self.timeline.record(self.sim.now, TimelineKind.CONSENSUS_START,
                              reason=reason, scope=len(scope))
-        self._start_consensus(scope, self._on_consensus_done)
+        self._span_checkpoint = self.tracer.begin(
+            "checkpoint", self.sim.now, reason=reason,
+            solo=self._weak_pending is not None)
+        self._start_consensus(scope, self._on_consensus_done,
+                              span_parent=self._span_checkpoint)
 
-    def _start_consensus(self, scope: list[int], on_complete) -> None:
+    def _start_consensus(self, scope: list[int], on_complete,
+                         span_parent=None) -> None:
         """Start a consensus round with a stall watchdog.
 
         Buddy heartbeats miss the case where a node *and* its buddy are both
@@ -348,7 +447,8 @@ class ACR:
         still pending after several heartbeat timeouts, any dead node in
         scope is declared failed.
         """
-        rid = self.consensus.start_round(scope, on_complete)
+        rid = self.consensus.start_round(scope, on_complete,
+                                         span_parent=span_parent)
         timeout = 3.0 * (self.config.heartbeat_timeout_factor
                          * self.config.heartbeat_interval) + 1.0
         if self._watchdog_event is not None:
@@ -412,6 +512,10 @@ class ACR:
         ]
 
     def _do_pack(self, iteration: int, replicas: tuple[int, ...]) -> None:
+        pack_t = self.cost.pack_time(self.profile)
+        self.tracer.emit("checkpoint.pack", self.sim.now - pack_t,
+                         self.sim.now, parent=self._span_checkpoint,
+                         iteration=iteration, replicas=len(replicas))
         for replica in replicas:
             self.store.begin_candidate(replica, iteration, self.sim.now)
             for rank in range(self.n):
@@ -420,7 +524,10 @@ class ACR:
         breakdown = self.cost.checkpoint_breakdown(
             self.profile, self.mapping, use_checksum=self.config.use_checksum
         )
-        self.report.checkpoint_time += breakdown.total
+        self._last_ckpt_breakdown = breakdown
+        self._charge("checkpoint.local", breakdown.local, "checkpoint")
+        self._charge("checkpoint.transfer", breakdown.transfer, "checkpoint")
+        self._charge("checkpoint.compare", breakdown.compare, "checkpoint")
         remaining = breakdown.transfer + breakdown.compare
         if self.config.async_checkpointing:
             # Semi-blocking mode: the application only blocked for the local
@@ -443,6 +550,21 @@ class ACR:
     def _finish_checkpoint(self, iteration: int, replicas: tuple[int, ...]) -> None:
         self._phase_events = []
         self._background_event = None
+        breakdown = self._last_ckpt_breakdown
+        if breakdown is not None:
+            remaining = breakdown.transfer + breakdown.compare
+            t0 = self.sim.now - remaining
+            background = self.config.async_checkpointing
+            self.tracer.emit(
+                "checkpoint.transfer", t0, t0 + breakdown.transfer,
+                parent=self._span_checkpoint, iteration=iteration,
+                background=background, track=1 if background else 0)
+            self.tracer.emit(
+                "checkpoint.compare", t0 + breakdown.transfer, self.sim.now,
+                parent=self._span_checkpoint, iteration=iteration,
+                solo=len(replicas) != 2, background=background,
+                track=1 if background else 0)
+            self._last_ckpt_breakdown = None
         if len(replicas) == 2:
             result = detect_sdc(
                 self.store.candidate(0),
@@ -457,6 +579,10 @@ class ACR:
                                      iteration=iteration)
                 if self.adaptive is not None:
                     self.adaptive.record_failure(self.sim.now)
+                self.metrics.counter("acr.sdc_comparison_failures").inc()
+                self.tracer.end(self._span_checkpoint, self.sim.now,
+                                sdc_detected=True)
+                self._span_checkpoint = None
                 self.store.discard(0)
                 self.store.discard(1)
                 self._rollback_both("sdc")
@@ -474,6 +600,10 @@ class ACR:
         self.timeline.record(self.sim.now, TimelineKind.CHECKPOINT_DONE,
                              iteration=iteration,
                              compared=len(replicas) == 2)
+        self.tracer.end(self._span_checkpoint, self.sim.now,
+                        iteration=iteration)
+        self._span_checkpoint = None
+        self.metrics.gauge("store.memory_bytes").set(self.store.memory_bytes())
         if self._weak_pending is not None:
             self._start_weak_shipment(committed[replicas[0]])
             # The healthy replica resumes immediately: zero-overhead recovery.
@@ -491,7 +621,9 @@ class ACR:
         local unpack, no inter-replica transfer, §6.3)."""
         self.phase = "recovering"
         duration = self.cost.sdc_rollback_time(self.profile, 2 * self.n)
-        self.report.recovery_time += duration
+        self._charge("recovery.sdc-rollback", duration, "recovery")
+        self._span_rollback = self.tracer.begin("rollback", self.sim.now,
+                                                reason=reason)
         self._phase_events = [
             self.sim.schedule(duration, self._finish_rollback_both, reason)
         ]
@@ -513,10 +645,14 @@ class ACR:
                         self.store.clone_generation(self._initial_gen[replica]),
                     )
         self.report.recoveries[reason] = self.report.recoveries.get(reason, 0) + 1
+        self._note_rework_target()
         for replica in (0, 1):
             self._restore_replica(replica, self.store.safe(replica))
+        self._begin_rework_span()
         self.timeline.record(self.sim.now, TimelineKind.ROLLBACK, reason=reason)
         self.timeline.record(self.sim.now, TimelineKind.RECOVERY_DONE, scheme=reason)
+        self.tracer.end(self._span_rollback, self.sim.now, reason=reason)
+        self._span_rollback = None
         self.phase = "running"
         self._after_activity()
 
@@ -547,18 +683,21 @@ class ACR:
             for r in (0, 1):
                 self.store.discard(r)
             self._checkpoint_deferred = True
+            self._end_checkpoint_span_cancelled()
         if self.phase == "recovering":
             self._second_failure(dead)
             return
         if self.phase == "consensus":
             self.consensus.abort_round()
             self._checkpoint_deferred = True
+            self._end_checkpoint_span_cancelled()
             self.phase = "running"
         elif self.phase == "checkpointing":
             self._cancel_phase_events()
             for r in (0, 1):
                 self.store.discard(r)
             self._checkpoint_deferred = True
+            self._end_checkpoint_span_cancelled()
             self.phase = "running"
         if self._weak_pending is not None:
             self._failure_while_weak_pending(dead)
@@ -579,13 +718,26 @@ class ACR:
             h.cancel()
         self._phase_events = []
 
+    def _end_checkpoint_span_cancelled(self) -> None:
+        if self._span_checkpoint is not None:
+            self.tracer.end(self._span_checkpoint, self.sim.now,
+                            cancelled=True)
+            self._span_checkpoint = None
+            self._last_ckpt_breakdown = None
+
     # -- strong: roll the crashed replica back to the previous checkpoint ---------------
     def _start_strong_recovery(self, dead: Node) -> None:
         breakdown = self.cost.restart_breakdown(
             self.profile, self.mapping, scheme="strong", crashed_pair=dead.rank
         )
         duration = breakdown.total + self.config.spare_boot_time
-        self.report.recovery_time += duration
+        self._charge("recovery.strong", duration, "recovery")
+        self._span_recovery = self.tracer.begin(
+            "recovery.strong", self.sim.now, replica=dead.replica,
+            rank=dead.rank)
+        self.tracer.emit(
+            "recovery.transfer", self.sim.now,
+            self.sim.now + breakdown.transfer, parent=self._span_recovery)
         self._phase_events = [
             self.sim.schedule(duration, self._finish_strong_recovery, dead)
         ]
@@ -594,12 +746,16 @@ class ACR:
         self._phase_events = []
         dead.revive()
         self.heartbeat.notify_revived(dead.node_id)
+        self._note_rework_target()
         self._restore_replica(dead.replica, self.store.safe(dead.replica))
+        self._begin_rework_span()
         self.report.rollbacks += 1
         self.report.recoveries["strong"] = self.report.recoveries.get("strong", 0) + 1
         self.timeline.record(self.sim.now, TimelineKind.ROLLBACK,
                              reason="hard", replica=dead.replica)
         self.timeline.record(self.sim.now, TimelineKind.RECOVERY_DONE, scheme="strong")
+        self.tracer.end(self._span_recovery, self.sim.now)
+        self._span_recovery = None
         self.phase = "running"
         self._recovering_node = None
         self._after_activity()
@@ -609,9 +765,13 @@ class ACR:
         healthy_scope = self._replica_scope(1 - dead.replica)
         self.timeline.record(self.sim.now, TimelineKind.CONSENSUS_START,
                              reason="medium-recovery", scope=len(healthy_scope))
+        self._span_recovery = self.tracer.begin(
+            "recovery.medium", self.sim.now, replica=dead.replica,
+            rank=dead.rank)
         self._start_consensus(
             healthy_scope,
             lambda rid, it: self._medium_consensus_done(dead, it),
+            span_parent=self._span_recovery,
         )
 
     def _medium_consensus_done(self, dead: Node, iteration: int) -> None:
@@ -626,6 +786,10 @@ class ACR:
 
     def _medium_packed(self, dead: Node, iteration: int) -> None:
         healthy = 1 - dead.replica
+        pack_t = self.cost.pack_time(self.profile)
+        self.tracer.emit("checkpoint.pack", self.sim.now - pack_t,
+                         self.sim.now, parent=self._span_recovery,
+                         iteration=iteration, replicas=1)
         self.store.begin_candidate(healthy, iteration, self.sim.now)
         for rank in range(self.n):
             self.store.put_shard(healthy, rank, pack(self.apps[healthy].shard(rank)))
@@ -633,7 +797,10 @@ class ACR:
             self.profile, self.mapping, scheme="medium", crashed_pair=dead.rank
         )
         duration = breakdown.total + self.config.spare_boot_time
-        self.report.recovery_time += self.cost.pack_time(self.profile) + duration
+        self._charge("recovery.medium", pack_t + duration, "recovery")
+        self.tracer.emit(
+            "recovery.transfer", self.sim.now,
+            self.sim.now + breakdown.transfer, parent=self._span_recovery)
         # The healthy replica resumes as soon as its checkpoints are on the
         # wire; the crashed replica reconstructs at the end of the transfer.
         for nid in self._replica_scope(healthy):
@@ -660,6 +827,8 @@ class ACR:
         self._restore_replica(dead.replica, self.store.safe(dead.replica))
         self.report.recoveries["medium"] = self.report.recoveries.get("medium", 0) + 1
         self.timeline.record(self.sim.now, TimelineKind.RECOVERY_DONE, scheme="medium")
+        self.tracer.end(self._span_recovery, self.sim.now)
+        self._span_recovery = None
         self.phase = "running"
         self._recovering_node = None
         self._after_activity()
@@ -668,6 +837,9 @@ class ACR:
     def _start_weak_wait(self, dead: Node) -> None:
         self._weak_pending = dead
         self._recovering_node = None
+        self._span_recovery = self.tracer.begin(
+            "recovery.weak.wait", self.sim.now, replica=dead.replica,
+            rank=dead.rank)
         self.phase = "running"
         # The crashed replica stalls on its own (tasks starve on the dead
         # node's dependencies); the healthy replica runs to the next
@@ -684,7 +856,14 @@ class ACR:
             self.profile, self.mapping, scheme="weak", crashed_pair=dead.rank
         )
         duration = breakdown.total + self.config.spare_boot_time
-        self.report.recovery_time += duration
+        self._charge("recovery.weak", duration, "recovery")
+        self.tracer.end(self._span_recovery, self.sim.now)
+        self._span_recovery = self.tracer.begin(
+            "recovery.weak", self.sim.now, replica=dead.replica,
+            rank=dead.rank, iteration=gen.iteration)
+        self.tracer.emit(
+            "recovery.transfer", self.sim.now,
+            self.sim.now + breakdown.transfer, parent=self._span_recovery)
         self._phase_events = [
             self.sim.schedule(duration, self._finish_weak_recovery, dead, gen)
         ]
@@ -698,6 +877,8 @@ class ACR:
         self._restore_replica(dead.replica, self.store.safe(dead.replica))
         self.report.recoveries["weak"] = self.report.recoveries.get("weak", 0) + 1
         self.timeline.record(self.sim.now, TimelineKind.RECOVERY_DONE, scheme="weak")
+        self.tracer.end(self._span_recovery, self.sim.now)
+        self._span_recovery = None
         self.phase = "running"
         self._after_activity()
 
@@ -716,7 +897,11 @@ class ACR:
             self.profile, self.mapping, scheme="medium", crashed_pair=dead.rank
         )
         duration = breakdown.total + self.config.spare_boot_time
-        self.report.recovery_time += duration
+        self._charge("recovery.double-failure", duration, "recovery")
+        self.tracer.end(self._span_recovery, self.sim.now, superseded=True)
+        self._span_recovery = self.tracer.begin(
+            "recovery.double-failure", self.sim.now, replica=dead.replica,
+            rank=dead.rank, from_scratch=from_scratch)
         self._phase_events = [
             self.sim.schedule(duration, self._finish_double_failure, from_scratch)
         ]
@@ -734,7 +919,13 @@ class ACR:
             self.profile, self.mapping, scheme="medium", crashed_pair=dead.rank
         )
         duration = breakdown.total + self.config.spare_boot_time
-        self.report.recovery_time += duration
+        self._charge("recovery.double-failure", duration, "recovery")
+        self.tracer.end(self._span_recovery, self.sim.now, superseded=True)
+        self.tracer.end(self._span_rollback, self.sim.now, superseded=True)
+        self._span_rollback = None
+        self._span_recovery = self.tracer.begin(
+            "recovery.double-failure", self.sim.now, replica=dead.replica,
+            rank=dead.rank)
         self._phase_events = [
             self.sim.schedule(duration, self._finish_double_failure, False)
         ]
@@ -778,13 +969,18 @@ class ACR:
             self.store.install_safe(
                 1 - newer, self.store.clone_generation(self.store.safe(newer))
             )
+        self._note_rework_target()
         for replica in (0, 1):
             self._restore_replica(replica, self.store.safe(replica))
+        self._begin_rework_span()
         self.report.rollbacks += 1
         key = "restart-from-beginning" if from_scratch else "double-failure"
         self.report.recoveries[key] = self.report.recoveries.get(key, 0) + 1
         self.timeline.record(self.sim.now, TimelineKind.ROLLBACK, reason=key)
         self.timeline.record(self.sim.now, TimelineKind.RECOVERY_DONE, scheme=key)
+        self.tracer.end(self._span_recovery, self.sim.now,
+                        from_scratch=from_scratch)
+        self._span_recovery = None
         self.phase = "running"
         self._after_activity()
 
@@ -801,6 +997,8 @@ class ACR:
 
     # -- completion & bookkeeping -------------------------------------------------------------
     def _on_node_progress(self, node: Node) -> None:
+        if self._rework_target is not None:
+            self._check_rework_done()
         cap = self.config.total_iterations
         if cap is None or self._final_requested:
             return
@@ -857,9 +1055,63 @@ class ACR:
         self.timeline.record(self.sim.now, TimelineKind.JOB_END, aborted=reason)
         self.sim.stop()
 
+    def metrics_snapshot(self) -> dict:
+        """Sample the always-on runtime counters into the metrics registry and
+        return its snapshot.  Safe to call mid-run (the chaos monitor and the
+        CLI both do); counters use ``set_total`` so repeated snapshots don't
+        double-count."""
+        m = self.metrics
+        rep = self.report
+        m.counter("sim.events_scheduled").set_total(self.sim.events_scheduled)
+        m.counter("sim.events_processed").set_total(self.sim.events_processed)
+        m.counter("sim.events_cancelled").set_total(self.sim.events_cancelled)
+        m.gauge("sim.queue_depth").set(self.sim.pending_events)
+        m.gauge("sim.max_queue_depth").set(self.sim.max_queue_depth)
+        m.counter("transport.messages_sent").set_total(self.transport.messages_sent)
+        m.counter("transport.messages_delivered").set_total(
+            self.transport.messages_delivered)
+        m.counter("transport.messages_dropped").set_total(
+            self.transport.messages_dropped)
+        for kind, n in self.transport.sent_by_kind.items():
+            m.counter("transport.messages_sent_by_kind", kind=kind).set_total(n)
+        for kind, b in self.transport.bytes_by_kind.items():
+            m.counter("transport.bytes_sent", kind=kind).set_total(b)
+        m.counter("store.commits").set_total(self.store.commits)
+        m.counter("store.discards").set_total(self.store.discards)
+        m.gauge("store.high_water_bytes").set(self.store.high_water_bytes)
+        m.gauge("store.memory_bytes").set(self.store.memory_bytes())
+        m.counter("consensus.rounds_started").set_total(
+            self.consensus.rounds_started)
+        m.counter("consensus.rounds_completed").set_total(
+            self.consensus.rounds_completed)
+        m.counter("consensus.rounds_aborted").set_total(
+            self.consensus.rounds_aborted)
+        m.counter("acr.checkpoints_completed").set_total(
+            rep.checkpoints_completed)
+        m.counter("acr.rollbacks").set_total(rep.rollbacks)
+        m.counter("acr.sdc_injected").set_total(rep.sdc_injected)
+        m.counter("acr.sdc_detected").set_total(rep.sdc_detected)
+        m.counter("acr.hard_injected").set_total(rep.hard_injected)
+        m.counter("acr.hard_detected").set_total(rep.hard_detected)
+        m.counter("acr.spare_nodes_used").set_total(rep.spare_nodes_used)
+        for scheme, n in rep.recoveries.items():
+            m.counter("acr.recoveries", scheme=scheme).set_total(n)
+        m.gauge("acr.spares_left").set(self._spares_left)
+        m.gauge("acr.checkpoint_time_s").set(rep.checkpoint_time)
+        m.gauge("acr.checkpoint_blocking_time_s").set(
+            rep.checkpoint_blocking_time)
+        m.gauge("acr.recovery_time_s").set(rep.recovery_time)
+        for phase, t in rep.phase_times.items():
+            m.gauge("acr.phase_time_s", phase=phase).set(t)
+        return m.snapshot()
+
     def _finalize(self) -> RunReport:
         rep = self.report
         rep.final_time = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.end_open(self.sim.now)
+        if self.metrics.enabled:
+            rep.metrics_snapshot = self.metrics_snapshot()
         live_progress = [t.progress for r in (0, 1) for t in self.tasks[r]]
         rep.iterations_completed = min(live_progress) if live_progress else 0
         rep.rework_iterations = sum(

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.framework import RunReport
 from repro.harness.experiment import run_experiment_report
+from repro.obs.metrics import merge_snapshots
 
 
 @dataclass
@@ -33,6 +34,12 @@ class CampaignSummary:
     total_hard_faults: int
     total_sdc: int
     total_recoveries: dict[str, int] = field(default_factory=dict)
+    #: Summed per-phase protocol time across all runs (same keys as
+    #: :attr:`RunReport.phase_times`).
+    phase_times: dict[str, float] = field(default_factory=dict)
+    #: Merged metrics snapshot across workers (None when no run collected
+    #: metrics); see :func:`repro.obs.metrics.merge_snapshots`.
+    metrics: dict | None = None
 
     @property
     def completion_rate(self) -> float:
@@ -57,9 +64,13 @@ def summarize(reports: Sequence[RunReport]) -> CampaignSummary:
     overheads = np.asarray([r.overhead_fraction for r in completed]) \
         if completed else np.zeros(0)
     recoveries: dict[str, int] = {}
+    phase_times: dict[str, float] = {}
     for r in reports:
         for key, count in r.recoveries.items():
             recoveries[key] = recoveries.get(key, 0) + count
+        for phase, t in r.phase_times.items():
+            phase_times[phase] = phase_times.get(phase, 0.0) + t
+    snapshots = [r.metrics_snapshot for r in reports if r.metrics_snapshot]
     return CampaignSummary(
         runs=len(reports),
         completed_runs=len(completed),
@@ -74,6 +85,8 @@ def summarize(reports: Sequence[RunReport]) -> CampaignSummary:
         total_hard_faults=sum(r.hard_detected for r in reports),
         total_sdc=sum(r.sdc_detected for r in reports),
         total_recoveries=recoveries,
+        phase_times=phase_times,
+        metrics=merge_snapshots(snapshots) if snapshots else None,
     )
 
 

@@ -44,11 +44,16 @@ def run_acr_experiment(
     app_scale: float = 1e-4,
     spare_nodes: int = 64,
     injection_plan: InjectionPlan | None = None,
+    tracer=None,
+    metrics=None,
 ) -> ExperimentResult:
     """Run one application to ``total_iterations`` under injected faults.
 
     ``hard_mtbf`` / ``sdc_mtbf`` draw Poisson fault schedules over the whole
     horizon; pass an explicit ``injection_plan`` for deterministic scenarios.
+    ``tracer`` / ``metrics`` opt the run into telemetry (a
+    :class:`~repro.obs.tracer.SpanTracer` /
+    :class:`~repro.obs.metrics.MetricsRegistry`); by default both are no-ops.
     """
     if injection_plan is None:
         injection_plan = poisson_plan(
@@ -70,7 +75,7 @@ def run_acr_experiment(
         spare_nodes=spare_nodes,
     )
     acr = ACR(app, nodes_per_replica=nodes_per_replica, config=config,
-              injection_plan=injection_plan)
+              injection_plan=injection_plan, tracer=tracer, metrics=metrics)
     report = acr.run(until=horizon, max_events=100_000_000)
     return ExperimentResult(report=report, acr=acr)
 
@@ -84,8 +89,18 @@ def run_experiment_report(app: str, seed: int,
     report crosses the process boundary.  Results are deterministic per seed
     regardless of which process runs them: every random draw flows from
     SHA-256-derived :class:`~repro.util.rng.RngStream` seeds.
+
+    ``collect_metrics=True`` in ``experiment_kwargs`` gives the run its own
+    :class:`~repro.obs.metrics.MetricsRegistry`; its snapshot travels back on
+    ``report.metrics_snapshot`` (a plain dict) and the campaign merges the
+    per-worker snapshots.
     """
-    return run_acr_experiment(app, seed=seed, **experiment_kwargs).report
+    kwargs = dict(experiment_kwargs)
+    if kwargs.pop("collect_metrics", False):
+        from repro.obs.metrics import MetricsRegistry
+
+        kwargs["metrics"] = MetricsRegistry()
+    return run_acr_experiment(app, seed=seed, **kwargs).report
 
 
 def forward_path_overhead(

@@ -1,0 +1,67 @@
+"""Protocol telemetry: phase spans, metrics registry, exportable traces.
+
+The observability layer the paper's evaluation rests on: checkpoint overhead
+breakdowns (Fig. 8–10), failure/recovery timelines (Fig. 12) and the §5
+model inputs (δ, τ, R) all come from instrumentation this package provides.
+
+Three pieces:
+
+* :class:`SpanTracer` — nested, timed spans over every protocol phase,
+  exportable as Chrome ``trace_event`` JSON (Perfetto) or JSONL;
+* :class:`MetricsRegistry` — counters / gauges / fixed-bucket histograms fed
+  by hooks in the framework, DES, transport and checkpoint store, with
+  mergeable snapshots for multi-worker campaigns;
+* export helpers behind ``repro run --trace-out/--metrics-out`` and the
+  ``repro report`` subcommand.
+
+Telemetry is off by default: :data:`NULL_TRACER` and :data:`NULL_METRICS`
+are shared no-ops, so an un-instrumented run pays only a no-op call on phase
+boundaries (verified by the ``tests/obs`` smoke tests).
+"""
+
+from repro.obs.export import (
+    CHROME_EVENT_REQUIRED_KEYS,
+    CHROME_TRACE_REQUIRED_KEYS,
+    load_json,
+    trace_phase_summary,
+    validate_chrome_trace,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    merge_snapshots,
+    metric_key,
+    snapshot_percentile,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanTracer
+
+__all__ = [
+    "CHROME_EVENT_REQUIRED_KEYS",
+    "CHROME_TRACE_REQUIRED_KEYS",
+    "load_json",
+    "trace_phase_summary",
+    "validate_chrome_trace",
+    "write_metrics",
+    "write_trace",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+    "merge_snapshots",
+    "metric_key",
+    "snapshot_percentile",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanTracer",
+]

@@ -1,0 +1,76 @@
+"""Serialize traces and metrics to files, and load them back for reporting.
+
+``repro run --trace-out t.json --metrics-out m.json`` lands here; ``repro
+report`` reads the same files back and renders them as tables.  The Chrome
+trace format is validated by the smoke tests (``json.load`` + required keys)
+and loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import SpanTracer
+
+#: Keys every Chrome trace file must carry (checked by the smoke tests).
+CHROME_TRACE_REQUIRED_KEYS = ("traceEvents", "displayTimeUnit")
+#: Keys every trace event must carry.
+CHROME_EVENT_REQUIRED_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+
+def write_trace(tracer: SpanTracer, path: str, *, fmt: str = "chrome") -> None:
+    """Write a tracer's spans as Chrome trace JSON or as JSONL."""
+    if fmt == "chrome":
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(tracer.to_chrome_trace(), fh)
+    elif fmt == "jsonl":
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(tracer.to_jsonl())
+    else:
+        raise ValueError(f"unknown trace format {fmt!r} (chrome or jsonl)")
+
+
+def write_metrics(snapshot: dict, path: str, **meta) -> None:
+    """Write a metrics snapshot (plus optional metadata keys) as JSON."""
+    payload = dict(meta)
+    payload.update(snapshot)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def load_json(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def validate_chrome_trace(payload: dict) -> list[str]:
+    """Return a list of schema problems (empty = valid Chrome trace)."""
+    problems = []
+    for key in CHROME_TRACE_REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"missing top-level key {key!r}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append("traceEvents is not a list")
+        return problems
+    for i, event in enumerate(events):
+        for key in CHROME_EVENT_REQUIRED_KEYS:
+            if key not in event:
+                problems.append(f"event {i} missing {key!r}")
+                break
+        if event.get("ph") == "X" and "dur" not in event:
+            problems.append(f"complete event {i} missing 'dur'")
+    return problems
+
+
+def trace_phase_summary(payload: dict) -> dict[str, tuple[int, float]]:
+    """Per-span-name ``(count, total_seconds)`` from a Chrome trace dict."""
+    summary: dict[str, tuple[int, float]] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        name = event["name"]
+        count, total = summary.get(name, (0, 0.0))
+        summary[name] = (count + 1, total + event.get("dur", 0.0) / 1e6)
+    return summary

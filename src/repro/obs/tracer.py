@@ -1,0 +1,206 @@
+"""Phase-span tracing for the ACR protocol.
+
+Every protocol phase of a run — consensus rounds (with their four
+sub-phases), checkpoint pack/transfer/compare, each recovery flavor,
+rollbacks, rework — can be captured as a timed *span* carrying
+node/replica/iteration attributes.  Spans nest via explicit parent links,
+forming the per-run span tree that the paper's overhead figures (Fig. 8–10)
+and recovery timelines (Fig. 12) break down.
+
+The simulator is callback-driven, so the API takes explicit simulated
+timestamps instead of wrapping a call stack:
+
+* ``begin(name, t, parent=..., **attrs)`` opens a span and returns its id;
+* ``end(span_id, t, **attrs)`` closes it;
+* ``emit(name, t0, t1, ...)`` records a completed span retroactively
+  (useful when a phase's duration is only known at its completion event);
+* ``instant(name, t, **attrs)`` records a point event.
+
+The default tracer is :data:`NULL_TRACER`, a shared no-op whose methods do
+nothing — instrumented code calls it unconditionally and a disabled run pays
+only a no-op method call on phase boundaries (never on per-iteration paths).
+
+Exports: :meth:`SpanTracer.to_chrome_trace` produces Chrome ``trace_event``
+JSON (load in Perfetto / ``chrome://tracing``); :meth:`SpanTracer.to_jsonl`
+produces one JSON object per line for ad-hoc analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Simulated seconds → Chrome trace microseconds.
+_US = 1_000_000.0
+
+
+@dataclass
+class Span:
+    """One timed protocol phase (``end is None`` while still open)."""
+
+    span_id: int
+    name: str
+    start: float
+    end: float | None = None
+    parent_id: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+class NullTracer:
+    """Do-nothing tracer: the overhead-neutral default.
+
+    Shares the interface of :class:`SpanTracer`; every method is a no-op so
+    instrumentation sites never need an ``if enabled`` branch.
+    """
+
+    enabled = False
+
+    def begin(self, name: str, t: float, *, parent: int | None = None,
+              **attrs) -> None:
+        return None
+
+    def end(self, span_id, t: float, **attrs) -> None:
+        return None
+
+    def emit(self, name: str, t0: float, t1: float, *,
+             parent: int | None = None, **attrs) -> None:
+        return None
+
+    def instant(self, name: str, t: float, **attrs) -> None:
+        return None
+
+
+#: The shared no-op tracer every un-instrumented run uses.
+NULL_TRACER = NullTracer()
+
+
+class SpanTracer:
+    """Recording tracer: accumulates spans and instants incrementally."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[tuple[str, float, dict]] = []
+        self._open: dict[int, Span] = {}
+        self._next_id = 0
+
+    # -- recording -----------------------------------------------------------
+    def begin(self, name: str, t: float, *, parent: int | None = None,
+              **attrs) -> int:
+        """Open a span at simulated time ``t``; returns its id."""
+        span = Span(self._next_id, name, float(t), None, parent, dict(attrs))
+        self._next_id += 1
+        self.spans.append(span)
+        self._open[span.span_id] = span
+        return span.span_id
+
+    def end(self, span_id: int | None, t: float, **attrs) -> None:
+        """Close an open span (tolerates ``None`` / already-closed ids)."""
+        if span_id is None:
+            return
+        span = self._open.pop(span_id, None)
+        if span is None:
+            return
+        span.end = max(float(t), span.start)
+        if attrs:
+            span.attrs.update(attrs)
+
+    def emit(self, name: str, t0: float, t1: float, *,
+             parent: int | None = None, **attrs) -> int:
+        """Record a completed span retroactively; returns its id."""
+        sid = self.begin(name, t0, parent=parent, **attrs)
+        self.end(sid, t1)
+        return sid
+
+    def instant(self, name: str, t: float, **attrs) -> None:
+        """Record a point event (rendered as a trace instant)."""
+        self.instants.append((name, float(t), dict(attrs)))
+
+    def end_open(self, t: float, **attrs) -> None:
+        """Close every still-open span (end of run / abort)."""
+        for sid in list(self._open):
+            self.end(sid, t, **attrs)
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        return len(self._open)
+
+    def by_name(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def phase_names(self) -> set[str]:
+        return {s.name for s in self.spans}
+
+    def phase_totals(self) -> dict[str, float]:
+        """Total duration per span name (completed spans only)."""
+        totals: dict[str, float] = {}
+        for s in self.spans:
+            if s.end is not None:
+                totals[s.name] = totals.get(s.name, 0.0) + s.duration
+        return totals
+
+    def children_of(self, span_id: int) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    # -- exports ---------------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` JSON object (open in Perfetto).
+
+        Spans become complete (``"ph": "X"``) events; instants become global
+        instant (``"ph": "i"``) events.  Simulated seconds map to trace
+        microseconds, and the span's track attribute (if any) selects the
+        ``tid`` so overlapping background work gets its own row.
+        """
+        events = []
+        for s in self.spans:
+            end = s.end if s.end is not None else s.start
+            args = {k: v for k, v in s.attrs.items() if k != "track"}
+            if s.parent_id is not None:
+                args["parent_span"] = s.parent_id
+            events.append({
+                "name": s.name,
+                "cat": s.name.split(".")[0],
+                "ph": "X",
+                "ts": s.start * _US,
+                "dur": (end - s.start) * _US,
+                "pid": 0,
+                "tid": int(s.attrs.get("track", 0)),
+                "args": args,
+            })
+        for name, t, attrs in self.instants:
+            events.append({
+                "name": name,
+                "cat": name.split(".")[0],
+                "ph": "i",
+                "s": "g",
+                "ts": t * _US,
+                "pid": 0,
+                "tid": int(attrs.get("track", 0)),
+                "args": attrs,
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "simulated-seconds", "source": "repro.obs"},
+        }
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line: spans then instants, in record order."""
+        lines = []
+        for s in self.spans:
+            lines.append(json.dumps({
+                "type": "span", "id": s.span_id, "name": s.name,
+                "start": s.start, "end": s.end, "parent": s.parent_id,
+                "attrs": s.attrs,
+            }, sort_keys=True))
+        for name, t, attrs in self.instants:
+            lines.append(json.dumps({
+                "type": "instant", "name": name, "t": t, "attrs": attrs,
+            }, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -54,6 +54,12 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: Raw scheduling stats (always on — plain int bumps) feeding the
+        #: telemetry metrics registry: how many events were ever scheduled,
+        #: how many were reaped cancelled, and the queue's high-water mark.
+        self.events_scheduled = 0
+        self.events_cancelled = 0
+        self.max_queue_depth = 0
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
@@ -69,6 +75,9 @@ class Simulator:
             )
         handle = EventHandle(time, callback, args)
         heapq.heappush(self._heap, _QueueEntry(time, next(self._seq), handle))
+        self.events_scheduled += 1
+        if len(self._heap) > self.max_queue_depth:
+            self.max_queue_depth = len(self._heap)
         return handle
 
     def stop(self) -> None:
@@ -79,6 +88,7 @@ class Simulator:
         """Time of the next pending event, or None if the queue is empty."""
         while self._heap and not self._heap[0].handle.pending:
             heapq.heappop(self._heap)
+            self.events_cancelled += 1
         return self._heap[0].time if self._heap else None
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
@@ -97,6 +107,7 @@ class Simulator:
                 heapq.heappop(self._heap)
                 handle = entry.handle
                 if not handle.pending:
+                    self.events_cancelled += 1
                     continue
                 if max_events is not None and self.events_processed >= max_events:
                     raise SimulationError(

@@ -62,6 +62,11 @@ class Transport:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: Per-link-class accounting (always on — two dict bumps per send)
+        #: feeding the telemetry metrics registry: how many messages and how
+        #: many payload bytes each traffic class shipped.
+        self.sent_by_kind: dict[str, int] = {}
+        self.bytes_by_kind: dict[str, int] = {}
 
     # -- registration -----------------------------------------------------------
     def register(self, node_id: int, handler: Callable[[Message], None]) -> None:
@@ -89,6 +94,9 @@ class Transport:
             self.messages_dropped += 1
             return
         self.messages_sent += 1
+        kind = msg.kind.value
+        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + msg.nbytes
         msg.send_time = self.sim.now
         delay = self.latency + msg.nbytes / self.bandwidth + extra_delay
         self.sim.schedule(delay, self._deliver, msg)

@@ -1,0 +1,87 @@
+"""RunReport accounting tests: overhead fraction, checkpoint intervals, and
+the per-phase breakdown in blocking vs asynchronous checkpointing modes."""
+
+import pytest
+
+from repro.core.config import ACRConfig
+from repro.core.framework import ACR, RunReport
+from repro.core.events import TimelineKind
+from repro.harness.experiment import run_acr_experiment
+
+
+def run_small(*, async_checkpointing=False, **kwargs):
+    config = ACRConfig(checkpoint_interval=2.0, total_iterations=60,
+                       app_scale=1e-4, seed=1,
+                       async_checkpointing=async_checkpointing)
+    acr = ACR("jacobi3d-charm", nodes_per_replica=2, config=config, **kwargs)
+    report = acr.run(until=10_000.0, max_events=100_000_000)
+    return acr, report
+
+
+class TestOverheadFraction:
+    def test_zero_before_run(self):
+        assert RunReport().overhead_fraction == 0.0
+
+    def test_matches_components(self):
+        _, report = run_small()
+        assert report.completed
+        expected = ((report.checkpoint_time + report.recovery_time)
+                    / report.final_time)
+        assert report.overhead_fraction == pytest.approx(expected)
+        assert 0.0 < report.overhead_fraction < 1.0
+
+    def test_synthetic_values(self):
+        r = RunReport(final_time=100.0, checkpoint_time=6.0,
+                      recovery_time=4.0)
+        assert r.overhead_fraction == pytest.approx(0.1)
+
+
+class TestCheckpointIntervals:
+    def test_periodic_gaps_near_interval(self):
+        _, report = run_small()
+        intervals = report.timeline.checkpoint_intervals()
+        done = report.timeline.times_of(TimelineKind.CHECKPOINT_DONE)
+        assert len(intervals) == len(done) - 1
+        # Interior gaps track the configured 2 s period (the final
+        # at-the-cap checkpoint may come early).
+        for gap in intervals[:-1]:
+            assert gap == pytest.approx(2.0, rel=0.25)
+
+    def test_empty_without_checkpoints(self):
+        assert RunReport().timeline.checkpoint_intervals() == []
+
+
+class TestPhaseBreakdown:
+    def test_blocking_sum_is_exact(self):
+        _, report = run_small()
+        assert report.phase_times  # populated
+        assert report.phase_time_sum == pytest.approx(
+            report.checkpoint_time + report.recovery_time, rel=1e-9)
+        # Blocking mode: the application is blocked for the whole thing.
+        assert report.checkpoint_blocking_time == pytest.approx(
+            report.checkpoint_time)
+
+    def test_async_blocks_only_local_pack(self):
+        _, blocking = run_small(async_checkpointing=False)
+        _, async_rep = run_small(async_checkpointing=True)
+        assert async_rep.completed
+        # Same exact-decomposition invariant in asynchronous mode...
+        assert async_rep.phase_time_sum == pytest.approx(
+            async_rep.checkpoint_time + async_rep.recovery_time, rel=1e-9)
+        # ...but the app only blocks for the local pack, so blocking time
+        # shrinks strictly below the blocking-mode figure.
+        assert (async_rep.checkpoint_blocking_time
+                < blocking.checkpoint_blocking_time)
+        assert (async_rep.phase_times["checkpoint.local"]
+                == pytest.approx(async_rep.checkpoint_blocking_time))
+
+    def test_recovery_phases_appear_under_faults(self):
+        result = run_acr_experiment(
+            "jacobi3d-charm", nodes_per_replica=2, total_iterations=80,
+            checkpoint_interval=2.0, scheme="strong", hard_mtbf=20.0,
+            horizon=600.0, seed=4)
+        report = result.report
+        assert report.recoveries.get("strong", 0) >= 1
+        assert report.phase_times.get("recovery.strong", 0.0) > 0.0
+        assert report.phase_time_sum == pytest.approx(
+            report.checkpoint_time + report.recovery_time, rel=1e-9)

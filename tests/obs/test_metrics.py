@@ -1,0 +1,105 @@
+"""Metrics registry unit tests."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    metric_key,
+    snapshot_percentile,
+)
+
+
+class TestMetricKey:
+    def test_no_labels(self):
+        assert metric_key("a.b", {}) == "a.b"
+
+    def test_labels_sorted(self):
+        assert metric_key("x", {"b": 1, "a": 2}) == "x{a=2,b=1}"
+
+
+class TestNullMetrics:
+    def test_noop_instruments(self):
+        NULL_METRICS.counter("c").inc()
+        NULL_METRICS.gauge("g").set(5)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.enabled is False
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        reg.counter("c", kind="app").inc(3)
+        reg.counter("c", kind="app").inc(2)
+        assert reg.snapshot()["counters"]["c{kind=app}"] == 5
+
+    def test_counter_set_total_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.set_total(10)
+        c.set_total(7)  # lower reconciliation ignored
+        assert c.value == 10
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(2.5)
+        assert reg.snapshot()["gauges"]["g"] == 2.5
+
+    def test_histogram_percentiles(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.5, 3.0, 10.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(3.5)
+        assert h.percentile(50) == 1.0   # bucket-upper estimate
+        assert h.percentile(100) == 10.0
+        assert Histogram().percentile(99) == 0.0
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(0.01)
+        json.loads(reg.to_json(app="jacobi3d-charm"))
+
+
+class TestMerge:
+    def test_counters_add_gauges_max(self):
+        a = {"counters": {"c": 2}, "gauges": {"g": 5.0}, "histograms": {}}
+        b = {"counters": {"c": 3}, "gauges": {"g": 4.0}, "histograms": {}}
+        merged = merge_snapshots([a, b])
+        assert merged["counters"]["c"] == 5
+        assert merged["gauges"]["g"] == 5.0
+
+    def test_histograms_merge_bucketwise(self):
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        reg1.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        reg2.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        merged = merge_snapshots([reg1.snapshot(), reg2.snapshot()])
+        h = merged["histograms"]["h"]
+        assert h["count"] == 2
+        assert h["min"] == 0.5 and h["max"] == 1.5
+        assert snapshot_percentile(h, 100) == 1.5
+
+    def test_empty_prior_histogram_does_not_poison_min(self):
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        reg1.histogram("h")  # registered, never observed
+        reg2.histogram("h").observe(3.0)
+        merged = merge_snapshots([reg1.snapshot(), reg2.snapshot()])
+        assert merged["histograms"]["h"]["min"] == 3.0
+
+    def test_incompatible_buckets_rejected(self):
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        reg1.histogram("h", buckets=(1.0,)).observe(0.5)
+        reg2.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            merge_snapshots([reg1.snapshot(), reg2.snapshot()])
+
+    def test_empty_input(self):
+        assert merge_snapshots([]) == {
+            "counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,120 @@
+"""End-to-end telemetry smoke tests.
+
+Two guarantees worth guarding forever: telemetry off means *nothing* extra
+happens (no subscribers, no spans, identical execution), and telemetry on
+produces a valid, Perfetto-loadable Chrome trace covering every protocol
+phase.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness.experiment import run_acr_experiment
+from repro.obs import (
+    CHROME_EVENT_REQUIRED_KEYS,
+    CHROME_TRACE_REQUIRED_KEYS,
+    MetricsRegistry,
+    SpanTracer,
+    validate_chrome_trace,
+)
+
+
+def _run(**kwargs):
+    kwargs.setdefault("seed", 1)
+    return run_acr_experiment(
+        "jacobi3d-charm", nodes_per_replica=2, total_iterations=60,
+        checkpoint_interval=2.0, **kwargs)
+
+
+class TestDisabledPath:
+    def test_no_timeline_subscribers_and_no_spans(self):
+        result = _run()
+        acr = result.acr
+        assert acr.timeline._subscribers == []
+        assert not acr.tracer.enabled
+        assert not acr.metrics.enabled
+        assert result.report.metrics_snapshot is None
+
+    def test_enabled_run_is_bit_identical(self):
+        plain = _run()
+        traced = _run(tracer=SpanTracer(), metrics=MetricsRegistry())
+        assert traced.report.final_time == plain.report.final_time
+        assert traced.acr.sim.events_processed == plain.acr.sim.events_processed
+        for replica in (0, 1):
+            assert (traced.report.digests[replica]
+                    == plain.report.digests[replica]).all()
+
+
+class TestEnabledPath:
+    def test_spans_cover_protocol_phases(self):
+        tracer = SpanTracer()
+        result = _run(tracer=tracer, hard_mtbf=20.0, horizon=300.0,
+                      scheme="strong")
+        assert result.report.completed
+        names = tracer.phase_names()
+        assert len(names) >= 6
+        for expected in ("checkpoint", "checkpoint.pack",
+                         "checkpoint.transfer", "checkpoint.compare",
+                         "consensus.round", "consensus.reduce_max"):
+            assert expected in names, f"missing span {expected!r}"
+        assert tracer.open_spans == 0  # _finalize closed everything
+
+    def test_metrics_snapshot_attached(self):
+        result = _run(metrics=MetricsRegistry())
+        snap = result.report.metrics_snapshot
+        assert snap is not None
+        assert snap["counters"]["store.commits"] >= 2
+        assert snap["counters"]["sim.events_processed"] > 0
+        assert "acr.checkpoint_time_s" in snap["gauges"]
+
+
+class TestCliTraceOut:
+    def test_trace_out_is_valid_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        code = main(["run", "--app", "jacobi3d-charm", "--nodes", "2",
+                     "--iterations", "60", "--interval", "2", "--seed", "1",
+                     "--trace-out", str(trace_path)])
+        capsys.readouterr()
+        assert code == 0
+        with open(trace_path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        for key in CHROME_TRACE_REQUIRED_KEYS:
+            assert key in payload
+        assert validate_chrome_trace(payload) == []
+        events = payload["traceEvents"]
+        for key in CHROME_EVENT_REQUIRED_KEYS:
+            assert key in events[0]
+        phase_types = {e["name"] for e in events if e["ph"] == "X"}
+        assert len(phase_types) >= 6
+
+    def test_metrics_out_and_report(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        code = main(["run", "--app", "jacobi3d-charm", "--nodes", "2",
+                     "--iterations", "60", "--interval", "2", "--seed", "1",
+                     "--metrics-out", str(metrics_path)])
+        capsys.readouterr()
+        assert code == 0
+        code = main(["report", "--metrics", str(metrics_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "protocol time by phase" in out
+        assert "drift" in out
+        # The printed drift between the phase sum and checkpoint+recovery
+        # must be within the 1% acceptance band.
+        drift_pct = float(out.split("drift ")[1].split("%")[0])
+        assert drift_pct <= 1.0
+
+    def test_report_without_inputs_errors(self, capsys):
+        assert main(["report"]) == 2
+
+
+class TestReportPhaseSum:
+    @pytest.mark.parametrize("scheme", ["strong", "medium", "weak"])
+    def test_phase_sum_matches_totals_under_faults(self, scheme):
+        result = _run(scheme=scheme, hard_mtbf=15.0, sdc_mtbf=25.0,
+                      horizon=600.0, seed=4)
+        r = result.report
+        budget = r.checkpoint_time + r.recovery_time
+        assert r.phase_time_sum == pytest.approx(budget, rel=1e-9, abs=1e-12)

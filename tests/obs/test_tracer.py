@@ -1,0 +1,88 @@
+"""Span tracer unit tests."""
+
+import json
+
+from repro.obs.tracer import NULL_TRACER, SpanTracer
+
+
+class TestNullTracer:
+    def test_all_methods_are_noops(self):
+        sid = NULL_TRACER.begin("x", 0.0)
+        assert sid is None
+        NULL_TRACER.end(sid, 1.0)
+        NULL_TRACER.emit("y", 0.0, 1.0)
+        NULL_TRACER.instant("z", 0.5)
+        assert NULL_TRACER.enabled is False
+
+
+class TestSpanTracer:
+    def test_begin_end_records_duration(self):
+        tr = SpanTracer()
+        sid = tr.begin("checkpoint", 1.0, iteration=10)
+        tr.end(sid, 3.5)
+        (span,) = tr.spans
+        assert span.name == "checkpoint"
+        assert span.duration == 2.5
+        assert span.attrs["iteration"] == 10
+
+    def test_nesting_via_parent(self):
+        tr = SpanTracer()
+        outer = tr.begin("checkpoint", 0.0)
+        inner = tr.emit("checkpoint.pack", 0.0, 1.0, parent=outer)
+        tr.end(outer, 2.0)
+        assert tr.children_of(outer)[0].span_id == inner
+
+    def test_end_tolerates_none_and_double_close(self):
+        tr = SpanTracer()
+        tr.end(None, 1.0)
+        sid = tr.begin("x", 0.0)
+        tr.end(sid, 1.0)
+        tr.end(sid, 2.0)  # second close ignored
+        assert tr.spans[0].end == 1.0
+
+    def test_end_clamps_to_start(self):
+        tr = SpanTracer()
+        sid = tr.begin("x", 5.0)
+        tr.end(sid, 4.0)
+        assert tr.spans[0].end == 5.0
+
+    def test_end_open_closes_everything(self):
+        tr = SpanTracer()
+        tr.begin("a", 0.0)
+        tr.begin("b", 1.0)
+        assert tr.open_spans == 2
+        tr.end_open(2.0)
+        assert tr.open_spans == 0
+        assert all(s.end == 2.0 for s in tr.spans)
+
+    def test_phase_totals_and_names(self):
+        tr = SpanTracer()
+        tr.emit("a", 0.0, 1.0)
+        tr.emit("a", 2.0, 4.0)
+        tr.emit("b", 0.0, 0.5)
+        assert tr.phase_names() == {"a", "b"}
+        totals = tr.phase_totals()
+        assert totals["a"] == 3.0 and totals["b"] == 0.5
+
+    def test_chrome_trace_schema(self):
+        tr = SpanTracer()
+        sid = tr.begin("checkpoint", 1.0, track=1)
+        tr.end(sid, 2.0)
+        tr.instant("timeline.job_end", 2.0)
+        payload = tr.to_chrome_trace()
+        assert payload["displayTimeUnit"] == "ms"
+        span_ev, inst_ev = payload["traceEvents"]
+        assert span_ev["ph"] == "X"
+        assert span_ev["ts"] == 1.0e6 and span_ev["dur"] == 1.0e6
+        assert span_ev["tid"] == 1
+        assert inst_ev["ph"] == "i" and inst_ev["s"] == "g"
+        # The whole payload must survive a JSON round trip.
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_jsonl_round_trip(self):
+        tr = SpanTracer()
+        tr.emit("a", 0.0, 1.0, iteration=3)
+        tr.instant("b", 0.5)
+        lines = [json.loads(line) for line in tr.to_jsonl().splitlines()]
+        assert lines[0]["type"] == "span" and lines[0]["name"] == "a"
+        assert lines[1]["type"] == "instant" and lines[1]["t"] == 0.5

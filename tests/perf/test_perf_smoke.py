@@ -60,6 +60,42 @@ class TestMicroBenchmarks:
         assert [f.name for f in legacy.fields] == [f.name for f in fast.fields]
 
 
+class TestTelemetryNeutral:
+    """Disabled telemetry must not cost anything measurable (the obs layer's
+    overhead-neutrality contract; see docs/observability.md)."""
+
+    def test_null_tracer_call_overhead_is_trivial(self):
+        from time import perf_counter
+
+        from repro.obs import NULL_METRICS, NULL_TRACER
+
+        n = 200_000
+        t0 = perf_counter()
+        for _ in range(n):
+            sid = NULL_TRACER.begin("x", 0.0)
+            NULL_TRACER.end(sid, 1.0)
+            NULL_METRICS.counter("c").inc()
+        elapsed = perf_counter() - t0
+        # ~3 no-op calls per loop; anything close to 10 µs/iteration would
+        # mean the "no-op" path grew real work.
+        assert elapsed / n < 10e-6
+
+    def test_telemetry_does_not_change_event_count(self):
+        from repro.harness.experiment import run_acr_experiment
+        from repro.obs import MetricsRegistry, SpanTracer
+
+        plain = run_acr_experiment(
+            "jacobi3d-charm", nodes_per_replica=2, total_iterations=40,
+            checkpoint_interval=2.0, seed=1)
+        traced = run_acr_experiment(
+            "jacobi3d-charm", nodes_per_replica=2, total_iterations=40,
+            checkpoint_interval=2.0, seed=1,
+            tracer=SpanTracer(), metrics=MetricsRegistry())
+        assert (traced.acr.sim.events_processed
+                == plain.acr.sim.events_processed)
+        assert traced.report.final_time == plain.report.final_time
+
+
 class TestRunBenchEntryPoint:
     def test_quick_mode_writes_json(self, tmp_path):
         out = tmp_path / "BENCH_checkpoint.json"
