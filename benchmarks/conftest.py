@@ -4,9 +4,17 @@ Benchmarks print the same rows/series the paper's figures plot; ``emit``
 writes through pytest's capture (including the default fd-level capture) so
 the tables land on the real stdout — the terminal, or ``bench_output.txt``
 when the run is tee'd.
+
+``campaign_cache`` gives the campaign-driven benchmarks a result store: set
+``REPRO_BENCH_CACHE=/some/dir`` to persist simulated cells across benchmark
+invocations (a CI job can restore the directory and turn the multi-seed
+sweeps into pure cache reads); unset, each session gets a throwaway store so
+cache-path code is still exercised without cross-run reuse.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -20,3 +28,14 @@ def emit(capfd):
             print("\n" + text, flush=True)
 
     return _emit
+
+
+@pytest.fixture
+def campaign_cache(tmp_path_factory):
+    """A ResultStore for campaign benchmarks (see module docstring)."""
+    from repro.store import ResultStore
+
+    root = os.environ.get("REPRO_BENCH_CACHE")
+    if root:
+        return ResultStore(root)
+    return ResultStore(tmp_path_factory.mktemp("campaign-cache"))

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Gate a fresh perf-benchmark run against the committed baseline.
+
+Usage::
+
+    python benchmarks/perf/run_bench.py --mib 16 --repeats 3 --out bench_ci.json
+    python benchmarks/perf/compare_bench.py \
+        --baseline BENCH_checkpoint.json --new bench_ci.json --tolerance 0.30
+
+Only *dimensionless* metrics are gated — the speedup ratios that motivated
+the hot-path work (zero-copy pack, incremental checksums).  Absolute seconds
+and GiB/s vary with the machine, so they are reported but never fail the
+gate.  A gated metric regresses when it drops more than ``--tolerance``
+below the baseline; improvements never fail.  Exit code 1 on regression,
+with a readable delta table either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness.report import format_table  # noqa: E402
+
+#: (section, metric) pairs gated by the tolerance — all higher-is-better
+#: ratios, stable across machines and payload sizes.
+GATED_RATIOS = (
+    ("pack", "pack_speedup_vs_legacy"),
+    ("pack", "pack_into_speedup_vs_legacy"),
+    ("incremental_checksum", "incremental_speedup"),
+)
+
+#: (section, metric) booleans that must stay true.
+GATED_FLAGS = (("campaign", "summaries_identical"),)
+
+#: Machine-dependent metrics shown for context only.
+INFORMATIONAL = (
+    ("pack", "pack_into_gib_per_s"),
+    ("fletcher", "fletcher64_gib_per_s"),
+    ("campaign", "parallel_speedup"),
+)
+
+
+def _lookup(results: dict, section: str, metric: str):
+    return (results.get(section) or {}).get(metric)
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list, list]:
+    """(table_rows, failures) for a baseline/fresh results comparison."""
+    rows: list[list] = []
+    failures: list[str] = []
+    for section, metric in GATED_RATIOS:
+        name = f"{section}.{metric}"
+        base = _lookup(baseline, section, metric)
+        new = _lookup(fresh, section, metric)
+        if base is None or new is None:
+            failures.append(f"{name}: missing from "
+                            f"{'baseline' if base is None else 'new run'}")
+            rows.append([name, base, new, "-", "MISSING"])
+            continue
+        delta_pct = 100.0 * (new - base) / base if base else 0.0
+        regressed = new < base * (1.0 - tolerance)
+        status = "REGRESSION" if regressed else "ok"
+        if regressed:
+            failures.append(
+                f"{name}: {new:.3f} is {-delta_pct:.1f}% below baseline "
+                f"{base:.3f} (tolerance {100.0 * tolerance:.0f}%)"
+            )
+        rows.append([name, round(base, 3), round(new, 3),
+                     f"{delta_pct:+.1f}%", status])
+    for section, metric in GATED_FLAGS:
+        name = f"{section}.{metric}"
+        base = _lookup(baseline, section, metric)
+        new = _lookup(fresh, section, metric)
+        ok = bool(new)
+        if not ok:
+            failures.append(f"{name}: expected true, got {new!r}")
+        rows.append([name, base, new, "-", "ok" if ok else "REGRESSION"])
+    for section, metric in INFORMATIONAL:
+        name = f"{section}.{metric}"
+        base = _lookup(baseline, section, metric)
+        new = _lookup(fresh, section, metric)
+        if base is None or new is None:
+            continue
+        delta_pct = 100.0 * (new - base) / base if base else 0.0
+        rows.append([name, round(base, 3), round(new, 3),
+                     f"{delta_pct:+.1f}%", "info"])
+    return rows, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_checkpoint.json")
+    parser.add_argument("--new", type=Path, required=True,
+                        help="freshly generated benchmark JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop below baseline "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())["results"]
+    fresh = json.loads(args.new.read_text())["results"]
+    rows, failures = compare(baseline, fresh, args.tolerance)
+    print(format_table(
+        ["metric", "baseline", "new", "delta", "status"], rows,
+        title=f"perf gate: {args.new} vs {args.baseline} "
+              f"(tolerance {100.0 * args.tolerance:.0f}%)"))
+    if failures:
+        print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

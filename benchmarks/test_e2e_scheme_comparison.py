@@ -16,7 +16,7 @@ from repro.harness.report import format_table
 SEEDS = range(4)
 
 
-def _campaigns():
+def _campaigns(cache=None):
     out = {}
     for scheme in ("strong", "medium", "weak"):
         out[scheme] = run_campaign(
@@ -30,12 +30,14 @@ def _campaigns():
             sdc_mtbf=25.0,
             horizon=5000.0,
             spare_nodes=64,
+            cache=cache,
         )
     return out
 
 
-def test_e2e_scheme_comparison(benchmark, emit):
-    campaigns = benchmark.pedantic(_campaigns, iterations=1, rounds=1)
+def test_e2e_scheme_comparison(benchmark, emit, campaign_cache):
+    campaigns = benchmark.pedantic(
+        _campaigns, kwargs={"cache": campaign_cache}, iterations=1, rounds=1)
 
     rows = []
     for scheme, c in campaigns.items():

@@ -5,6 +5,11 @@ seed over the same process-pool fan-out the experiment campaigns use (each
 seed re-derives everything from itself, so parallel results are
 bitwise-identical to serial), then shrinks every failing schedule to a
 minimal replayable repro plan.
+
+Like experiment campaigns, chaos sweeps are resumable: with ``cache_dir=``
+(or a :class:`~repro.store.ResultStore`) every verdict is persisted as it
+lands, keyed by (seed, app, code fingerprint) — a schedule is a pure
+function of its seed, so those pin the outcome completely.
 """
 
 from __future__ import annotations
@@ -17,6 +22,13 @@ from repro.chaos.shrinker import ShrinkResult, shrink_schedule
 from repro.chaos.fuzzer import ChaosSchedule
 from repro.harness.campaign import fan_out
 from repro.obs.metrics import merge_snapshots
+from repro.store import (
+    KIND_CHAOS_OUTCOME,
+    ResultStore,
+    chaos_cell_material,
+    outcome_from_dict,
+    outcome_to_dict,
+)
 
 
 @dataclass
@@ -26,6 +38,10 @@ class ChaosCampaignResult:
     seeds: list[int]
     outcomes: list[ChaosOutcome]
     shrunk: list[ShrinkResult] = field(default_factory=list)
+    #: Verdicts loaded from the result store instead of re-run.
+    cache_hits: int = 0
+    #: Verdicts actually executed this invocation.
+    cache_misses: int = 0
 
     @property
     def failures(self) -> list[ChaosOutcome]:
@@ -65,26 +81,74 @@ def run_chaos_campaign(
     app: str = "jacobi3d-charm",
     shrink: bool = True,
     shrink_max_runs: int = 200,
+    cache: ResultStore | None = None,
+    cache_dir: str | None = None,
+    resume: bool = True,
 ) -> ChaosCampaignResult:
     """Fuzz + run + verify one schedule per seed; shrink any failures.
 
     ``seeds`` is a sequence of seeds or a count (meaning ``range(count)``).
     ``workers`` > 1 fans the runs out over a process pool; results are
-    ordered by seed and bitwise-identical to the serial path.
+    ordered by seed and bitwise-identical to the serial path.  ``cache`` /
+    ``cache_dir`` persist each verdict as it completes and — with ``resume``
+    (the default) — load cached verdicts instead of re-running them.
     """
     if isinstance(seeds, int):
         seeds = range(seeds)
     seed_list = [int(s) for s in seeds]
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    nworkers = min(workers or 1, max(len(seed_list), 1))
-    outcomes = None
-    if nworkers > 1:
-        outcomes = fan_out(run_chaos_seed,
-                           [(seed, app) for seed in seed_list], nworkers)
-    if outcomes is None:
-        outcomes = [run_chaos_seed(seed, app) for seed in seed_list]
-    result = ChaosCampaignResult(seeds=seed_list, outcomes=outcomes)
+    store = cache if cache is not None else (
+        ResultStore(cache_dir) if cache_dir is not None else None
+    )
+
+    outcomes: list[ChaosOutcome | None] = [None] * len(seed_list)
+    materials: dict[int, dict] = {}
+    hits = 0
+    pending: list[tuple[int, int]] = []  # (position, seed)
+    for pos, seed in enumerate(seed_list):
+        if store is not None:
+            materials[pos] = chaos_cell_material(seed, app)
+            if resume:
+                payload = store.get(materials[pos])
+                if payload is not None:
+                    outcomes[pos] = outcome_from_dict(payload)
+                    hits += 1
+                    continue
+        pending.append((pos, seed))
+
+    def commit(pos: int, outcome: ChaosOutcome) -> None:
+        outcomes[pos] = outcome
+        if store is not None:
+            store.put(
+                materials[pos], outcome_to_dict(outcome),
+                kind=KIND_CHAOS_OUTCOME,
+            )
+
+    if pending:
+        nworkers = min(workers or 1, len(pending))
+        done = None
+        if nworkers > 1:
+            positions = [pos for pos, _ in pending]
+            done = fan_out(
+                run_chaos_seed,
+                [(seed, app) for _, seed in pending],
+                nworkers,
+                on_result=lambda j, outcome: commit(positions[j], outcome),
+            )
+        if done is None:
+            for pos, seed in pending:
+                if outcomes[pos] is None:
+                    commit(pos, run_chaos_seed(seed, app))
+
+    final = [o for o in outcomes if o is not None]
+    assert len(final) == len(seed_list)
+    result = ChaosCampaignResult(
+        seeds=seed_list,
+        outcomes=final,
+        cache_hits=hits,
+        cache_misses=len(seed_list) - hits,
+    )
     if shrink:
         for failure in result.failures:
             schedule = ChaosSchedule.from_dict(failure.schedule)

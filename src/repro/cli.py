@@ -10,6 +10,10 @@ Usage (also via ``python -m repro``):
     python -m repro model --sockets 16384 --delta 15 --fit 100
     python -m repro figure fig8 --apps jacobi3d-charm leanmd
     python -m repro figure fig12 --nodes 8 --horizon 600
+    python -m repro campaign --seeds 32 --workers 8 --hard-mtbf 20
+    python -m repro store ls
+    python -m repro store gc
+    python -m repro golden check
     python -m repro chaos --seeds 500 --workers 8
     python -m repro chaos --replay repro-seed42.json
 """
@@ -110,6 +114,57 @@ def _build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--trace", default=None, metavar="FILE",
                           help="Chrome trace JSON from `repro run --trace-out`")
 
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="run a resumable multi-seed campaign (cache-backed sweep)")
+    campaign_p.add_argument("--app", default="jacobi3d-charm",
+                            choices=MINIAPP_NAMES)
+    campaign_p.add_argument("--seeds", type=int, default=8,
+                            help="number of seeds (cells) in the sweep")
+    campaign_p.add_argument("--seed-start", type=int, default=0,
+                            help="first seed (the sweep covers "
+                                 "[start, start+seeds))")
+    campaign_p.add_argument("--workers", type=int, default=None,
+                            help="process-pool width (default: serial)")
+    campaign_p.add_argument("--nodes", type=int, default=4,
+                            help="nodes per replica")
+    campaign_p.add_argument("--scheme", default="strong",
+                            choices=[s.value for s in ResilienceScheme])
+    campaign_p.add_argument("--mapping", default="default",
+                            choices=["default", "column", "mixed"])
+    campaign_p.add_argument("--iterations", type=int, default=200)
+    campaign_p.add_argument("--interval", type=float, default=5.0,
+                            help="checkpoint period in simulated seconds")
+    campaign_p.add_argument("--hard-mtbf", type=float, default=None)
+    campaign_p.add_argument("--sdc-mtbf", type=float, default=None)
+    campaign_p.add_argument("--checksum", action="store_true")
+    campaign_p.add_argument("--horizon", type=float, default=10_000.0)
+    campaign_p.add_argument("--spare-nodes", type=int, default=64)
+    _add_cache_flags(campaign_p)
+
+    store_p = sub.add_parser(
+        "store", help="inspect / maintain the campaign result store")
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    for name, help_text in (
+        ("ls", "list cached cells"),
+        ("gc", "drop cells computed by a different source tree"),
+        ("verify", "check every record parses and sits at its address"),
+    ):
+        p = store_sub.add_parser(name, help=help_text)
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache root (default: $REPRO_CACHE_DIR or "
+                            ".repro-cache)")
+        if name == "gc":
+            p.add_argument("--wipe", action="store_true",
+                           help="remove every cell, not just stale ones")
+
+    golden_p = sub.add_parser(
+        "golden",
+        help="check / update the committed Figs. 8-11 summary digests")
+    golden_p.add_argument("action", choices=["check", "update"])
+    golden_p.add_argument("--dir", default="golden",
+                          help="directory of committed digests")
+
     chaos_p = sub.add_parser(
         "chaos", help="fuzz fault schedules against the protocol invariants")
     chaos_p.add_argument("--seeds", type=int, default=100,
@@ -124,7 +179,32 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write minimized repro plans as JSON into DIR")
     chaos_p.add_argument("--replay", default=None, metavar="PLAN.json",
                          help="replay one serialized schedule instead of fuzzing")
+    _add_cache_flags(chaos_p, default_off=True)
     return parser
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser,
+                     *, default_off: bool = False) -> None:
+    """--cache-dir / --no-cache / --no-resume on a sweep subcommand."""
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-store root (default: $REPRO_CACHE_DIR or .repro-cache"
+             + ("; caching off unless given" if default_off else ""))
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result store for this sweep")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="recompute every cell (still writes the store)")
+
+
+def _store_for(args: argparse.Namespace, *, default_off: bool = False):
+    """The ResultStore a sweep subcommand's cache flags select (or None)."""
+    from repro.store import ResultStore, default_cache_dir
+
+    if args.no_cache:
+        return None
+    if args.cache_dir is None and default_off:
+        return None
+    return ResultStore(args.cache_dir or default_cache_dir())
 
 
 def _cmd_apps() -> int:
@@ -441,6 +521,103 @@ def _cmd_table2() -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.harness.campaign import run_campaign
+
+    store = _store_for(args)
+    result = run_campaign(
+        args.app,
+        seeds=range(args.seed_start, args.seed_start + args.seeds),
+        workers=args.workers,
+        cache=store,
+        resume=not args.no_resume,
+        nodes_per_replica=args.nodes,
+        scheme=args.scheme,
+        mapping=args.mapping,
+        use_checksum=args.checksum,
+        total_iterations=args.iterations,
+        checkpoint_interval=args.interval,
+        hard_mtbf=args.hard_mtbf,
+        sdc_mtbf=args.sdc_mtbf,
+        horizon=args.horizon,
+        spare_nodes=args.spare_nodes,
+    )
+    s = result.summary
+    rows = [
+        ["runs", s.runs],
+        ["completed / correct", f"{s.completed_runs} / {s.correct_runs}"],
+        ["aborted", s.aborted_runs],
+        ["mean overhead", round(s.mean_overhead, 6)],
+        ["std overhead", round(s.std_overhead, 6)],
+        ["mean checkpoints", round(s.mean_checkpoints, 3)],
+        ["mean rework iterations", round(s.mean_rework_iterations, 3)],
+        ["hard faults / SDC", f"{s.total_hard_faults} / {s.total_sdc}"],
+        ["recoveries", str(s.total_recoveries)],
+        ["cache hits / misses",
+         f"{result.cache_hits} / {result.cache_misses}"],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"campaign: {args.app}, {args.scheme} scheme, "
+              f"seeds {args.seed_start}..{args.seed_start + args.seeds - 1}"))
+    if store is not None:
+        print(f"\nresult store: {store.root} "
+              f"({'resumed' if not args.no_resume else 'recomputed'}; "
+              f"`repro store ls` to inspect)")
+    return 0 if s.completed_runs == s.runs else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore, default_cache_dir
+
+    store = ResultStore(args.cache_dir or default_cache_dir())
+    if args.store_command == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"store {store.root}: empty")
+            return 0
+        print(format_table(
+            ["key", "kind", "app", "seed", "bytes", "stale"],
+            [[e.key[:12], e.kind, e.app,
+              e.seed if e.seed is not None else "-", e.nbytes,
+              "yes" if e.stale else ""] for e in entries],
+            title=f"store {store.root}: {len(entries)} cells"))
+        return 0
+    if args.store_command == "gc":
+        result = store.gc(wipe=args.wipe)
+        print(f"store {store.root}: removed {result.removed} cell(s) "
+              f"({result.bytes_freed} bytes), kept {result.kept}")
+        return 0
+    problems = store.verify()
+    if problems:
+        print(f"store {store.root}: {len(problems)} problem(s)",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"store {store.root}: ok ({len(store.entries())} cells verified)")
+    return 0
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from repro.store.golden import check_golden, write_golden
+
+    if args.action == "update":
+        for path in write_golden(args.dir):
+            print(f"wrote {path}")
+        return 0
+    problems = check_golden(args.dir)
+    if problems:
+        print(f"golden digest check FAILED ({args.dir}/):", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        print("intentional change? re-run `python -m repro golden update` "
+              "and commit the diff", file=sys.stderr)
+        return 1
+    print(f"golden digests match ({args.dir}/)")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import (
         ChaosSchedule,
@@ -470,12 +647,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     result = run_chaos_campaign(
         args.seeds, workers=args.workers, app=args.app,
-        shrink=not args.no_shrink)
+        shrink=not args.no_shrink, cache=_store_for(args, default_off=True),
+        resume=not args.no_resume)
     print(format_table(
         ["scheme / mode", "schedules"],
         [[cell, count] for cell, count in sorted(result.coverage().items())],
         title=f"chaos campaign: {args.seeds} schedules, "
-              f"{result.total_checks} invariant checks"))
+              f"{result.total_checks} invariant checks, "
+              f"{result.cache_hits} cached"))
     if result.ok:
         print(f"\nall {len(result.outcomes)} schedules green")
         return 0
@@ -517,6 +696,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_table2()
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "store":
+        return _cmd_store(args)
+    if args.command == "golden":
+        return _cmd_golden(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")

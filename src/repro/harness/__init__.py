@@ -13,6 +13,8 @@ from repro.harness.calibration import (
 from repro.harness.campaign import (
     CampaignResult,
     CampaignSummary,
+    FanOutError,
+    fan_out,
     run_campaign,
     summarize,
 )
@@ -48,6 +50,8 @@ __all__ = [
     "INTREPID",
     "CampaignResult",
     "CampaignSummary",
+    "FanOutError",
+    "fan_out",
     "run_campaign",
     "summarize",
     "ExperimentResult",

@@ -1,22 +1,35 @@
-"""Multi-seed experiment campaigns with aggregate statistics.
+"""Multi-seed experiment campaigns: aggregate statistics, resumable sweeps.
 
 One seed is an anecdote; claims like "ACR recovers with low overhead" need
 distributions.  A campaign replays the same experiment across seeds (fault
 schedules and victim choices re-drawn each time) and aggregates outcomes.
+
+Campaigns practice what ACR simulates: pass ``cache_dir=`` (or a
+:class:`~repro.store.ResultStore`) and every completed cell is persisted the
+moment it finishes — a re-run loads cached cells instead of recomputing, and
+an interrupted sweep resumes from its last completed shard with an aggregate
+bitwise-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.framework import RunReport
 from repro.harness.experiment import run_experiment_report
 from repro.obs.metrics import merge_snapshots
+from repro.store import (
+    KIND_RUN_REPORT,
+    ResultStore,
+    experiment_cell_material,
+    report_from_dict,
+    report_to_dict,
+)
 
 
 @dataclass
@@ -56,13 +69,37 @@ class CampaignResult:
     reports: list[RunReport]
     seeds: list[int]
     summary: CampaignSummary
+    #: Cells loaded from the result store instead of simulated.
+    cache_hits: int = 0
+    #: Cells actually simulated this invocation.
+    cache_misses: int = 0
+
+
+class FanOutError(RuntimeError):
+    """A campaign worker failed on one specific argument tuple.
+
+    Wraps the worker's original exception (as ``__cause__``) and names the
+    failing call, so a sweep that dies on seed 17 of 500 says so instead of
+    surfacing a bare pool traceback.
+    """
+
+    def __init__(self, fn_name: str, args: tuple, cause: BaseException):
+        self.fn_name = fn_name
+        self.args_tuple = tuple(args)
+        super().__init__(
+            f"{fn_name}{self.args_tuple!r} failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
 
 
 def summarize(reports: Sequence[RunReport]) -> CampaignSummary:
     """Aggregate a set of run reports."""
     completed = [r for r in reports if r.completed]
-    overheads = np.asarray([r.overhead_fraction for r in completed]) \
-        if completed else np.zeros(0)
+    overheads = (
+        np.asarray([r.overhead_fraction for r in completed])
+        if completed
+        else np.zeros(0)
+    )
     recoveries: dict[str, int] = {}
     phase_times: dict[str, float] = {}
     for r in reports:
@@ -78,10 +115,16 @@ def summarize(reports: Sequence[RunReport]) -> CampaignSummary:
         aborted_runs=sum(1 for r in reports if r.aborted_reason),
         mean_overhead=float(overheads.mean()) if overheads.size else 0.0,
         std_overhead=float(overheads.std()) if overheads.size else 0.0,
-        mean_checkpoints=float(np.mean([r.checkpoints_completed
-                                        for r in reports])) if reports else 0.0,
-        mean_rework_iterations=float(np.mean([r.rework_iterations
-                                              for r in reports])) if reports else 0.0,
+        mean_checkpoints=(
+            float(np.mean([r.checkpoints_completed for r in reports]))
+            if reports
+            else 0.0
+        ),
+        mean_rework_iterations=(
+            float(np.mean([r.rework_iterations for r in reports]))
+            if reports
+            else 0.0
+        ),
         total_hard_faults=sum(r.hard_detected for r in reports),
         total_sdc=sum(r.sdc_detected for r in reports),
         total_recoveries=recoveries,
@@ -90,16 +133,29 @@ def summarize(reports: Sequence[RunReport]) -> CampaignSummary:
     )
 
 
-def fan_out(fn, arg_tuples: Sequence[tuple], workers: int) -> list | None:
+def fan_out(
+    fn: Callable,
+    arg_tuples: Sequence[tuple],
+    workers: int,
+    *,
+    on_result: Callable[[int, object], None] | None = None,
+) -> list | None:
     """Fan ``fn(*args)`` calls out over a process pool.
 
     The shared engine behind experiment and chaos campaigns.  Results come
     back ordered by input position regardless of completion order, and every
     worker re-derives its randomness from its own arguments, so the aggregate
-    is bitwise-identical to a serial loop.  Returns ``None`` — meaning "fall
-    back to serial" — only on *environmental* failures (no process support, a
-    pool that dies before doing work, or unpicklable arguments); a genuine
-    task error propagates with its original type.
+    is bitwise-identical to a serial loop.
+
+    ``on_result(position, result)`` fires in the parent as each call
+    completes (not at join), which is what lets campaigns persist finished
+    cells incrementally — an interrupted sweep keeps everything already done.
+
+    Returns ``None`` — meaning "fall back to serial" — only on
+    *environmental* failures (no process support, a pool that dies before
+    doing work, or unpicklable arguments).  A genuine task error raises
+    :class:`FanOutError` naming the failing argument tuple, with the original
+    exception chained as its cause.
     """
     try:
         executor = ProcessPoolExecutor(max_workers=workers)
@@ -108,25 +164,41 @@ def fan_out(fn, arg_tuples: Sequence[tuple], workers: int) -> list | None:
     try:
         with executor:
             futures = [executor.submit(fn, *args) for args in arg_tuples]
-            return [f.result() for f in futures]
+            by_future = {f: i for i, f in enumerate(futures)}
+            results: list = [None] * len(futures)
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                failed: tuple[int, BaseException] | None = None
+                for f in done:
+                    i = by_future[f]
+                    err = f.exception()
+                    if err is None:
+                        # Commit every success in this batch before raising:
+                        # an interrupted sweep keeps everything already done.
+                        results[i] = f.result()
+                        if on_result is not None:
+                            on_result(i, results[i])
+                    elif failed is None:
+                        failed = (i, err)
+                if failed is not None:
+                    i, err = failed
+                    if isinstance(
+                        err, (BrokenProcessPool, TypeError, AttributeError)
+                    ):
+                        # Environmental: the pool broke or the arguments
+                        # would not pickle — let the caller run serially.
+                        raise err
+                    for not_started in pending:
+                        not_started.cancel()
+                    raise FanOutError(
+                        getattr(fn, "__name__", repr(fn)), arg_tuples[i], err
+                    ) from err
+            return results
     except (BrokenProcessPool, TypeError, AttributeError):
         # TypeError/AttributeError: unpicklable arguments (e.g. a
         # closure-built injection plan) surface at submit or result time.
         return None
-
-
-def _run_serial(app: str, seed_list: list[int],
-                experiment_kwargs: dict) -> list[RunReport]:
-    return [run_experiment_report(app, seed, experiment_kwargs)
-            for seed in seed_list]
-
-
-def _run_parallel(app: str, seed_list: list[int], workers: int,
-                  experiment_kwargs: dict) -> list[RunReport] | None:
-    """Fan seeds out over a process pool; ``None`` means "fall back to serial"."""
-    return fan_out(run_experiment_report,
-                   [(app, seed, experiment_kwargs) for seed in seed_list],
-                   workers)
 
 
 def run_campaign(
@@ -134,6 +206,9 @@ def run_campaign(
     *,
     seeds: Sequence[int] = range(5),
     workers: int | None = None,
+    cache: ResultStore | None = None,
+    cache_dir: str | None = None,
+    resume: bool = True,
     **experiment_kwargs,
 ) -> CampaignResult:
     """Run :func:`run_acr_experiment` once per seed and aggregate.
@@ -144,15 +219,67 @@ def run_campaign(
     are ordered by seed and every worker derives its randomness from the
     seed alone.  Where process pools are unavailable the runner silently
     degrades to serial execution.
+
+    ``cache`` (a :class:`~repro.store.ResultStore`) or ``cache_dir`` turns
+    the sweep into a resumable work-queue: with ``resume`` (the default),
+    cells already in the store are loaded instead of simulated, and every
+    freshly computed cell is persisted the moment its worker finishes.
+    ``resume=False`` recomputes everything but still writes the store.
     """
     seed_list = [int(s) for s in seeds]
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    nworkers = min(workers or 1, len(seed_list))
-    reports = None
-    if nworkers > 1:
-        reports = _run_parallel(app, seed_list, nworkers, experiment_kwargs)
-    if reports is None:
-        reports = _run_serial(app, seed_list, experiment_kwargs)
-    return CampaignResult(reports=reports, seeds=seed_list,
-                          summary=summarize(reports))
+    store = cache if cache is not None else (
+        ResultStore(cache_dir) if cache_dir is not None else None
+    )
+
+    reports: list[RunReport | None] = [None] * len(seed_list)
+    materials: dict[int, dict] = {}
+    hits = 0
+    pending: list[tuple[int, int]] = []  # (position, seed)
+    for pos, seed in enumerate(seed_list):
+        if store is not None:
+            materials[pos] = experiment_cell_material(
+                app, seed, experiment_kwargs
+            )
+            if resume:
+                payload = store.get(materials[pos])
+                if payload is not None:
+                    reports[pos] = report_from_dict(payload)
+                    hits += 1
+                    continue
+        pending.append((pos, seed))
+
+    def commit(pos: int, report: RunReport) -> None:
+        reports[pos] = report
+        if store is not None:
+            store.put(
+                materials[pos], report_to_dict(report), kind=KIND_RUN_REPORT
+            )
+
+    if pending:
+        nworkers = min(workers or 1, len(pending))
+        done = None
+        if nworkers > 1:
+            positions = [pos for pos, _ in pending]
+            done = fan_out(
+                run_experiment_report,
+                [(app, seed, experiment_kwargs) for _, seed in pending],
+                nworkers,
+                on_result=lambda j, rep: commit(positions[j], rep),
+            )
+        if done is None:
+            for pos, seed in pending:
+                if reports[pos] is None:  # skip cells a broken pool finished
+                    commit(pos, run_experiment_report(app, seed,
+                                                      experiment_kwargs))
+
+    final = [r for r in reports if r is not None]
+    assert len(final) == len(seed_list)
+    return CampaignResult(
+        reports=final,
+        seeds=seed_list,
+        summary=summarize(final),
+        cache_hits=hits,
+        cache_misses=len(seed_list) - hits,
+    )

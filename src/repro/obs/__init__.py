@@ -23,6 +23,7 @@ from repro.obs.export import (
     CHROME_EVENT_REQUIRED_KEYS,
     CHROME_TRACE_REQUIRED_KEYS,
     load_json,
+    sanitize_snapshot,
     trace_phase_summary,
     validate_chrome_trace,
     write_metrics,
@@ -46,6 +47,7 @@ __all__ = [
     "CHROME_EVENT_REQUIRED_KEYS",
     "CHROME_TRACE_REQUIRED_KEYS",
     "load_json",
+    "sanitize_snapshot",
     "trace_phase_summary",
     "validate_chrome_trace",
     "write_metrics",

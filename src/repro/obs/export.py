@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 
 from repro.obs.tracer import SpanTracer
+from repro.util.hashing import to_jsonable
 
 #: Keys every Chrome trace file must carry (checked by the smoke tests).
 CHROME_TRACE_REQUIRED_KEYS = ("traceEvents", "displayTimeUnit")
@@ -37,6 +38,20 @@ def write_metrics(snapshot: dict, path: str, **meta) -> None:
     payload.update(snapshot)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def sanitize_snapshot(snapshot: dict | None) -> dict | None:
+    """Lower a metrics snapshot to plain JSON types, exactly.
+
+    Snapshots are "plain dicts" by construction, but instrumentation can leak
+    numpy scalars into counter/gauge values; those serialize fine yet load
+    back as Python floats, breaking the load(dump(x)) == x round-trip the
+    result store (:mod:`repro.store`) relies on for bitwise-identical resumed
+    campaigns.  This canonicalizes the snapshot once, at persistence time.
+    """
+    if snapshot is None:
+        return None
+    return to_jsonable(snapshot)
 
 
 def load_json(path: str) -> dict:

@@ -1,0 +1,73 @@
+"""Content-addressed campaign result store.
+
+ACR's own thesis — completed work should survive interruption — applied to
+the campaign engine that evaluates it: every (config, app, seed) simulation
+cell is persisted under a canonical content address the moment it finishes,
+so re-running a sweep loads cached cells instead of recomputing them and an
+interrupted sweep resumes from its last completed shard
+(:mod:`repro.harness.campaign`, :mod:`repro.chaos.campaign`).
+
+Pieces:
+
+* :mod:`repro.store.keys` — canonical cache-key material (config + app +
+  seed + source-tree fingerprint);
+* :mod:`repro.store.serialization` — exact JSON codecs for
+  :class:`~repro.core.framework.RunReport` and
+  :class:`~repro.chaos.runner.ChaosOutcome`;
+* :mod:`repro.store.store` — the on-disk store (atomic writes, JSONL
+  journal, ``ls`` / ``gc`` / ``verify``);
+* :mod:`repro.store.golden` — committed Figs. 8-11 summary digests, the CI
+  regression gate (imported lazily by the CLI; not re-exported here to keep
+  this package import-light for campaign workers).
+
+See ``docs/campaigns.md`` for layout, key semantics and the golden-digest
+workflow.
+"""
+
+from repro.store.keys import (
+    KIND_CHAOS_OUTCOME,
+    KIND_RUN_REPORT,
+    chaos_cell_material,
+    code_fingerprint,
+    experiment_cell_material,
+    material_key,
+)
+from repro.store.serialization import (
+    PAYLOAD_FORMAT,
+    decode_array,
+    encode_array,
+    outcome_from_dict,
+    outcome_to_dict,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.store.store import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    GcResult,
+    ResultStore,
+    StoreEntry,
+    default_cache_dir,
+)
+
+__all__ = [
+    "KIND_CHAOS_OUTCOME",
+    "KIND_RUN_REPORT",
+    "chaos_cell_material",
+    "code_fingerprint",
+    "experiment_cell_material",
+    "material_key",
+    "PAYLOAD_FORMAT",
+    "decode_array",
+    "encode_array",
+    "outcome_from_dict",
+    "outcome_to_dict",
+    "report_from_dict",
+    "report_to_dict",
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "GcResult",
+    "ResultStore",
+    "StoreEntry",
+    "default_cache_dir",
+]

@@ -1,0 +1,119 @@
+"""Golden summary digests: the Figs. 8-11 benchmark outputs as CI artifacts.
+
+``golden/`` holds one committed JSON file per figure dataset: the full rows
+plus a canonical SHA-256 digest over them.  CI re-derives the rows from the
+current source tree and diffs; any drift in the evaluation's numbers fails
+the gate with a row-level report instead of slipping silently into a plot.
+
+The covered datasets are the analytical ones (cost model + Section-5 model),
+so they are deterministic functions of the source tree — no seeds, no
+simulation time.
+
+Workflow::
+
+    python -m repro golden update   # after an intentional change, re-commit
+    python -m repro golden check    # what CI runs
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from repro.harness.figures import fig8_data, fig9_fig11_data, fig10_data
+from repro.util.hashing import canonical_digest, to_jsonable
+
+#: Default directory for committed digests (repo root / golden).
+DEFAULT_GOLDEN_DIR = "golden"
+
+#: Figure name -> zero-argument generator of its dataclass rows.
+GOLDEN_FIGURES: dict[str, Callable[[], list]] = {
+    "fig8": fig8_data,
+    "fig9_fig11": fig9_fig11_data,
+    "fig10": fig10_data,
+}
+
+
+def compute_figure(name: str) -> dict:
+    """Rows + canonical digest for one golden figure dataset."""
+    rows = [to_jsonable(row) for row in GOLDEN_FIGURES[name]()]
+    return {
+        "figure": name,
+        "digest": canonical_digest(rows),
+        "row_count": len(rows),
+        "rows": rows,
+    }
+
+
+def golden_path(directory: str | Path, name: str) -> Path:
+    return Path(directory) / f"{name}.json"
+
+
+def write_golden(directory: str | Path = DEFAULT_GOLDEN_DIR) -> list[Path]:
+    """(Re)derive every golden file; returns the paths written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in GOLDEN_FIGURES:
+        path = golden_path(directory, name)
+        path.write_text(
+            json.dumps(compute_figure(name), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written
+
+
+def _row_diffs(expected: list, actual: list, limit: int = 5) -> list[str]:
+    """Human-readable first differences between two row lists."""
+    diffs = []
+    if len(expected) != len(actual):
+        diffs.append(f"row count {len(actual)} != committed {len(expected)}")
+    for i, (exp, act) in enumerate(zip(expected, actual)):
+        if exp == act:
+            continue
+        if isinstance(exp, dict) and isinstance(act, dict):
+            changed = sorted(
+                k for k in set(exp) | set(act) if exp.get(k) != act.get(k)
+            )
+            detail = ", ".join(
+                f"{k}: {exp.get(k)!r} -> {act.get(k)!r}" for k in changed
+            )
+        else:
+            detail = f"{exp!r} -> {act!r}"
+        diffs.append(f"row {i}: {detail}")
+        if len(diffs) >= limit:
+            diffs.append("... (further diffs suppressed)")
+            break
+    return diffs
+
+
+def check_golden(directory: str | Path = DEFAULT_GOLDEN_DIR) -> list[str]:
+    """Problems between committed digests and the current tree (empty = pass)."""
+    directory = Path(directory)
+    problems = []
+    for name in GOLDEN_FIGURES:
+        path = golden_path(directory, name)
+        if not path.is_file():
+            problems.append(
+                f"{name}: missing {path} (run `python -m repro golden update`)"
+            )
+            continue
+        try:
+            committed = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            problems.append(f"{name}: unreadable {path} ({err})")
+            continue
+        current = compute_figure(name)
+        if committed.get("digest") == current["digest"]:
+            continue
+        problems.append(
+            f"{name}: digest drift {committed.get('digest', '?')[:12]}... -> "
+            f"{current['digest'][:12]}..."
+        )
+        problems.extend(
+            f"{name}: {d}"
+            for d in _row_diffs(committed.get("rows") or [], current["rows"])
+        )
+    return problems

@@ -1,0 +1,67 @@
+"""Cache-key material for campaign cells.
+
+A *cell* is the atomic unit of cached work: one (experiment config, app,
+seed) simulation, or one chaos (seed, app) monitored run.  Each cell is
+addressed by the SHA-256 digest of its canonical key material
+(:func:`repro.util.hashing.canonical_digest`), which always includes a
+fingerprint of the source tree — results computed by a different version of
+the simulator never alias, and ``repro store gc`` can sweep them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.util.hashing import canonical_digest, to_jsonable
+
+#: Record kinds the store distinguishes (one per cell type).
+KIND_RUN_REPORT = "run-report"
+KIND_CHAOS_OUTCOME = "chaos-outcome"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (paths + contents).
+
+    Computed once per process; any edit under ``src/repro`` changes it and
+    therefore invalidates every cached cell.
+    """
+    import repro
+    from repro.util.hashing import digest_tree
+
+    return digest_tree(Path(repro.__file__).parent)
+
+
+def experiment_cell_material(
+    app: str, seed: int, experiment_kwargs: Mapping[str, Any]
+) -> dict:
+    """Key material for one ``run_experiment_report(app, seed, kwargs)`` cell."""
+    return {
+        "kind": KIND_RUN_REPORT,
+        "app": str(app),
+        "seed": int(seed),
+        "config": to_jsonable(dict(experiment_kwargs)),
+        "code": code_fingerprint(),
+    }
+
+
+def chaos_cell_material(seed: int, app: str) -> dict:
+    """Key material for one fuzz-and-run chaos cell.
+
+    The whole schedule (configuration axes and fault plan) is a deterministic
+    function of ``(seed, app)``, so those two values plus the code
+    fingerprint pin the outcome completely.
+    """
+    return {
+        "kind": KIND_CHAOS_OUTCOME,
+        "app": str(app),
+        "seed": int(seed),
+        "code": code_fingerprint(),
+    }
+
+
+def material_key(material: Mapping[str, Any]) -> str:
+    """The content address (SHA-256 hex) of a cell's key material."""
+    return canonical_digest(dict(material))

@@ -1,0 +1,187 @@
+"""Lossless JSON codecs for cached results.
+
+The store persists three payload shapes: :class:`~repro.core.framework.RunReport`
+(experiment campaigns), :class:`~repro.chaos.runner.ChaosOutcome` (chaos
+campaigns), and the metrics snapshots both may carry.  Round-trips are exact
+— ``decode(encode(x))`` reproduces every field bit-for-bit, including numpy
+digest arrays (serialized as dtype + shape + hex bytes) and float statistics
+(JSON's ``repr`` round-trip is exact for finite floats) — because a resumed
+campaign must aggregate to a summary bitwise-identical to an uninterrupted
+one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.events import Timeline, TimelineEvent, TimelineKind
+from repro.core.framework import RunReport
+from repro.obs.export import sanitize_snapshot
+from repro.util.hashing import to_jsonable
+
+if TYPE_CHECKING:  # imported lazily below to avoid a package import cycle
+    from repro.chaos.runner import ChaosOutcome
+
+#: Payload format version; bump on any incompatible codec change.
+PAYLOAD_FORMAT = 1
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """Exact ndarray codec: dtype + shape + raw bytes (hex)."""
+    contiguous = np.ascontiguousarray(array)
+    return {
+        "dtype": str(contiguous.dtype),
+        "shape": list(contiguous.shape),
+        "data": contiguous.tobytes().hex(),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    data = bytes.fromhex(payload["data"])
+    array = np.frombuffer(data, dtype=payload["dtype"])
+    return array.reshape(payload["shape"]).copy()
+
+
+def encode_timeline(timeline: Timeline) -> list[dict]:
+    return [
+        {"time": e.time, "kind": str(e.kind), "detail": to_jsonable(e.detail)}
+        for e in timeline.events
+    ]
+
+
+def decode_timeline(rows: list[dict]) -> Timeline:
+    timeline = Timeline()
+    for row in rows:
+        # Append directly: a reconstructed timeline has no live subscribers
+        # and must not re-fire observer hooks.
+        timeline.events.append(
+            TimelineEvent(
+                time=float(row["time"]),
+                kind=TimelineKind(row["kind"]),
+                detail=dict(row["detail"]),
+            )
+        )
+    return timeline
+
+
+def report_to_dict(report: RunReport) -> dict:
+    """Encode a :class:`RunReport` as a plain JSON-serializable dict."""
+    return {
+        "format": PAYLOAD_FORMAT,
+        "final_time": report.final_time,
+        "completed": report.completed,
+        "aborted_reason": report.aborted_reason,
+        "iterations_completed": report.iterations_completed,
+        "checkpoints_completed": report.checkpoints_completed,
+        "sdc_injected": report.sdc_injected,
+        "sdc_detected": report.sdc_detected,
+        "hard_injected": report.hard_injected,
+        "hard_detected": report.hard_detected,
+        "rollbacks": report.rollbacks,
+        "prediction_alarms": report.prediction_alarms,
+        "recoveries": dict(report.recoveries),
+        "spare_nodes_used": report.spare_nodes_used,
+        "checkpoint_time": report.checkpoint_time,
+        "checkpoint_blocking_time": report.checkpoint_blocking_time,
+        "recovery_time": report.recovery_time,
+        "peak_checkpoint_memory": report.peak_checkpoint_memory,
+        "rework_iterations": report.rework_iterations,
+        "digests": {
+            str(rank): encode_array(digest)
+            for rank, digest in report.digests.items()
+        },
+        "reference_digest": (
+            None
+            if report.reference_digest is None
+            else encode_array(report.reference_digest)
+        ),
+        "result_correct": report.result_correct,
+        "timeline": encode_timeline(report.timeline),
+        "interval_history": [[t, v] for t, v in report.interval_history],
+        "phase_times": dict(report.phase_times),
+        "metrics_snapshot": sanitize_snapshot(report.metrics_snapshot),
+    }
+
+
+def report_from_dict(payload: dict) -> RunReport:
+    """Reconstruct a :class:`RunReport` encoded by :func:`report_to_dict`."""
+    fmt = payload.get("format")
+    if fmt != PAYLOAD_FORMAT:
+        raise ValueError(f"unsupported run-report payload format {fmt!r}")
+    return RunReport(
+        final_time=float(payload["final_time"]),
+        completed=bool(payload["completed"]),
+        aborted_reason=payload["aborted_reason"],
+        iterations_completed=int(payload["iterations_completed"]),
+        checkpoints_completed=int(payload["checkpoints_completed"]),
+        sdc_injected=int(payload["sdc_injected"]),
+        sdc_detected=int(payload["sdc_detected"]),
+        hard_injected=int(payload["hard_injected"]),
+        hard_detected=int(payload["hard_detected"]),
+        rollbacks=int(payload["rollbacks"]),
+        prediction_alarms=int(payload["prediction_alarms"]),
+        recoveries={str(k): int(v) for k, v in payload["recoveries"].items()},
+        spare_nodes_used=int(payload["spare_nodes_used"]),
+        checkpoint_time=float(payload["checkpoint_time"]),
+        checkpoint_blocking_time=float(payload["checkpoint_blocking_time"]),
+        recovery_time=float(payload["recovery_time"]),
+        peak_checkpoint_memory=int(payload["peak_checkpoint_memory"]),
+        rework_iterations=int(payload["rework_iterations"]),
+        digests={
+            int(rank): decode_array(encoded)
+            for rank, encoded in payload["digests"].items()
+        },
+        reference_digest=(
+            None
+            if payload["reference_digest"] is None
+            else decode_array(payload["reference_digest"])
+        ),
+        result_correct=payload["result_correct"],
+        timeline=decode_timeline(payload["timeline"]),
+        interval_history=[(float(t), float(v))
+                          for t, v in payload["interval_history"]],
+        phase_times={str(k): float(v)
+                     for k, v in payload["phase_times"].items()},
+        metrics_snapshot=payload["metrics_snapshot"],
+    )
+
+
+def outcome_to_dict(outcome: ChaosOutcome) -> dict:
+    """Encode a :class:`ChaosOutcome` (already picklable and JSON-shaped)."""
+    return {
+        "format": PAYLOAD_FORMAT,
+        "seed": outcome.seed,
+        "ok": outcome.ok,
+        "invariant": outcome.invariant,
+        "violation": outcome.violation,
+        "completed": outcome.completed,
+        "aborted_reason": outcome.aborted_reason,
+        "final_time": outcome.final_time,
+        "checkpoints": outcome.checkpoints,
+        "rollbacks": outcome.rollbacks,
+        "hard_injected": outcome.hard_injected,
+        "hard_detected": outcome.hard_detected,
+        "sdc_injected": outcome.sdc_injected,
+        "sdc_detected": outcome.sdc_detected,
+        "recoveries": dict(outcome.recoveries),
+        "checks_performed": outcome.checks_performed,
+        "fingerprint": outcome.fingerprint,
+        "schedule": to_jsonable(outcome.schedule),
+        "metrics": sanitize_snapshot(outcome.metrics) or {},
+    }
+
+
+def outcome_from_dict(payload: dict) -> ChaosOutcome:
+    # Lazy: repro.chaos pulls in the campaign engine, which imports this
+    # package — a top-level import here would close that cycle.
+    from repro.chaos.runner import ChaosOutcome
+
+    fmt = payload.get("format")
+    if fmt != PAYLOAD_FORMAT:
+        raise ValueError(f"unsupported chaos-outcome payload format {fmt!r}")
+    fields = {k: v for k, v in payload.items() if k != "format"}
+    fields["recoveries"] = {str(k): int(v)
+                            for k, v in fields["recoveries"].items()}
+    return ChaosOutcome(**fields)

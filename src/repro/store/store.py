@@ -1,0 +1,225 @@
+"""The content-addressed result store.
+
+Layout under a cache root (default ``.repro-cache/`` or ``$REPRO_CACHE_DIR``)::
+
+    objects/<aa>/<key>.json   # one record per cached cell, content-addressed
+    index.jsonl               # append-only journal of completed writes
+
+Each object file records its own key material, so the store is
+self-describing: ``verify`` re-derives every address from the stored
+material, and ``gc`` sweeps cells computed by a different source tree.
+Writes are atomic (tmp file + rename) and journaled as one JSONL line per
+completed cell — an interrupted campaign leaves only whole records behind,
+which is exactly what makes sweeps resumable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.store.keys import code_fingerprint, material_key
+
+#: On-disk record format version; bump on incompatible layout changes.
+STORE_FORMAT = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache root (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` if set, else ``.repro-cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One cached cell, as listed by :meth:`ResultStore.entries`."""
+
+    key: str
+    kind: str
+    app: str
+    seed: int | None
+    code: str
+    nbytes: int
+    path: Path
+
+    @property
+    def stale(self) -> bool:
+        """True when this cell was computed by a different source tree."""
+        return self.code != code_fingerprint()
+
+
+@dataclass
+class GcResult:
+    removed: int = 0
+    kept: int = 0
+    bytes_freed: int = 0
+    removed_keys: list[str] = field(default_factory=list)
+
+
+class ResultStore:
+    """Content-addressed persistence for campaign cells."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.objects_dir = self.root / "objects"
+        self.index_path = self.root / "index.jsonl"
+
+    # -- addressing -----------------------------------------------------------
+    def object_path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- write ----------------------------------------------------------------
+    def put(self, material: Mapping[str, Any], payload: dict,
+            *, kind: str) -> str:
+        """Persist one cell atomically; returns its content address.
+
+        The record lands via a same-directory temp file + ``os.replace`` so a
+        crash mid-write never leaves a torn object, then one journal line is
+        appended to ``index.jsonl``.
+        """
+        key = material_key(material)
+        path = self.object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "kind": kind,
+            "material": dict(material),
+            "payload": payload,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        self._journal(key, kind, material)
+        return key
+
+    def _journal(self, key: str, kind: str, material: Mapping[str, Any]) -> None:
+        line = json.dumps(
+            {
+                "key": key,
+                "kind": kind,
+                "app": material.get("app"),
+                "seed": material.get("seed"),
+            },
+            sort_keys=True,
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.index_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    # -- read -----------------------------------------------------------------
+    def get(self, material: Mapping[str, Any]) -> dict | None:
+        """The payload cached for this key material, or None (miss)."""
+        record = self._load_record(self.object_path(material_key(material)))
+        return None if record is None else record.get("payload")
+
+    def has(self, material: Mapping[str, Any]) -> bool:
+        return self.object_path(material_key(material)).is_file()
+
+    def _load_record(self, path: Path) -> dict | None:
+        """Load one object file; a missing or corrupt record reads as a miss."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) or record.get("format") != STORE_FORMAT:
+            return None
+        return record
+
+    def _object_files(self) -> Iterator[Path]:
+        if not self.objects_dir.is_dir():
+            return
+        yield from sorted(self.objects_dir.glob("*/*.json"))
+
+    def entries(self) -> list[StoreEntry]:
+        """Every readable cell in the store (corrupt files are skipped;
+        ``verify`` reports them)."""
+        out = []
+        for path in self._object_files():
+            record = self._load_record(path)
+            if record is None:
+                continue
+            material = record.get("material") or {}
+            seed = material.get("seed")
+            out.append(
+                StoreEntry(
+                    key=str(record.get("key", path.stem)),
+                    kind=str(record.get("kind", "?")),
+                    app=str(material.get("app", "?")),
+                    seed=int(seed) if seed is not None else None,
+                    code=str(material.get("code", "")),
+                    nbytes=path.stat().st_size,
+                    path=path,
+                )
+            )
+        return out
+
+    # -- maintenance ----------------------------------------------------------
+    def gc(self, *, wipe: bool = False) -> GcResult:
+        """Remove stale cells (different code fingerprint); ``wipe`` removes
+        everything.  Corrupt object files are always removed."""
+        result = GcResult()
+        current = code_fingerprint()
+        for path in list(self._object_files()):
+            record = self._load_record(path)
+            if record is None:
+                stale = True  # corrupt: reclaim it
+            else:
+                material = record.get("material") or {}
+                stale = wipe or material.get("code") != current
+            if stale:
+                result.removed += 1
+                result.bytes_freed += path.stat().st_size
+                result.removed_keys.append(path.stem)
+                path.unlink()
+            else:
+                result.kept += 1
+        if wipe and self.index_path.is_file():
+            self.index_path.unlink()
+        return result
+
+    def verify(self) -> list[str]:
+        """Integrity problems, empty when the store is sound.
+
+        Checks every object parses, carries the current format, sits at the
+        address its key claims, and that the key is in fact the canonical
+        digest of the stored material.
+        """
+        problems = []
+        for path in self._object_files():
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    record = json.load(fh)
+            except (OSError, json.JSONDecodeError) as err:
+                problems.append(f"{path.name}: unreadable ({err})")
+                continue
+            if record.get("format") != STORE_FORMAT:
+                problems.append(
+                    f"{path.name}: format {record.get('format')!r} "
+                    f"!= {STORE_FORMAT}"
+                )
+                continue
+            key = record.get("key")
+            if key != path.stem:
+                problems.append(f"{path.name}: key field {key!r} != filename")
+                continue
+            material = record.get("material")
+            if not isinstance(material, dict):
+                problems.append(f"{path.name}: missing key material")
+                continue
+            derived = material_key(material)
+            if derived != key:
+                problems.append(
+                    f"{path.name}: material hashes to {derived[:12]}..., "
+                    f"not the stored key"
+                )
+        return problems

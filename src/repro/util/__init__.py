@@ -7,6 +7,12 @@ from repro.util.errors import (
     NoSpareNodeError,
     SimulationError,
 )
+from repro.util.hashing import (
+    canonical_digest,
+    canonical_json,
+    digest_tree,
+    to_jsonable,
+)
 from repro.util.rng import RngStream, spawn_streams
 from repro.util.units import (
     FIT_PER_HOUR,
@@ -29,6 +35,10 @@ __all__ = [
     "ConfigurationError",
     "NoSpareNodeError",
     "SimulationError",
+    "canonical_digest",
+    "canonical_json",
+    "digest_tree",
+    "to_jsonable",
     "RngStream",
     "spawn_streams",
     "FIT_PER_HOUR",

@@ -1,0 +1,86 @@
+"""Canonical JSON encoding and hashing — stable cache keys for result stores.
+
+The campaign result store (:mod:`repro.store`) addresses every cached cell by
+a SHA-256 digest of its *key material*: the experiment configuration, app,
+seed, and a fingerprint of the source tree.  Two processes (or two machines)
+must derive the same digest for the same logical cell, so the encoding here
+is canonical: dataclasses and enums are lowered to plain values, dict keys
+are stringified and sorted, floats keep their exact ``repr`` round-trip, and
+anything without a deterministic representation is rejected rather than
+hashed unstably.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Lower ``obj`` to plain JSON-serializable values, deterministically.
+
+    Handles the types that appear in experiment configurations and telemetry
+    payloads: enums (by value), dataclasses (by field, tagged with the class
+    name so two config types never collide), numpy scalars and arrays, and
+    the usual containers.  Raises :class:`TypeError` for anything else —
+    an object whose ``repr`` embeds a memory address must never silently
+    become part of a cache key.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if is_dataclass(obj) and not isinstance(obj, type):
+        lowered = {f.name: to_jsonable(getattr(obj, f.name)) for f in fields(obj)}
+        lowered["__type__"] = type(obj).__name__
+        return lowered
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, (range, set, frozenset)):
+        return [to_jsonable(v) for v in sorted(obj)]
+    raise TypeError(
+        f"cannot canonically encode {type(obj).__name__!r} for hashing"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The one canonical JSON text for ``obj`` (sorted keys, no whitespace)."""
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_digest(obj: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json`."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def digest_tree(root: Path, pattern: str = "**/*.py") -> str:
+    """SHA-256 over every ``pattern`` file under ``root`` (paths + contents).
+
+    The digest covers the sorted relative paths *and* the file bytes, so both
+    edits and renames change it.  This is the "code fingerprint" component of
+    cache keys: results computed by different source trees never alias.
+    """
+    h = hashlib.sha256()
+    root = Path(root)
+    for path in sorted(root.glob(pattern)):
+        if not path.is_file():
+            continue
+        h.update(path.relative_to(root).as_posix().encode("utf-8"))
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    return h.hexdigest()

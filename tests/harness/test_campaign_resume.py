@@ -1,0 +1,149 @@
+"""Resumable-campaign tests: cache hits, interrupted sweeps, bitwise identity."""
+
+import numpy as np
+import pytest
+
+import repro.harness.campaign as campaign_mod
+from repro.harness.campaign import run_campaign
+from repro.harness.experiment import run_experiment_report
+from repro.store import ResultStore
+
+_KWARGS = dict(nodes_per_replica=2, total_iterations=60,
+               checkpoint_interval=2.0, hard_mtbf=15.0, horizon=2000.0)
+_SEEDS = list(range(4))
+
+
+def _assert_reports_bitwise_equal(a_reports, b_reports):
+    for a, b in zip(a_reports, b_reports):
+        assert a.final_time == b.final_time
+        assert a.iterations_completed == b.iterations_completed
+        assert a.checkpoints_completed == b.checkpoints_completed
+        assert a.recoveries == b.recoveries
+        assert a.rework_iterations == b.rework_iterations
+        assert set(a.digests) == set(b.digests)
+        for rank in a.digests:
+            assert np.array_equal(a.digests[rank], b.digests[rank])
+
+
+class TestCacheHits:
+    def test_second_run_does_zero_simulation_work(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        first = run_campaign("synthetic", seeds=_SEEDS, cache=store, **_KWARGS)
+        assert first.cache_hits == 0
+        assert first.cache_misses == len(_SEEDS)
+
+        def explode(*args):
+            raise AssertionError("a warm cache must not simulate")
+
+        monkeypatch.setattr(campaign_mod, "run_experiment_report", explode)
+        second = run_campaign("synthetic", seeds=_SEEDS, cache=store,
+                              **_KWARGS)
+        assert second.cache_hits == len(_SEEDS)
+        assert second.cache_misses == 0
+        assert second.summary == first.summary
+        _assert_reports_bitwise_equal(first.reports, second.reports)
+
+    def test_cached_summary_matches_uncached(self, tmp_path):
+        baseline = run_campaign("synthetic", seeds=_SEEDS, **_KWARGS)
+        run_campaign("synthetic", seeds=_SEEDS, cache_dir=str(tmp_path),
+                     **_KWARGS)
+        cached = run_campaign("synthetic", seeds=_SEEDS,
+                              cache_dir=str(tmp_path), **_KWARGS)
+        assert cached.cache_hits == len(_SEEDS)
+        assert cached.summary == baseline.summary
+        _assert_reports_bitwise_equal(baseline.reports, cached.reports)
+
+    def test_resume_false_recomputes_but_still_writes(self, tmp_path,
+                                                      monkeypatch):
+        store = ResultStore(tmp_path)
+        run_campaign("synthetic", seeds=_SEEDS, cache=store, **_KWARGS)
+        calls = []
+
+        def counting(app, seed, kwargs):
+            calls.append(seed)
+            return run_experiment_report(app, seed, kwargs)
+
+        monkeypatch.setattr(campaign_mod, "run_experiment_report", counting)
+        result = run_campaign("synthetic", seeds=_SEEDS, cache=store,
+                              resume=False, **_KWARGS)
+        assert calls == _SEEDS
+        assert result.cache_hits == 0
+
+    def test_config_change_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_campaign("synthetic", seeds=_SEEDS, cache=store, **_KWARGS)
+        changed = dict(_KWARGS, checkpoint_interval=3.0)
+        result = run_campaign("synthetic", seeds=_SEEDS, cache=store,
+                              **changed)
+        assert result.cache_hits == 0
+        assert result.cache_misses == len(_SEEDS)
+
+
+class TestInterruptedSweep:
+    def test_resume_is_bitwise_identical_to_uninterrupted(self, tmp_path,
+                                                          monkeypatch):
+        baseline = run_campaign("synthetic", seeds=_SEEDS, **_KWARGS)
+        store = ResultStore(tmp_path)
+
+        def die_after_two(app, seed, kwargs):
+            if seed >= 2:
+                raise KeyboardInterrupt  # the operator's ^C mid-sweep
+            return run_experiment_report(app, seed, kwargs)
+
+        monkeypatch.setattr(campaign_mod, "run_experiment_report",
+                            die_after_two)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign("synthetic", seeds=_SEEDS, cache=store, **_KWARGS)
+        # The first two shards landed before the interrupt and survive it.
+        assert sorted(e.seed for e in store.entries()) == [0, 1]
+
+        monkeypatch.setattr(campaign_mod, "run_experiment_report",
+                            run_experiment_report)
+        resumed = run_campaign("synthetic", seeds=_SEEDS, cache=store,
+                               **_KWARGS)
+        assert resumed.cache_hits == 2
+        assert resumed.cache_misses == 2
+        assert resumed.summary == baseline.summary
+        assert resumed.seeds == baseline.seeds
+        _assert_reports_bitwise_equal(baseline.reports, resumed.reports)
+
+    def test_resumed_then_rerun_is_all_hits(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+
+        def die_on_last(app, seed, kwargs):
+            if seed == _SEEDS[-1]:
+                raise RuntimeError("node evicted")
+            return run_experiment_report(app, seed, kwargs)
+
+        monkeypatch.setattr(campaign_mod, "run_experiment_report",
+                            die_on_last)
+        with pytest.raises(RuntimeError):
+            run_campaign("synthetic", seeds=_SEEDS, cache=store, **_KWARGS)
+        monkeypatch.setattr(campaign_mod, "run_experiment_report",
+                            run_experiment_report)
+        run_campaign("synthetic", seeds=_SEEDS, cache=store, **_KWARGS)
+        final = run_campaign("synthetic", seeds=_SEEDS, cache=store, **_KWARGS)
+        assert final.cache_hits == len(_SEEDS)
+        assert final.cache_misses == 0
+
+
+class TestParallelWithCache:
+    def test_parallel_cache_matches_serial(self, tmp_path):
+        serial = run_campaign("synthetic", seeds=_SEEDS,
+                              cache=ResultStore(tmp_path / "serial"),
+                              **_KWARGS)
+        parallel = run_campaign("synthetic", seeds=_SEEDS, workers=2,
+                                cache=ResultStore(tmp_path / "parallel"),
+                                **_KWARGS)
+        assert parallel.summary == serial.summary
+        _assert_reports_bitwise_equal(serial.reports, parallel.reports)
+
+    def test_parallel_persists_cells_for_reuse(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_campaign("synthetic", seeds=_SEEDS, workers=2,
+                             cache=store, **_KWARGS)
+        assert first.cache_misses == len(_SEEDS)
+        second = run_campaign("synthetic", seeds=_SEEDS, workers=2,
+                              cache=store, **_KWARGS)
+        assert second.cache_hits == len(_SEEDS)
+        assert second.summary == first.summary

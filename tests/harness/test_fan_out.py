@@ -1,0 +1,56 @@
+"""fan_out error-surfacing tests: failures name the offending call."""
+
+import time
+
+import pytest
+
+from repro.harness.campaign import FanOutError, fan_out
+
+
+def _double_or_boom(x):
+    """Module-level so worker processes can import it by reference."""
+    if x == 3:
+        raise ValueError("x too spicy")
+    return 2 * x
+
+
+def _slow_boom(x):
+    """Fails *slowly*, so sibling successes land in the same wait batch."""
+    if x == 3:
+        time.sleep(0.4)
+        raise ValueError("x too spicy")
+    return 2 * x
+
+
+class TestFanOut:
+    def test_success_returns_results_in_input_order(self):
+        assert fan_out(_double_or_boom, [(1,), (2,), (4,)], 2) == [2, 4, 8]
+
+    def test_on_result_fires_per_completion_with_position(self):
+        seen = {}
+        fan_out(_double_or_boom, [(1,), (2,)], 2,
+                on_result=lambda i, r: seen.__setitem__(i, r))
+        assert seen == {0: 2, 1: 4}
+
+    def test_task_error_names_the_failing_args_tuple(self):
+        with pytest.raises(FanOutError) as exc_info:
+            fan_out(_double_or_boom, [(1,), (3,), (2,)], 2)
+        err = exc_info.value
+        assert err.args_tuple == (3,)
+        assert err.fn_name == "_double_or_boom"
+        assert "_double_or_boom(3,)" in str(err)
+        assert "ValueError" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_completed_results_still_commit_before_the_error(self):
+        committed = {}
+        with pytest.raises(FanOutError):
+            fan_out(_slow_boom, [(1,), (3,)], 2,
+                    on_result=lambda i, r: committed.__setitem__(i, r))
+        assert committed == {0: 2}
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        def local_fn(x):  # nested functions cannot pickle
+            return x
+
+        assert fan_out(local_fn, [(1,)], 2) is None

@@ -1,0 +1,99 @@
+"""Unit tests for the perf regression gate (benchmarks/perf/compare_bench.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "compare_bench", REPO_ROOT / "benchmarks" / "perf" / "compare_bench.py"
+)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True):
+    return {
+        "pack": {
+            "pack_speedup_vs_legacy": pack,
+            "pack_into_speedup_vs_legacy": pack_into,
+            "pack_into_gib_per_s": 4.0,
+        },
+        "incremental_checksum": {"incremental_speedup": incremental},
+        "fletcher": {"fletcher64_gib_per_s": 8.0},
+        "campaign": {"summaries_identical": identical,
+                     "parallel_speedup": 2.5},
+    }
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        rows, failures = compare_bench.compare(_results(), _results(), 0.30)
+        assert failures == []
+        assert all(r[-1] in ("ok", "info") for r in rows)
+
+    def test_drop_within_tolerance_passes(self):
+        fresh = _results(pack=2.0 * 0.75)  # -25% on a 30% gate
+        _, failures = compare_bench.compare(_results(), fresh, 0.30)
+        assert failures == []
+
+    def test_drop_beyond_tolerance_fails(self):
+        fresh = _results(pack=2.0 * 0.5)  # -50% on a 30% gate
+        rows, failures = compare_bench.compare(_results(), fresh, 0.30)
+        assert len(failures) == 1
+        assert "pack.pack_speedup_vs_legacy" in failures[0]
+        assert any(r[-1] == "REGRESSION" for r in rows)
+
+    def test_improvement_never_fails(self):
+        fresh = _results(pack=20.0, pack_into=60.0, incremental=150.0)
+        _, failures = compare_bench.compare(_results(), fresh, 0.30)
+        assert failures == []
+
+    def test_missing_gated_metric_fails(self):
+        fresh = _results()
+        del fresh["incremental_checksum"]["incremental_speedup"]
+        _, failures = compare_bench.compare(_results(), fresh, 0.30)
+        assert any("missing" in f for f in failures)
+
+    def test_false_flag_fails(self):
+        fresh = _results(identical=False)
+        _, failures = compare_bench.compare(_results(), fresh, 0.30)
+        assert any("summaries_identical" in f for f in failures)
+
+    def test_informational_metrics_never_fail(self):
+        fresh = _results()
+        fresh["fletcher"]["fletcher64_gib_per_s"] = 0.001
+        _, failures = compare_bench.compare(_results(), fresh, 0.30)
+        assert failures == []
+
+
+class TestMain:
+    def _write(self, path, results):
+        path.write_text(json.dumps({"results": results}))
+        return path
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", _results())
+        new = self._write(tmp_path / "new.json", _results())
+        assert compare_bench.main(
+            ["--baseline", str(base), "--new", str(new)]) == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", _results())
+        new = self._write(tmp_path / "new.json", _results(incremental=1.0))
+        assert compare_bench.main(
+            ["--baseline", str(base), "--new", str(new)]) == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_gated_metrics_exist_in_committed_baseline(self):
+        baseline = json.loads(
+            (REPO_ROOT / "BENCH_checkpoint.json").read_text())["results"]
+        for section, metric in (compare_bench.GATED_RATIOS
+                                + compare_bench.GATED_FLAGS):
+            assert compare_bench._lookup(baseline, section, metric) is not None, (
+                f"committed baseline lacks gated metric {section}.{metric}"
+            )

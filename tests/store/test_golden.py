@@ -1,0 +1,57 @@
+"""Golden-digest workflow tests: derive, check, detect drift."""
+
+import json
+from pathlib import Path
+
+from repro.store.golden import (
+    GOLDEN_FIGURES,
+    check_golden,
+    compute_figure,
+    golden_path,
+    write_golden,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestGolden:
+    def test_committed_golden_matches_current_tree(self):
+        """The CI gate itself: committed digests match this source tree."""
+        assert check_golden(REPO_ROOT / "golden") == []
+
+    def test_compute_figure_is_deterministic(self):
+        for name in GOLDEN_FIGURES:
+            a = compute_figure(name)
+            b = compute_figure(name)
+            assert a["digest"] == b["digest"]
+            assert a["row_count"] == len(a["rows"]) > 0
+
+    def test_write_then_check_round_trips(self, tmp_path):
+        written = write_golden(tmp_path)
+        assert {p.name for p in written} == {
+            f"{name}.json" for name in GOLDEN_FIGURES
+        }
+        assert check_golden(tmp_path) == []
+
+    def test_missing_file_reported(self, tmp_path):
+        write_golden(tmp_path)
+        golden_path(tmp_path, "fig8").unlink()
+        problems = check_golden(tmp_path)
+        assert any("fig8" in p and "missing" in p for p in problems)
+
+    def test_row_drift_reported_with_field_diff(self, tmp_path):
+        write_golden(tmp_path)
+        path = golden_path(tmp_path, "fig10")
+        committed = json.loads(path.read_text())
+        field = sorted(committed["rows"][0])[0]
+        committed["rows"][0][field] = "tampered"
+        committed["digest"] = "0" * 64
+        path.write_text(json.dumps(committed))
+        problems = check_golden(tmp_path)
+        assert any("digest drift" in p for p in problems)
+        assert any("row 0" in p for p in problems)
+
+    def test_unreadable_file_reported(self, tmp_path):
+        write_golden(tmp_path)
+        golden_path(tmp_path, "fig9_fig11").write_text("{broken")
+        assert any("unreadable" in p for p in check_golden(tmp_path))

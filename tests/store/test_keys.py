@@ -1,0 +1,110 @@
+"""Canonical hashing and cell-key material tests."""
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.store.keys import (
+    chaos_cell_material,
+    code_fingerprint,
+    experiment_cell_material,
+    material_key,
+)
+from repro.util.hashing import canonical_digest, canonical_json, to_jsonable
+
+
+class Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclass
+class Point:
+    x: int
+    y: float
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(value) == value
+
+    def test_enum_lowers_to_value(self):
+        assert to_jsonable(Color.RED) == "red"
+
+    def test_numpy_scalars_become_python(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert isinstance(to_jsonable(np.int64(7)), int)
+
+    def test_ndarray_becomes_list(self):
+        assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_dataclass_tagged_with_type(self):
+        lowered = to_jsonable(Point(x=1, y=2.5))
+        assert lowered == {"x": 1, "y": 2.5, "__type__": "Point"}
+
+    def test_tuple_and_set_become_lists(self):
+        assert to_jsonable((1, 2)) == [1, 2]
+        assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+        assert to_jsonable(range(3)) == [0, 1, 2]
+
+    def test_dict_keys_stringified(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+    def test_unencodable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestCanonicalDigest:
+    def test_key_order_does_not_matter(self):
+        assert canonical_digest({"a": 1, "b": 2}) == canonical_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_value_change_changes_digest(self):
+        assert canonical_digest({"a": 1}) != canonical_digest({"a": 2})
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_digest_is_sha256_hex(self):
+        digest = canonical_digest({"a": 1})
+        assert len(digest) == 64
+        int(digest, 16)  # hex or raise
+
+
+class TestCellMaterial:
+    def test_code_fingerprint_shape_and_stability(self):
+        fp = code_fingerprint()
+        assert len(fp) == 64
+        assert fp == code_fingerprint()
+
+    def test_experiment_material_pins_everything(self):
+        material = experiment_cell_material("synthetic", 3, {"horizon": 10.0})
+        assert material["app"] == "synthetic"
+        assert material["seed"] == 3
+        assert material["code"] == code_fingerprint()
+        assert material["config"] == {"horizon": 10.0}
+
+    def test_same_cell_same_key(self):
+        a = experiment_cell_material("synthetic", 1, {"horizon": 10.0})
+        b = experiment_cell_material("synthetic", 1, {"horizon": 10.0})
+        assert material_key(a) == material_key(b)
+
+    def test_config_change_changes_key(self):
+        a = experiment_cell_material("synthetic", 1, {"horizon": 10.0})
+        b = experiment_cell_material("synthetic", 1, {"horizon": 20.0})
+        assert material_key(a) != material_key(b)
+
+    def test_seed_change_changes_key(self):
+        a = experiment_cell_material("synthetic", 1, {})
+        b = experiment_cell_material("synthetic", 2, {})
+        assert material_key(a) != material_key(b)
+
+    def test_chaos_and_experiment_cells_never_alias(self):
+        chaos = chaos_cell_material(1, "synthetic")
+        exp = experiment_cell_material("synthetic", 1, {})
+        assert material_key(chaos) != material_key(exp)

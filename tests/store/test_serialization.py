@@ -1,0 +1,123 @@
+"""Exact round-trip tests for the store's JSON codecs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chaos.runner import run_chaos_seed
+from repro.harness.experiment import run_experiment_report
+from repro.store.serialization import (
+    decode_array,
+    encode_array,
+    outcome_from_dict,
+    outcome_to_dict,
+    report_from_dict,
+    report_to_dict,
+)
+
+_KWARGS = dict(nodes_per_replica=2, total_iterations=60,
+               checkpoint_interval=2.0, hard_mtbf=15.0, sdc_mtbf=25.0,
+               horizon=2000.0)
+
+
+def _through_json(payload):
+    """Force a real JSON round-trip, exactly as the store does."""
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize("array", [
+        np.arange(6, dtype=np.float64),
+        np.arange(6, dtype=np.uint64).reshape(2, 3),
+        np.array([], dtype=np.float32),
+        np.array([1.1e-300, np.pi, -0.0]),
+    ])
+    def test_exact_round_trip(self, array):
+        decoded = decode_array(_through_json(encode_array(array)))
+        assert decoded.dtype == array.dtype
+        assert decoded.shape == array.shape
+        assert np.array_equal(decoded, array)
+
+    def test_non_contiguous_input(self):
+        array = np.arange(12, dtype=np.float64).reshape(3, 4)[:, ::2]
+        decoded = decode_array(_through_json(encode_array(array)))
+        assert np.array_equal(decoded, array)
+
+    def test_decoded_array_is_writable(self):
+        decoded = decode_array(encode_array(np.arange(3.0)))
+        decoded[0] = 42.0  # frombuffer views are read-only; we must copy
+
+
+class TestRunReportCodec:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment_report("jacobi3d-charm", 3, _KWARGS)
+
+    def test_round_trip_is_exact(self, report):
+        restored = report_from_dict(_through_json(report_to_dict(report)))
+        assert restored.final_time == report.final_time
+        assert restored.completed == report.completed
+        assert restored.aborted_reason == report.aborted_reason
+        assert restored.iterations_completed == report.iterations_completed
+        assert restored.checkpoints_completed == report.checkpoints_completed
+        assert restored.recoveries == report.recoveries
+        assert restored.rework_iterations == report.rework_iterations
+        assert restored.phase_times == report.phase_times
+        assert restored.interval_history == report.interval_history
+        assert restored.result_correct == report.result_correct
+
+    def test_digest_arrays_bitwise_identical(self, report):
+        restored = report_from_dict(_through_json(report_to_dict(report)))
+        assert set(restored.digests) == set(report.digests)
+        for rank, digest in report.digests.items():
+            assert isinstance(rank, int)
+            assert np.array_equal(restored.digests[rank], digest)
+        if report.reference_digest is not None:
+            assert np.array_equal(restored.reference_digest,
+                                  report.reference_digest)
+
+    def test_timeline_events_preserved(self, report):
+        restored = report_from_dict(_through_json(report_to_dict(report)))
+        assert len(restored.timeline.events) == len(report.timeline.events)
+        for a, b in zip(report.timeline.events, restored.timeline.events):
+            assert a.time == b.time
+            assert a.kind == b.kind
+            assert a.detail == b.detail
+
+    def test_metrics_snapshot_preserved(self, report):
+        restored = report_from_dict(_through_json(report_to_dict(report)))
+        assert restored.metrics_snapshot == report.metrics_snapshot
+
+    def test_unknown_format_rejected(self, report):
+        payload = report_to_dict(report)
+        payload["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            report_from_dict(payload)
+
+
+class TestChaosOutcomeCodec:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_chaos_seed(5, "jacobi3d-charm")
+
+    def test_round_trip_is_exact(self, outcome):
+        restored = outcome_from_dict(_through_json(outcome_to_dict(outcome)))
+        assert restored == outcome or all(
+            getattr(restored, name) == getattr(outcome, name)
+            for name in ("seed", "ok", "invariant", "violation", "completed",
+                         "final_time", "checkpoints", "rollbacks",
+                         "hard_injected", "hard_detected", "sdc_injected",
+                         "sdc_detected", "recoveries", "checks_performed",
+                         "fingerprint", "schedule")
+        )
+
+    def test_fingerprint_survives(self, outcome):
+        restored = outcome_from_dict(_through_json(outcome_to_dict(outcome)))
+        assert restored.fingerprint == outcome.fingerprint
+
+    def test_unknown_format_rejected(self, outcome):
+        payload = outcome_to_dict(outcome)
+        payload["format"] = 0
+        with pytest.raises(ValueError, match="format"):
+            outcome_from_dict(payload)

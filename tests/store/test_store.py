@@ -1,0 +1,165 @@
+"""ResultStore behaviour: addressing, atomic writes, listing, gc, verify."""
+
+import json
+
+import pytest
+
+from repro.store import (
+    KIND_RUN_REPORT,
+    ResultStore,
+    code_fingerprint,
+    material_key,
+)
+from repro.store.store import CACHE_DIR_ENV, default_cache_dir
+
+
+def _material(seed=1, code=None):
+    return {
+        "kind": KIND_RUN_REPORT,
+        "app": "synthetic",
+        "seed": seed,
+        "config": {"horizon": 10.0},
+        "code": code if code is not None else code_fingerprint(),
+    }
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        material = _material()
+        key = store.put(material, {"answer": 42}, kind=KIND_RUN_REPORT)
+        assert key == material_key(material)
+        assert store.get(material) == {"answer": 42}
+        assert store.has(material)
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(_material(seed=9)) is None
+        assert not store.has(_material(seed=9))
+
+    def test_objects_shard_by_key_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(_material(), {}, kind=KIND_RUN_REPORT)
+        path = store.object_path(key)
+        assert path.is_file()
+        assert path.parent.name == key[:2]
+
+    def test_put_journals_one_line_per_write(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(seed=1), {}, kind=KIND_RUN_REPORT)
+        store.put(_material(seed=2), {}, kind=KIND_RUN_REPORT)
+        lines = store.index_path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["seed"] == 1
+
+    def test_overwrite_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(), {"v": 1}, kind=KIND_RUN_REPORT)
+        store.put(_material(), {"v": 2}, kind=KIND_RUN_REPORT)
+        assert store.get(_material()) == {"v": 2}
+        assert len(store.entries()) == 1
+
+    def test_no_tmp_litter_after_put(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(), {}, kind=KIND_RUN_REPORT)
+        assert not list(tmp_path.rglob("*.tmp.*"))
+
+    def test_corrupt_object_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(_material(), {"v": 1}, kind=KIND_RUN_REPORT)
+        store.object_path(key).write_text("{not json")
+        assert store.get(_material()) is None
+
+    def test_default_cache_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        assert default_cache_dir() == tmp_path / "cache"
+        monkeypatch.delenv(CACHE_DIR_ENV)
+        assert str(default_cache_dir()) == ".repro-cache"
+
+
+class TestEntries:
+    def test_listing_reflects_material(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(seed=7), {}, kind=KIND_RUN_REPORT)
+        (entry,) = store.entries()
+        assert entry.app == "synthetic"
+        assert entry.seed == 7
+        assert entry.kind == KIND_RUN_REPORT
+        assert not entry.stale
+        assert entry.nbytes > 0
+
+    def test_foreign_fingerprint_is_stale(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(code="0" * 64), {}, kind=KIND_RUN_REPORT)
+        (entry,) = store.entries()
+        assert entry.stale
+
+
+class TestGc:
+    def test_gc_sweeps_stale_keeps_current(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(seed=1), {}, kind=KIND_RUN_REPORT)
+        store.put(_material(seed=2, code="0" * 64), {}, kind=KIND_RUN_REPORT)
+        result = store.gc()
+        assert result.removed == 1
+        assert result.kept == 1
+        assert result.bytes_freed > 0
+        (entry,) = store.entries()
+        assert entry.seed == 1
+
+    def test_gc_removes_corrupt_objects(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(_material(), {}, kind=KIND_RUN_REPORT)
+        store.object_path(key).write_text("junk")
+        assert store.gc().removed == 1
+
+    def test_wipe_removes_everything(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(seed=1), {}, kind=KIND_RUN_REPORT)
+        store.put(_material(seed=2), {}, kind=KIND_RUN_REPORT)
+        result = store.gc(wipe=True)
+        assert result.removed == 2
+        assert store.entries() == []
+        assert not store.index_path.exists()
+
+
+class TestVerify:
+    def test_sound_store_verifies_clean(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(seed=1), {"v": 1}, kind=KIND_RUN_REPORT)
+        store.put(_material(seed=2), {"v": 2}, kind=KIND_RUN_REPORT)
+        assert store.verify() == []
+
+    def test_unreadable_object_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(_material(), {}, kind=KIND_RUN_REPORT)
+        store.object_path(key).write_text("{broken")
+        (problem,) = store.verify()
+        assert "unreadable" in problem
+
+    def test_tampered_material_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(_material(), {}, kind=KIND_RUN_REPORT)
+        path = store.object_path(key)
+        record = json.loads(path.read_text())
+        record["material"]["seed"] = 999  # address no longer matches
+        path.write_text(json.dumps(record))
+        (problem,) = store.verify()
+        assert "hashes to" in problem
+
+    def test_misplaced_object_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(_material(), {}, kind=KIND_RUN_REPORT)
+        path = store.object_path(key)
+        bogus = path.with_name("ab" + "0" * 62 + ".json")
+        path.rename(bogus)
+        assert any("!= filename" in p for p in store.verify())
+
+    def test_wrong_format_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(_material(), {}, kind=KIND_RUN_REPORT)
+        path = store.object_path(key)
+        record = json.loads(path.read_text())
+        record["format"] = 99
+        path.write_text(json.dumps(record))
+        assert any("format" in p for p in store.verify())
