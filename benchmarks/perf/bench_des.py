@@ -1,0 +1,423 @@
+"""Micro-benchmarks for the discrete-event simulation engine hot path.
+
+Every campaign cell, chaos run, and figure sweep spends its life inside
+``Simulator.run`` dispatching millions of tiny events, so this file tracks
+the engine the same way ``bench_checkpoint.py`` tracks the pack/checksum
+path: each layer against its reference baseline, emitting dimensionless
+speedups that ``compare_bench.py`` gates in CI.
+
+* **event dispatch** — the tuple-heap engine's fire-and-forget path
+  (:meth:`Simulator.post`, what message deliveries use) vs a verbatim
+  embedded replica of the pre-overhaul engine (dataclass ``_QueueEntry``
+  with ``order=True`` Python-level comparisons, a handle per event) on an
+  identical self-sustaining event storm; a handle-allocating
+  ``schedule``-vs-``schedule`` ratio rides along for the apples-to-apples
+  view;
+* **periodic timers** — ``schedule_periodic`` (in-engine rescheduling) vs
+  the classic callback-reschedules-itself pattern through the public API,
+  on both engines;
+* **message fan-out** — ``Transport.send_small`` (the heartbeat/dependency-
+  stamp fast path) vs ``send(Message(...))``, plus a replica of the
+  pre-overhaul per-send bookkeeping for the before/after trajectory;
+* **end-to-end** — a small full ``ACR`` run measured in events/second
+  (machine-dependent, informational only).
+
+All workloads are deterministic (an inline LCG, no wall-clock randomness),
+so both engines execute the exact same event sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Callable
+
+from repro.runtime.des import Simulator
+from repro.runtime.messages import Message, MsgKind, Transport
+from repro.util.errors import SimulationError
+
+MIB = float(1 << 20)
+
+
+# ---------------------------------------------------------------------------
+# The pre-overhaul engine, embedded verbatim as the dispatch baseline — the
+# same validation, counters, and ``pending`` property its hot loop really
+# paid, so the speedup is honest (a leaner replica flatters the baseline).
+# ---------------------------------------------------------------------------
+
+@dataclass(order=True)
+class _LegacyQueueEntry:
+    time: float
+    seq: int
+    handle: "_LegacyHandle" = dc_field(compare=False)
+
+
+class _LegacyHandle:
+    __slots__ = ("callback", "args", "cancelled", "fired", "time")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        return not (self.cancelled or self.fired)
+
+
+class LegacySimulator:
+    """The pre-overhaul engine: dataclass heap entries, a handle per event."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[_LegacyQueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+        self.events_scheduled = 0
+        self.events_cancelled = 0
+        self.max_queue_depth = 0
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> _LegacyHandle:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> _LegacyHandle:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        handle = _LegacyHandle(time, callback, args)
+        heapq.heappush(self._heap, _LegacyQueueEntry(time, next(self._seq), handle))
+        self.events_scheduled += 1
+        if len(self._heap) > self.max_queue_depth:
+            self.max_queue_depth = len(self._heap)
+        return handle
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> float:
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                entry = self._heap[0]
+                if until is not None and entry.time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                handle = entry.handle
+                if not handle.pending:
+                    self.events_cancelled += 1
+                    continue
+                if max_events is not None and self.events_processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                self.now = entry.time
+                handle.fired = True
+                self.events_processed += 1
+                handle.callback(*handle.args)
+            else:
+                if until is not None and not self._heap and self.now < until:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# Workloads (identical event sequences on either engine)
+# ---------------------------------------------------------------------------
+
+_LCG_MUL = 6364136223846793005
+_LCG_ADD = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+_DELAY_TABLE = 4096  # power of two so the storm can mask instead of mod
+
+
+def _make_delays(n: int = _DELAY_TABLE) -> list[float]:
+    """Deterministic pseudo-random delays, precomputed so the benchmark
+    callback costs the same handful of bytecodes on either engine."""
+    state = 0x9E3779B97F4A7C15
+    delays = []
+    for _ in range(n):
+        state = (state * _LCG_MUL + _LCG_ADD) & _LCG_MASK
+        delays.append(1e-6 + (state >> 40) * 1e-12)
+    return delays
+
+
+class _DispatchStorm:
+    """Self-sustaining event storm: every firing schedules one successor at a
+    precomputed pseudo-random delay, holding the heap ``depth`` entries deep —
+    the regime real runs live in, where every push/pop pays ``log(depth)``
+    sift comparisons."""
+
+    __slots__ = ("sched", "delays", "fired", "n_events")
+
+    def __init__(self, sched: Callable[..., Any], delays: list[float],
+                 n_events: int):
+        self.sched = sched
+        self.delays = delays
+        self.fired = 0
+        self.n_events = n_events
+
+    def prime(self, depth: int) -> None:
+        sched = self.sched
+        delays = self.delays
+        tick = self.tick
+        for i in range(depth):
+            sched(delays[i & 4095], tick)
+
+    def tick(self) -> None:
+        i = self.fired
+        self.fired = i + 1
+        if i < self.n_events:
+            self.sched(self.delays[i & 4095], self.tick)
+
+
+def _time_storm(sim: Any, sched: Callable[..., Any], n_events: int,
+                depth: int, delays: list[float]) -> tuple[float, int]:
+    storm = _DispatchStorm(sched, delays, n_events)
+    storm.prime(depth)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return elapsed, sim.events_processed
+
+
+def bench_event_dispatch(n_events: int = 200_000, depth: int = 4096,
+                         repeats: int = 3) -> dict:
+    """Tuple-heap dispatch vs the legacy dataclass-entry engine.
+
+    The headline ratio compares each engine's natural per-event path: the
+    legacy engine *had* to allocate a ``_LegacyHandle`` + ``_LegacyQueueEntry``
+    per event, the new engine's deliveries go through :meth:`Simulator.post`
+    (no handle at all).  ``dispatch_handle_speedup_vs_legacy`` is the
+    conservative same-API comparison (``schedule`` vs ``schedule``).
+    """
+    delays = _make_delays()
+    t_new = t_handle = t_legacy = float("inf")
+    processed = 0
+    for _ in range(repeats):
+        sim = Simulator()
+        elapsed, processed = _time_storm(sim, sim.post, n_events, depth, delays)
+        t_new = min(t_new, elapsed)
+        sim = Simulator()
+        elapsed, handle_processed = _time_storm(sim, sim.schedule, n_events,
+                                                depth, delays)
+        t_handle = min(t_handle, elapsed)
+        legacy = LegacySimulator()
+        elapsed, legacy_processed = _time_storm(legacy, legacy.schedule,
+                                                n_events, depth, delays)
+        t_legacy = min(t_legacy, elapsed)
+        assert legacy_processed == processed == handle_processed, \
+            "engines diverged on the storm"
+    return {
+        "n_events": processed,
+        "queue_depth": depth,
+        "legacy_dispatch_s": t_legacy,
+        "dispatch_s": t_new,
+        "dispatch_handle_s": t_handle,
+        "dispatch_speedup_vs_legacy": t_legacy / t_new,
+        "dispatch_handle_speedup_vs_legacy": t_legacy / t_handle,
+        "events_per_s": processed / t_new,
+        "legacy_events_per_s": processed / t_legacy,
+    }
+
+
+def _time_resched(sim_cls: Any, n_timers: int, horizon: float,
+                  interval: float) -> tuple[float, int]:
+    """The classic pattern: every tick reschedules itself via the public API."""
+    sim = sim_cls()
+    fired = [0]
+
+    def make_tick():
+        def tick():
+            fired[0] += 1
+            sim.schedule(interval, tick)
+        return tick
+
+    for _ in range(n_timers):
+        sim.schedule(interval, make_tick())
+    t0 = time.perf_counter()
+    sim.run(until=horizon)
+    return time.perf_counter() - t0, fired[0]
+
+
+def _time_periodic(n_timers: int, horizon: float,
+                   interval: float) -> tuple[float, int]:
+    sim = Simulator()
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    for _ in range(n_timers):
+        sim.schedule_periodic(interval, tick)
+    t0 = time.perf_counter()
+    sim.run(until=horizon)
+    return time.perf_counter() - t0, fired[0]
+
+
+def bench_periodic_timers(n_timers: int = 64, ticks: int = 2000,
+                          repeats: int = 3) -> dict:
+    """In-engine periodic rescheduling vs self-rescheduling public ticks.
+
+    Models the heartbeat monitor's load: ``n_timers`` recurring timers each
+    firing ``ticks`` times.  The baseline is the pre-overhaul pattern (each
+    tick re-enters ``schedule`` and allocates a fresh handle); the legacy
+    engine running the same pattern gives the absolute before/after point.
+    """
+    interval = 0.5
+    horizon = ticks * interval
+    t_resched = t_periodic = t_legacy = float("inf")
+    fired = 0
+    for _ in range(repeats):
+        elapsed, fired = _time_resched(Simulator, n_timers, horizon, interval)
+        t_resched = min(t_resched, elapsed)
+        elapsed, fired_p = _time_periodic(n_timers, horizon, interval)
+        t_periodic = min(t_periodic, elapsed)
+        elapsed, fired_l = _time_resched(LegacySimulator, n_timers, horizon,
+                                         interval)
+        t_legacy = min(t_legacy, elapsed)
+        assert fired == fired_p == fired_l, "timer workloads diverged"
+    return {
+        "n_timers": n_timers,
+        "ticks_fired": fired,
+        "resched_s": t_resched,
+        "periodic_s": t_periodic,
+        "legacy_resched_s": t_legacy,
+        "periodic_speedup_vs_resched": t_resched / t_periodic,
+        "periodic_speedup_vs_legacy": t_legacy / t_periodic,
+        "ticks_per_s": fired / t_periodic,
+    }
+
+
+class _LegacyStyleTransport(Transport):
+    """Replica of the pre-overhaul per-send bookkeeping: enum ``.value``
+    descriptor per message, ``.get`` accounting, handle-allocating
+    ``sim.schedule`` for the delivery."""
+
+    def send(self, msg: Message, *, extra_delay: float = 0.0) -> None:
+        if msg.dst not in self._handlers:
+            raise SimulationError(f"message to unregistered node {msg.dst}")
+        if not self._alive.get(msg.src, False):
+            self.messages_dropped += 1
+            return
+        self.messages_sent += 1
+        kind = msg.kind.value
+        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + msg.nbytes
+        msg.send_time = self.sim.now
+        delay = self.latency + msg.nbytes / self.bandwidth + extra_delay
+        self.sim.schedule(delay, self._deliver, msg)
+
+
+def _drain_sends(transport: Transport, sender: Callable[[int, int], None],
+                 n_nodes: int, rounds: int) -> float:
+    """Send ``rounds`` all-to-next-neighbor bursts, draining deliveries."""
+    sim = transport.sim
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for src in range(n_nodes):
+            sender(src, (src + 1) % n_nodes)
+        sim.run()
+    return time.perf_counter() - t0
+
+
+def bench_message_fanout(n_nodes: int = 32, rounds: int = 200,
+                         repeats: int = 3) -> dict:
+    """``send_small`` fast path vs ``send(Message(...))`` vs legacy send."""
+    sink = [0]
+
+    def build(transport_cls):
+        sim = Simulator()
+        transport = transport_cls(sim)
+        for i in range(n_nodes):
+            transport.register(i, lambda msg: sink.__setitem__(0, sink[0] + 1))
+        return transport
+
+    n_msgs = n_nodes * rounds
+    t_small = t_send = t_legacy = float("inf")
+    for _ in range(repeats):
+        tr = build(Transport)
+        t_small = min(t_small, _drain_sends(
+            tr,
+            lambda s, d: tr.send_small(MsgKind.HEARTBEAT, s, d,
+                                       nbytes=16, tag="hb"),
+            n_nodes, rounds))
+        tr2 = build(Transport)
+        t_send = min(t_send, _drain_sends(
+            tr2,
+            lambda s, d: tr2.send(Message(kind=MsgKind.HEARTBEAT, src=s,
+                                          dst=d, nbytes=16, tag="hb")),
+            n_nodes, rounds))
+        tr3 = build(_LegacyStyleTransport)
+        t_legacy = min(t_legacy, _drain_sends(
+            tr3,
+            lambda s, d: tr3.send(Message(kind=MsgKind.HEARTBEAT, src=s,
+                                          dst=d, nbytes=16, tag="hb")),
+            n_nodes, rounds))
+    return {
+        "n_nodes": n_nodes,
+        "messages": n_msgs,
+        "send_small_s": t_small,
+        "send_s": t_send,
+        "legacy_send_s": t_legacy,
+        "fastpath_speedup": t_send / t_small,
+        "fastpath_speedup_vs_legacy": t_legacy / t_small,
+        "messages_per_s": n_msgs / t_small,
+    }
+
+
+def bench_acr_run(total_iterations: int = 200) -> dict:
+    """End-to-end small-config ACR run in events/second (informational)."""
+    from repro.harness.experiment import run_acr_experiment
+
+    t0 = time.perf_counter()
+    res = run_acr_experiment(
+        "jacobi3d-charm", nodes_per_replica=4,
+        total_iterations=total_iterations, checkpoint_interval=2.0,
+        hard_mtbf=15.0, sdc_mtbf=25.0, seed=3)
+    elapsed = time.perf_counter() - t0
+    events = res.acr.sim.events_processed
+    return {
+        "total_iterations": total_iterations,
+        "events": events,
+        "wall_s": elapsed,
+        "events_per_s": events / elapsed,
+        "completed": res.report.completed,
+    }
+
+
+def run_all_des(*, quick: bool = False, repeats: int = 3) -> dict:
+    """Run every engine micro-benchmark; ``quick`` shrinks sizes for smoke."""
+    if quick:
+        return {
+            "des_dispatch": bench_event_dispatch(n_events=5_000, depth=256,
+                                                 repeats=1),
+            "des_periodic": bench_periodic_timers(n_timers=8, ticks=100,
+                                                  repeats=1),
+            "des_messages": bench_message_fanout(n_nodes=8, rounds=20,
+                                                 repeats=1),
+            "des_acr": bench_acr_run(total_iterations=20),
+        }
+    return {
+        "des_dispatch": bench_event_dispatch(repeats=repeats),
+        "des_periodic": bench_periodic_timers(repeats=repeats),
+        "des_messages": bench_message_fanout(repeats=repeats),
+        "des_acr": bench_acr_run(),
+    }

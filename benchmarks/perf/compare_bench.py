@@ -34,16 +34,24 @@ GATED_RATIOS = (
     ("pack", "pack_speedup_vs_legacy"),
     ("pack", "pack_into_speedup_vs_legacy"),
     ("incremental_checksum", "incremental_speedup"),
+    ("des_dispatch", "dispatch_speedup_vs_legacy"),
+    ("des_periodic", "periodic_speedup_vs_resched"),
+    ("des_messages", "fastpath_speedup"),
 )
 
 #: (section, metric) booleans that must stay true.
 GATED_FLAGS = (("campaign", "summaries_identical"),)
 
+#: Gated only when the machine can actually go parallel: on a 1-CPU runner
+#: the worker clamp makes both paths serial and the ratio is pure noise.
+CPU_GATED_RATIOS = (("campaign", "parallel_speedup"),)
+
 #: Machine-dependent metrics shown for context only.
 INFORMATIONAL = (
     ("pack", "pack_into_gib_per_s"),
     ("fletcher", "fletcher64_gib_per_s"),
-    ("campaign", "parallel_speedup"),
+    ("des_dispatch", "events_per_s"),
+    ("des_acr", "events_per_s"),
 )
 
 
@@ -55,7 +63,8 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list, list]:
     """(table_rows, failures) for a baseline/fresh results comparison."""
     rows: list[list] = []
     failures: list[str] = []
-    for section, metric in GATED_RATIOS:
+
+    def gate_ratio(section: str, metric: str) -> None:
         name = f"{section}.{metric}"
         base = _lookup(baseline, section, metric)
         new = _lookup(fresh, section, metric)
@@ -63,7 +72,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list, list]:
             failures.append(f"{name}: missing from "
                             f"{'baseline' if base is None else 'new run'}")
             rows.append([name, base, new, "-", "MISSING"])
-            continue
+            return
         delta_pct = 100.0 * (new - base) / base if base else 0.0
         regressed = new < base * (1.0 - tolerance)
         status = "REGRESSION" if regressed else "ok"
@@ -74,6 +83,22 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list, list]:
             )
         rows.append([name, round(base, 3), round(new, 3),
                      f"{delta_pct:+.1f}%", status])
+
+    for section, metric in GATED_RATIOS:
+        gate_ratio(section, metric)
+    for section, metric in CPU_GATED_RATIOS:
+        # A parallel ratio means nothing unless both runs had cores to use.
+        cpus = min(_lookup(baseline, section, "cpu_count") or 1,
+                   _lookup(fresh, section, "cpu_count") or 1)
+        if cpus > 1:
+            gate_ratio(section, metric)
+        else:
+            base = _lookup(baseline, section, metric)
+            new = _lookup(fresh, section, metric)
+            rows.append([f"{section}.{metric}",
+                         None if base is None else round(base, 3),
+                         None if new is None else round(new, 3),
+                         "-", "skipped (cpu_count==1)"])
     for section, metric in GATED_FLAGS:
         name = f"{section}.{metric}"
         base = _lookup(baseline, section, metric)

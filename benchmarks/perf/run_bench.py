@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""Run the checkpoint hot-path micro-benchmarks and emit ``BENCH_checkpoint.json``.
+"""Run the checkpoint + simulation-engine micro-benchmarks and emit
+``BENCH_checkpoint.json``.
 
 Usage::
 
@@ -30,6 +31,7 @@ if str(REPO_ROOT) not in sys.path:
 import numpy as np  # noqa: E402
 
 from benchmarks.perf.bench_checkpoint import run_all  # noqa: E402
+from benchmarks.perf.bench_des import run_all_des  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,6 +49,8 @@ def main(argv: list[str] | None = None) -> int:
 
     results = run_all(quick=args.quick, total_mib=args.mib,
                       repeats=args.repeats)
+    results.update(run_all_des(quick=args.quick,
+                               repeats=min(args.repeats, 3)))
     payload = {
         "benchmark": "checkpoint_hot_path",
         "quick": args.quick,
@@ -74,6 +78,17 @@ def main(argv: list[str] | None = None) -> int:
           f"workers={camp['workers']} {camp['parallel_speedup']:.2f}x "
           f"on {camp['cpu_count']} core(s), "
           f"identical={camp['summaries_identical']}")
+    disp = results["des_dispatch"]
+    per = results["des_periodic"]
+    msg = results["des_messages"]
+    acr = results["des_acr"]
+    print(f"des engine  {disp['n_events']} events "
+          f"dispatch {disp['dispatch_speedup_vs_legacy']:.2f}x vs legacy "
+          f"({disp['events_per_s'] / 1e3:.0f}k ev/s), "
+          f"periodic {per['periodic_speedup_vs_resched']:.2f}x, "
+          f"msg fastpath {msg['fastpath_speedup']:.2f}x")
+    print(f"acr run     {acr['events']} events in {acr['wall_s']:.2f}s "
+          f"({acr['events_per_s'] / 1e3:.0f}k ev/s end-to-end)")
     return 0
 
 

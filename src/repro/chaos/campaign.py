@@ -20,7 +20,7 @@ from typing import Sequence
 from repro.chaos.runner import ChaosOutcome, run_chaos_seed
 from repro.chaos.shrinker import ShrinkResult, shrink_schedule
 from repro.chaos.fuzzer import ChaosSchedule
-from repro.harness.campaign import fan_out
+from repro.harness.campaign import effective_workers, fan_out
 from repro.obs.metrics import merge_snapshots
 from repro.store import (
     KIND_CHAOS_OUTCOME,
@@ -88,8 +88,9 @@ def run_chaos_campaign(
     """Fuzz + run + verify one schedule per seed; shrink any failures.
 
     ``seeds`` is a sequence of seeds or a count (meaning ``range(count)``).
-    ``workers`` > 1 fans the runs out over a process pool; results are
-    ordered by seed and bitwise-identical to the serial path.  ``cache`` /
+    ``workers`` > 1 fans the runs out over a process pool (clamped to
+    ``os.cpu_count()``); results are ordered by seed and bitwise-identical
+    to the serial path.  ``cache`` /
     ``cache_dir`` persist each verdict as it completes and — with ``resume``
     (the default) — load cached verdicts instead of re-running them.
     """
@@ -126,7 +127,7 @@ def run_chaos_campaign(
             )
 
     if pending:
-        nworkers = min(workers or 1, len(pending))
+        nworkers = effective_workers(workers, len(pending))
         done = None
         if nworkers > 1:
             positions = [pos for pos, _ in pending]

@@ -13,6 +13,7 @@ bitwise-identical to an uninterrupted run.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -133,6 +134,17 @@ def summarize(reports: Sequence[RunReport]) -> CampaignSummary:
     )
 
 
+def effective_workers(requested: int | None, n_items: int) -> int:
+    """Clamp a worker request to what can actually help.
+
+    Never more workers than items, never more than the machine has cores —
+    on a 1-CPU box a process pool can only add fork/IPC overhead on top of a
+    workload that already saturates the core (the campaign micro-benchmark
+    measured 0.65x "speedup" exactly this way).
+    """
+    return min(requested or 1, n_items, os.cpu_count() or 1)
+
+
 def fan_out(
     fn: Callable,
     arg_tuples: Sequence[tuple],
@@ -217,8 +229,10 @@ def run_campaign(
     (each seed is an independent simulation — campaigns are embarrassingly
     parallel).  The result is bitwise-identical to the serial path: reports
     are ordered by seed and every worker derives its randomness from the
-    seed alone.  Where process pools are unavailable the runner silently
-    degrades to serial execution.
+    seed alone.  The request is clamped to ``os.cpu_count()`` (see
+    :func:`effective_workers`) — extra processes beyond the core count only
+    add fork/IPC overhead.  Where process pools are unavailable the runner
+    silently degrades to serial execution.
 
     ``cache`` (a :class:`~repro.store.ResultStore`) or ``cache_dir`` turns
     the sweep into a resumable work-queue: with ``resume`` (the default),
@@ -258,7 +272,7 @@ def run_campaign(
             )
 
     if pending:
-        nworkers = min(workers or 1, len(pending))
+        nworkers = effective_workers(workers, len(pending))
         done = None
         if nworkers > 1:
             positions = [pos for pos, _ in pending]

@@ -5,43 +5,84 @@ heartbeats, checkpoint phases, fault injections — is an event on this queue.
 Determinism is guaranteed by a monotone sequence number that breaks ties among
 events scheduled for the same instant (FIFO order), so a given seed always
 replays the same execution.
+
+The dispatch loop is the hottest code in the repo (every campaign cell spends
+its life here), so the queue holds plain ``(time, seq, handle, callback,
+args)`` tuples — tie-breaking comparisons run entirely in C, and the loop
+reads the callback straight out of the tuple.  Three scheduling entry points
+trade generality for cost:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` — the general
+  path; returns a cancellable :class:`EventHandle`;
+* :meth:`Simulator.post` — fire-and-forget: no handle is allocated, for the
+  per-message deliveries that nothing ever cancels;
+* :meth:`Simulator.schedule_periodic` — recurring timers rescheduled inside
+  the engine, so a heartbeat that ticks a million times costs one handle and
+  no public re-entry per tick.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.util.errors import SimulationError
 
-
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
+_INF = float("inf")
 
 
 class EventHandle:
     """A scheduled event; cancel() prevents a pending callback from firing."""
 
-    __slots__ = ("callback", "args", "cancelled", "fired", "time")
+    __slots__ = ("callback", "args", "cancelled", "fired", "time", "_sim")
 
-    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator | None" = None,
+    ):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
 
     @property
     def pending(self) -> bool:
         return not (self.cancelled or self.fired)
+
+
+class PeriodicHandle(EventHandle):
+    """A recurring event; stays scheduled (``pending``) until cancelled.
+
+    The engine re-inserts the next occurrence itself after each firing — the
+    public scheduling API (validation, handle allocation) is paid once for
+    the timer's whole lifetime, not once per tick.
+    """
+
+    __slots__ = ("interval",)
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator",
+        interval: float,
+    ):
+        super().__init__(time, callback, args, sim)
+        self.interval = interval
 
 
 class Simulator:
@@ -49,7 +90,10 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: list[_QueueEntry] = []
+        #: Heap of ``(time, seq, handle_or_None, callback, args)`` tuples.
+        #: ``handle`` is None for fire-and-forget events (see :meth:`post`);
+        #: (time, seq) is unique, so the trailing fields are never compared.
+        self._heap: list[tuple] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -60,6 +104,15 @@ class Simulator:
         self.events_scheduled = 0
         self.events_cancelled = 0
         self.max_queue_depth = 0
+        #: Live count of pending events (scheduled, neither fired nor
+        #: cancelled) — kept current by schedule/cancel/dispatch so
+        #: :attr:`pending_events` is O(1) instead of a heap scan.
+        self._live = 0
+
+    # -- scheduling ---------------------------------------------------------------
+    # The push bookkeeping (heap insert, stats, live count) is inlined into
+    # schedule_at and post on purpose: they run once per event and a helper
+    # call per event is measurable at campaign scale.
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
@@ -73,23 +126,83 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
-        handle = EventHandle(time, callback, args)
-        heapq.heappush(self._heap, _QueueEntry(time, next(self._seq), handle))
+        handle = EventHandle(time, callback, args, self)
+        heap = self._heap
+        heappush(heap, (time, next(self._seq), handle, callback, args))
         self.events_scheduled += 1
-        if len(self._heap) > self.max_queue_depth:
-            self.max_queue_depth = len(self._heap)
+        self._live += 1
+        if len(heap) > self.max_queue_depth:
+            self.max_queue_depth = len(heap)
         return handle
 
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`EventHandle`.
+
+        The fast path for events nothing can cancel (message deliveries);
+        dispatch order and sequence numbering are identical to
+        :meth:`schedule`, only the per-event handle allocation is gone.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heap = self._heap
+        heappush(heap, (self.now + delay, next(self._seq), None, callback, args))
+        self.events_scheduled += 1
+        self._live += 1
+        if len(heap) > self.max_queue_depth:
+            self.max_queue_depth = len(heap)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        first_delay: float | None = None,
+    ) -> PeriodicHandle:
+        """Fire ``callback(*args)`` every ``interval`` seconds until cancelled.
+
+        The first firing is ``first_delay`` seconds from now (default: one
+        ``interval``); each subsequent occurrence is re-inserted by the run
+        loop itself with a fresh sequence number, exactly as if the callback
+        had rescheduled itself as its last statement — but without churning
+        the public API per tick.
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be > 0, got {interval}")
+        delay = interval if first_delay is None else first_delay
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        time = self.now + delay
+        handle = PeriodicHandle(time, callback, args, self, interval)
+        heap = self._heap
+        heappush(heap, (time, next(self._seq), handle, callback, args))
+        self.events_scheduled += 1
+        self._live += 1
+        if len(heap) > self.max_queue_depth:
+            self.max_queue_depth = len(heap)
+        return handle
+
+    # -- control ------------------------------------------------------------------
     def stop(self) -> None:
         """Stop the run loop after the current event returns."""
         self._stopped = True
 
+    def _reap_cancelled_head(self) -> None:
+        """Pop retired (cancelled) entries off the heap head, counting each
+        exactly once — the one reaping path shared by :meth:`peek_time` and
+        :meth:`run`, so ``events_cancelled`` stays consistent between them."""
+        heap = self._heap
+        while heap:
+            handle = heap[0][2]
+            if handle is None or not (handle.cancelled or handle.fired):
+                return
+            heappop(heap)
+            self.events_cancelled += 1
+
     def peek_time(self) -> float | None:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._heap and not self._heap[0].handle.pending:
-            heapq.heappop(self._heap)
-            self.events_cancelled += 1
-        return self._heap[0].time if self._heap else None
+        self._reap_cancelled_head()
+        heap = self._heap
+        return heap[0][0] if heap else None
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Process events in order until the queue drains, ``until`` is
@@ -98,27 +211,56 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        time_limit = _INF if until is None else until
+        event_limit = _INF if max_events is None else max_events
+        # The run loop is the only writer of events_processed (callbacks may
+        # read it mid-run), so it lives in a local and is stored back before
+        # every callback fires.
+        processed = self.events_processed
         try:
-            while self._heap and not self._stopped:
-                entry = self._heap[0]
-                if until is not None and entry.time > until:
-                    self.now = until
-                    break
-                heapq.heappop(self._heap)
-                handle = entry.handle
-                if not handle.pending:
-                    self.events_cancelled += 1
+            while heap and not self._stopped:
+                entry = heap[0]
+                handle = entry[2]
+                if handle is not None and (handle.cancelled or handle.fired):
+                    # Retired head: reap through the shared helper (the one
+                    # place events_cancelled is counted), then re-test.
+                    self._reap_cancelled_head()
                     continue
-                if max_events is not None and self.events_processed >= max_events:
+                time = entry[0]
+                if time > time_limit:
+                    self.now = until  # type: ignore[assignment]
+                    break
+                if processed >= event_limit:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway simulation?"
                     )
-                self.now = entry.time
-                handle.fired = True
-                self.events_processed += 1
-                handle.callback(*handle.args)
+                heappop(heap)
+                self.now = time
+                processed += 1
+                self.events_processed = processed
+                if handle is None:
+                    # Fire-and-forget event: nothing to mark fired.
+                    self._live -= 1
+                    entry[3](*entry[4])
+                elif type(handle) is PeriodicHandle:
+                    entry[3](*entry[4])
+                    if not handle.cancelled:
+                        # Re-insert in-engine: same ordering as a callback
+                        # that reschedules itself as its last statement.
+                        next_time = time + handle.interval
+                        handle.time = next_time
+                        heappush(heap, (next_time, next(self._seq), handle,
+                                        entry[3], entry[4]))
+                        self.events_scheduled += 1
+                        if len(heap) > self.max_queue_depth:
+                            self.max_queue_depth = len(heap)
+                else:
+                    handle.fired = True
+                    self._live -= 1
+                    entry[3](*entry[4])
             else:
-                if until is not None and not self._heap and self.now < until:
+                if until is not None and not heap and self.now < until:
                     self.now = until
         finally:
             self._running = False
@@ -126,4 +268,4 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._heap if e.handle.pending)
+        return self._live

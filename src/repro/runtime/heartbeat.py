@@ -8,15 +8,29 @@ diagnosed as dead."
 Each node periodically sends a heartbeat to its buddy in the other replica
 and checks the buddy's last-seen time; a silence longer than ``timeout``
 triggers the death callback exactly once per failure epoch.
+
+The monitor used to schedule two events *per node* per interval (a send tick
+and a check tick), which at N nodes made heartbeats the dominant event-queue
+load of long quiet runs.  It now runs two monitor-wide periodic sweeps — one
+send sweep, one check sweep — that walk all nodes in registration order
+inside a single event each.  Observable behaviour is identical to the
+per-node ticks: messages leave in the same order at the same instants, and
+silence checks evaluate at the same instants in the same node order (the
+check sweep first fires one ``timeout`` after start, then every ``interval``,
+exactly like the old per-node check ticks).
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.runtime.des import PeriodicHandle
 from repro.runtime.messages import Message, MsgKind
 from repro.runtime.node import Node
 from repro.util.errors import ConfigurationError
+
+#: Heartbeat payload size in bytes (a liveness probe carries no data).
+HEARTBEAT_NBYTES = 16
 
 
 class HeartbeatMonitor:
@@ -58,6 +72,8 @@ class HeartbeatMonitor:
         self.last_seen: dict[int, float] = {}
         self._reported: set[tuple[int, int]] = set()  # (node_id, failures_survived)
         self._started = False
+        self._send_sweep_event: PeriodicHandle | None = None
+        self._check_sweep_event: PeriodicHandle | None = None
 
     def start(self) -> None:
         sim = next(iter(self.nodes.values())).sim
@@ -65,39 +81,62 @@ class HeartbeatMonitor:
         for node in self.nodes.values():
             self.last_seen[node.node_id] = now
             node.heartbeat_handler = self._on_heartbeat
-            sim.schedule(self.interval, self._send_tick, node.node_id)
-            sim.schedule(self.timeout, self._check_tick, node.node_id)
+        # One monitor-wide sweep per event class instead of one tick per
+        # node: 2 heap entries per interval, not 2·N.
+        self._send_sweep_event = sim.schedule_periodic(
+            self.interval, self._send_sweep)
+        self._check_sweep_event = sim.schedule_periodic(
+            self.interval, self._check_sweep, first_delay=self.timeout)
         self._started = True
 
-    # -- periodic events --------------------------------------------------------
-    def _send_tick(self, node_id: int) -> None:
-        node = self.nodes[node_id]
-        if node.alive:
-            buddy_id = self.buddy_of[node_id]
-            node.transport.send(
-                Message(kind=MsgKind.HEARTBEAT, src=node_id, dst=buddy_id,
-                        nbytes=16, tag="hb")
-            )
-        # Keep ticking even while dead: the spare-node replacement revives the
-        # same logical node, which must resume heartbeating.
-        node.sim.schedule(self.interval, self._send_tick, node_id)
+    def stop(self) -> None:
+        """Cancel both sweeps (lets a drained queue actually drain)."""
+        if self._send_sweep_event is not None:
+            self._send_sweep_event.cancel()
+            self._send_sweep_event = None
+        if self._check_sweep_event is not None:
+            self._check_sweep_event.cancel()
+            self._check_sweep_event = None
+
+    # -- periodic sweeps ---------------------------------------------------------
+    def _send_sweep(self) -> None:
+        """Every live node heartbeats its buddy, in registration order.
+
+        Dead nodes are simply skipped this sweep — the spare-node replacement
+        revives the same logical node, which resumes heartbeating on the next
+        sweep without any rescheduling.
+        """
+        buddy_of = self.buddy_of
+        for node in self.nodes.values():
+            if node.alive:
+                node.transport.send_small(
+                    MsgKind.HEARTBEAT, node.node_id, buddy_of[node.node_id],
+                    nbytes=HEARTBEAT_NBYTES, tag="hb",
+                )
+
+    def _check_sweep(self) -> None:
+        """Every live node inspects its buddy's silence, in registration order.
+
+        Detection is purely silence-based: the detector has no ground truth
+        about its buddy, only missing heartbeats.
+        """
+        timeout = self.timeout
+        last_seen = self.last_seen
+        reported = self._reported
+        for node in self.nodes.values():
+            if not node.alive:
+                continue
+            buddy_id = self.buddy_of[node.node_id]
+            silent_for = node.sim.now - last_seen[buddy_id]
+            if silent_for >= timeout:
+                buddy = self.nodes[buddy_id]
+                key = (buddy_id, buddy.failures_survived)
+                if key not in reported:
+                    reported.add(key)
+                    self.on_death(node, buddy)
 
     def _on_heartbeat(self, msg: Message) -> None:
         self.last_seen[msg.src] = self.nodes[msg.src].sim.now
-
-    def _check_tick(self, node_id: int) -> None:
-        node = self.nodes[node_id]
-        buddy_id = self.buddy_of[node_id]
-        buddy = self.nodes[buddy_id]
-        if node.alive:
-            # Detection is purely silence-based: the detector has no ground
-            # truth about its buddy, only missing heartbeats.
-            silent_for = node.sim.now - self.last_seen[buddy_id]
-            key = (buddy_id, buddy.failures_survived)
-            if silent_for >= self.timeout and key not in self._reported:
-                self._reported.add(key)
-                self.on_death(node, buddy)
-        node.sim.schedule(self.interval, self._check_tick, node_id)
 
     def notify_revived(self, node_id: int) -> None:
         """Reset silence clocks when a spare replaces a dead node.

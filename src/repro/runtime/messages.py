@@ -3,11 +3,22 @@
 The transport models the fail-stop semantics of §6.1: a dead node neither
 sends nor receives — messages addressed to it vanish without error, which is
 exactly why failure detection needs heartbeats rather than connection errors.
+
+Per-message costs are the second-hottest path after event dispatch itself, so
+:class:`Message` carries ``__slots__`` (no per-message ``__dict__``), the
+``MsgKind.value`` descriptor lookups are hoisted into a module-level table,
+the per-kind accounting dicts auto-initialise (no ``.get`` per send), and
+deliveries ride the simulator's fire-and-forget :meth:`~
+repro.runtime.des.Simulator.post` path — nothing ever cancels an in-flight
+message, so no :class:`~repro.runtime.des.EventHandle` is allocated for one.
+:meth:`Transport.send_small` is the dedicated fast path for the two
+small-message firehoses (heartbeats and task dependency stamps).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import defaultdict
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable
 
@@ -24,7 +35,13 @@ class MsgKind(str, Enum):
     CHECKPOINT = "checkpoint"  # bulk checkpoint payloads
 
 
-@dataclass
+#: ``Enum.value`` is a ``DynamicClassAttribute`` — a descriptor *call* per
+#: access.  The send paths run per message, so they resolve kinds through
+#: this plain dict instead.
+_KIND_VALUE: dict[MsgKind, str] = {k: k.value for k in MsgKind}
+
+
+@dataclass(slots=True)
 class Message:
     """One simulated message between nodes."""
 
@@ -34,7 +51,7 @@ class Message:
     payload: Any = None
     nbytes: int = 64
     tag: str = ""
-    send_time: float = field(default=0.0)
+    send_time: float = 0.0
 
 
 class Transport:
@@ -64,9 +81,14 @@ class Transport:
         self.messages_dropped = 0
         #: Per-link-class accounting (always on — two dict bumps per send)
         #: feeding the telemetry metrics registry: how many messages and how
-        #: many payload bytes each traffic class shipped.
-        self.sent_by_kind: dict[str, int] = {}
-        self.bytes_by_kind: dict[str, int] = {}
+        #: many payload bytes each traffic class shipped.  ``defaultdict`` so
+        #: the hot path is one ``+=``, not a ``.get`` per send; only kinds
+        #: actually sent appear when iterating.
+        self.sent_by_kind: dict[str, int] = defaultdict(int)
+        self.bytes_by_kind: dict[str, int] = defaultdict(int)
+        #: latency + nbytes/bandwidth memoised per small-message size — the
+        #: fast path sends the same two sizes millions of times.
+        self._small_delay: dict[int, float] = {}
 
     # -- registration -----------------------------------------------------------
     def register(self, node_id: int, handler: Callable[[Message], None]) -> None:
@@ -94,12 +116,51 @@ class Transport:
             self.messages_dropped += 1
             return
         self.messages_sent += 1
-        kind = msg.kind.value
-        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
-        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + msg.nbytes
-        msg.send_time = self.sim.now
+        kind = _KIND_VALUE[msg.kind]
+        self.sent_by_kind[kind] += 1
+        self.bytes_by_kind[kind] += msg.nbytes
+        sim = self.sim
+        msg.send_time = sim.now
         delay = self.latency + msg.nbytes / self.bandwidth + extra_delay
-        self.sim.schedule(delay, self._deliver, msg)
+        sim.post(delay, self._deliver, msg)
+
+    def send_small(
+        self,
+        kind: MsgKind,
+        src: int,
+        dst: int,
+        payload: Any = None,
+        *,
+        nbytes: int = 64,
+        tag: str = "",
+    ) -> None:
+        """Small-message fast path: ``send(Message(...))`` in one flat call.
+
+        Observable semantics are identical to building a :class:`Message` and
+        calling :meth:`send` with no ``extra_delay`` — same drop rules, same
+        accounting, same delivery instant (the memoised delay is the same
+        float the general path computes).  Heartbeats and task dependency
+        stamps ship through here; anything with a payload measured in more
+        than a few KiB should use :meth:`send` so ``extra_delay`` and bulk
+        modelling stay available.
+        """
+        if dst not in self._handlers:
+            raise SimulationError(f"message to unregistered node {dst}")
+        if not self._alive.get(src, False):
+            self.messages_dropped += 1
+            return
+        self.messages_sent += 1
+        kv = _KIND_VALUE[kind]
+        self.sent_by_kind[kv] += 1
+        self.bytes_by_kind[kv] += nbytes
+        delay = self._small_delay.get(nbytes)
+        if delay is None:
+            # Same expression (and therefore bit-identical float) as send().
+            delay = self.latency + nbytes / self.bandwidth + 0.0
+            self._small_delay[nbytes] = delay
+        sim = self.sim
+        sim.post(delay, self._deliver,
+                 Message(kind, src, dst, payload, nbytes, tag, sim.now))
 
     def _deliver(self, msg: Message) -> None:
         if not self._alive.get(msg.dst, False):

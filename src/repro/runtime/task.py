@@ -18,8 +18,11 @@ from enum import Enum
 from typing import TYPE_CHECKING, Callable
 
 from repro.runtime.des import EventHandle
-from repro.runtime.messages import Message, MsgKind
+from repro.runtime.messages import MsgKind
 from repro.util.errors import SimulationError
+
+#: Dependency-stamp message size (paper §2.2 neighbor messages).
+DEP_STAMP_NBYTES = 1024
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.node import Node
@@ -178,17 +181,21 @@ class Task:
         self._try_start()
 
     def _announce_progress(self) -> None:
-        """Send the dependency stamp for the just-completed iteration."""
+        """Send the dependency stamp for the just-completed iteration.
+
+        Stamps go out once per task per iteration per neighbor — the app
+        firehose — so they ride the transport's small-message fast path.
+        """
+        transport = self.node.transport
+        src = self.node.node_id
+        my_id = self.task_id
+        progress = self.progress
+        epoch = self.epoch
         for node_id, task_id in self.neighbors:
-            self.node.transport.send(
-                Message(
-                    kind=MsgKind.APP,
-                    src=self.node.node_id,
-                    dst=node_id,
-                    payload=(task_id, self.task_id, self.progress, self.epoch),
-                    nbytes=1024,
-                    tag="dep",
-                )
+            transport.send_small(
+                MsgKind.APP, src, node_id,
+                (task_id, my_id, progress, epoch),
+                nbytes=DEP_STAMP_NBYTES, tag="dep",
             )
 
     def on_dep_message(self, from_task: int, stamp: int, epoch: int) -> None:

@@ -15,7 +15,9 @@ compare_bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(compare_bench)
 
 
-def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True):
+def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
+             dispatch=3.2, periodic=4.0, fastpath=1.5,
+             parallel=2.5, cpu_count=4):
     return {
         "pack": {
             "pack_speedup_vs_legacy": pack,
@@ -25,7 +27,13 @@ def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True):
         "incremental_checksum": {"incremental_speedup": incremental},
         "fletcher": {"fletcher64_gib_per_s": 8.0},
         "campaign": {"summaries_identical": identical,
-                     "parallel_speedup": 2.5},
+                     "parallel_speedup": parallel,
+                     "cpu_count": cpu_count},
+        "des_dispatch": {"dispatch_speedup_vs_legacy": dispatch,
+                         "events_per_s": 8.0e5},
+        "des_periodic": {"periodic_speedup_vs_resched": periodic},
+        "des_messages": {"fastpath_speedup": fastpath},
+        "des_acr": {"events_per_s": 4.0e4},
     }
 
 
@@ -66,8 +74,31 @@ class TestCompare:
     def test_informational_metrics_never_fail(self):
         fresh = _results()
         fresh["fletcher"]["fletcher64_gib_per_s"] = 0.001
+        fresh["des_acr"]["events_per_s"] = 1.0
         _, failures = compare_bench.compare(_results(), fresh, 0.30)
         assert failures == []
+
+    def test_des_dispatch_regression_fails(self):
+        fresh = _results(dispatch=3.2 * 0.5)  # -50% on a 30% gate
+        _, failures = compare_bench.compare(_results(), fresh, 0.30)
+        assert any("des_dispatch.dispatch_speedup_vs_legacy" in f
+                   for f in failures)
+
+    def test_parallel_speedup_gated_on_multicore(self):
+        fresh = _results(parallel=2.5 * 0.5)  # -50% on a 30% gate
+        _, failures = compare_bench.compare(_results(), fresh, 0.30)
+        assert any("campaign.parallel_speedup" in f for f in failures)
+
+    def test_parallel_speedup_skipped_on_single_cpu(self):
+        # Same regression, but either run saw one core: the clamp makes
+        # both campaign paths serial, so the ratio is noise — never gated.
+        for base_cpus, fresh_cpus in ((1, 1), (1, 4), (4, 1)):
+            base = _results(cpu_count=base_cpus)
+            fresh = _results(parallel=0.4, cpu_count=fresh_cpus)
+            rows, failures = compare_bench.compare(base, fresh, 0.30)
+            assert failures == []
+            assert any("skipped" in str(r[-1]) for r in rows
+                       if r[0] == "campaign.parallel_speedup")
 
 
 class TestMain:

@@ -18,6 +18,13 @@ from benchmarks.perf.bench_checkpoint import (
     legacy_pack,
     run_all,
 )
+from benchmarks.perf.bench_des import (
+    LegacySimulator,
+    bench_event_dispatch,
+    bench_message_fanout,
+    bench_periodic_timers,
+    run_all_des,
+)
 from benchmarks.perf.run_bench import main as run_bench_main
 from repro.pup.puper import pack
 
@@ -58,6 +65,51 @@ class TestMicroBenchmarks:
         fast = pack(obj)
         assert bytes(legacy.buffer) == bytes(fast.buffer)
         assert [f.name for f in legacy.fields] == [f.name for f in fast.fields]
+
+
+class TestDesBenchmarks:
+    """Engine micro-benches: both engines must agree on the workload before
+    any timing is meaningful (the benches assert it; these keep them honest
+    at smoke sizes)."""
+
+    def test_dispatch_engines_process_same_events(self):
+        result = bench_event_dispatch(n_events=2_000, depth=128, repeats=1)
+        assert result["n_events"] == 2_000 + 128
+        assert result["dispatch_s"] > 0
+        assert result["legacy_dispatch_s"] > 0
+        assert result["dispatch_speedup_vs_legacy"] > 0
+        assert result["dispatch_handle_speedup_vs_legacy"] > 0
+
+    def test_periodic_matches_resched_tick_counts(self):
+        result = bench_periodic_timers(n_timers=4, ticks=50, repeats=1)
+        assert result["ticks_fired"] == 4 * 50
+        assert result["periodic_speedup_vs_resched"] > 0
+
+    def test_message_fanout_counts(self):
+        result = bench_message_fanout(n_nodes=4, rounds=10, repeats=1)
+        assert result["messages"] == 40
+        assert result["fastpath_speedup"] > 0
+
+    def test_legacy_replica_is_deterministic(self):
+        """The embedded baseline replays the same sequence as itself."""
+        def trace(sim):
+            order = []
+            sim.schedule(2.0, order.append, "late")
+            sim.schedule(1.0, order.append, "early")
+            h = sim.schedule(1.5, order.append, "never")
+            h.cancel()
+            sim.schedule(1.0, order.append, "early-tie")
+            sim.run()
+            return order, sim.now
+
+        assert trace(LegacySimulator()) == trace(LegacySimulator()) == (
+            ["early", "early-tie", "late"], 2.0)
+
+    def test_run_all_des_quick_covers_every_section(self):
+        results = run_all_des(quick=True)
+        assert set(results) == {
+            "des_dispatch", "des_periodic", "des_messages", "des_acr"}
+        assert results["des_acr"]["completed"]
 
 
 class TestTelemetryNeutral:
@@ -103,7 +155,8 @@ class TestRunBenchEntryPoint:
         payload = json.loads(out.read_text())
         assert payload["benchmark"] == "checkpoint_hot_path"
         assert set(payload["results"]) == {
-            "pack", "fletcher", "incremental_checksum", "campaign"}
+            "pack", "fletcher", "incremental_checksum", "campaign",
+            "des_dispatch", "des_periodic", "des_messages", "des_acr"}
 
     def test_run_all_quick_covers_every_benchmark(self):
         results = run_all(quick=True)

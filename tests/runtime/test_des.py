@@ -123,3 +123,113 @@ class TestControl:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_processed == 5
+
+
+class TestPost:
+    def test_post_fires_like_schedule(self):
+        sim = Simulator()
+        log = []
+        sim.post(2.0, log.append, "b")
+        sim.post(1.0, log.append, "a")
+        sim.run()
+        assert log == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_post_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.post(-0.1, lambda: None)
+
+    def test_post_counts_as_scheduled_and_pending(self):
+        sim = Simulator()
+        sim.post(1.0, lambda: None)
+        assert sim.events_scheduled == 1
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.events_processed == 1
+        assert sim.pending_events == 0
+
+
+class TestPeriodic:
+    def test_fires_every_interval_until_cancelled(self):
+        sim = Simulator()
+        times = []
+        handle = sim.schedule_periodic(1.5, lambda: times.append(sim.now))
+        sim.run(until=5.0)
+        assert times == [1.5, 3.0, 4.5]
+        assert handle.pending
+        handle.cancel()
+        sim.run(until=10.0)
+        assert times == [1.5, 3.0, 4.5]
+
+    def test_nonpositive_interval_rejected(self):
+        sim = Simulator()
+        for bad in (0.0, -1.0):
+            with pytest.raises(SimulationError):
+                sim.schedule_periodic(bad, lambda: None)
+
+    def test_negative_first_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_periodic(1.0, lambda: None, first_delay=-0.5)
+
+    def test_cancel_before_first_firing(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_periodic(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run(until=5.0)
+        assert fired == []
+        assert sim.pending_events == 0
+
+    def test_periodic_is_one_pending_event(self):
+        sim = Simulator()
+        handle = sim.schedule_periodic(1.0, lambda: None)
+        sim.run(until=100.5)  # 100 firings
+        assert sim.pending_events == 1  # still armed
+        handle.cancel()
+        assert sim.pending_events == 0
+
+
+class TestCounterConsistency:
+    def test_double_cancel_decrements_pending_once(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.run()
+        h.cancel()
+        assert sim.pending_events == 0
+        assert sim.events_cancelled == 0
+
+    def test_events_cancelled_same_via_peek_or_run(self):
+        """Reaping goes through one shared helper, so the count is the same
+        whether cancelled entries are discovered by peek_time or by run."""
+        def build():
+            sim = Simulator()
+            for i in range(4):
+                h = sim.schedule(1.0 + i, lambda: None)
+                if i % 2 == 0:
+                    h.cancel()
+            return sim
+
+        via_run = build()
+        via_run.run()
+        via_peek = build()
+        assert via_peek.peek_time() == 2.0
+        via_peek.run()
+        assert via_run.events_cancelled == via_peek.events_cancelled == 2
+        assert via_run.events_processed == via_peek.events_processed == 2
+
+    def test_max_queue_depth_tracks_high_water(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.post(1.0, lambda: None)
+        sim.run()
+        assert sim.max_queue_depth == 4

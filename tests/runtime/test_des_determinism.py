@@ -1,0 +1,164 @@
+"""Golden event-order equivalence: the tuple-heap engine vs the pre-overhaul
+engine.
+
+The engine overhaul (plain-tuple heap entries, fire-and-forget ``post``,
+in-engine periodic rescheduling) is only legal because executions stay
+bit-identical.  These tests drive the optimized :class:`Simulator` and a
+verbatim replica of the old engine (``benchmarks.perf.bench_des.
+LegacySimulator``) through the same seeded workloads and assert the *exact*
+``(time, label)`` firing sequence matches — including FIFO tie-breaking at
+coincident instants and interactions with cancellations.
+
+The heartbeat coalescing rides on a specific ordering claim: a periodic
+event re-inserted by the engine gets the same sequence number a callback
+rescheduling itself as its *last statement* would have drawn.  That claim
+gets its own trace test here.
+"""
+
+import pytest
+
+from benchmarks.perf.bench_des import LegacySimulator
+from repro.runtime.des import Simulator
+
+_MUL = 6364136223846793005
+_ADD = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+class _SeededWorkload:
+    """A deterministic storm of schedules, nested schedules, ties, and
+    cancellations, driven identically on either engine."""
+
+    def __init__(self, sim, seed: int, n_roots: int = 40, fanout_mod: int = 5):
+        self.sim = sim
+        self.state = (seed * 2 + 1) & _MASK
+        self.trace: list[tuple[float, int]] = []
+        self.handles: list = []
+        self.next_label = 0
+        self.n_roots = n_roots
+        self.fanout_mod = fanout_mod
+
+    def _rnd(self) -> int:
+        self.state = (self.state * _MUL + _ADD) & _MASK
+        return self.state
+
+    def _delay(self) -> float:
+        # Coarse quantization produces plenty of exact ties, exercising the
+        # FIFO sequence-number tie-break.
+        return (self._rnd() >> 56) * 0.25
+
+    def start(self) -> None:
+        for _ in range(self.n_roots):
+            self._spawn()
+
+    def _spawn(self) -> None:
+        label = self.next_label
+        self.next_label += 1
+        self.handles.append(self.sim.schedule(self._delay(), self.fire, label))
+
+    def fire(self, label: int) -> None:
+        self.trace.append((self.sim.now, label))
+        r = self._rnd()
+        if r % self.fanout_mod == 0 and self.handles:
+            # Cancel a pseudo-random pending handle (cancelling an already
+            # fired/cancelled one must also be an identical no-op on both).
+            self.handles[r % len(self.handles)].cancel()
+        for _ in range(r % 3):  # 0..2 successors keeps the storm finite-ish
+            if self.next_label < 4000:
+                self._spawn()
+
+
+def _run_workload(sim, seed: int) -> tuple[list, float, int]:
+    w = _SeededWorkload(sim, seed)
+    w.start()
+    final = sim.run()
+    return w.trace, final, sim.events_processed
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+    def test_seeded_storm_replays_identically(self, seed):
+        new_trace, new_final, new_n = _run_workload(Simulator(), seed)
+        old_trace, old_final, old_n = _run_workload(LegacySimulator(), seed)
+        assert new_trace == old_trace
+        assert new_final == old_final
+        assert new_n == old_n
+        assert len(new_trace) > 100  # the storm actually stormed
+
+    def test_post_matches_schedule_ordering(self):
+        """Anonymous (``post``) and handled (``schedule``) events draw from
+        the same sequence stream, so interleaving them preserves FIFO order
+        at coincident instants."""
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "s0")
+        sim.post(1.0, log.append, "p0")
+        sim.schedule(1.0, log.append, "s1")
+        sim.post(1.0, log.append, "p1")
+        sim.run()
+        assert log == ["s0", "p0", "s1", "p1"]
+
+    def test_run_until_clock_semantics_match_legacy(self):
+        for until in (0.5, 1.0, 10.0):
+            new, old = Simulator(), LegacySimulator()
+            for sim in (new, old):
+                sim.schedule(1.0, lambda: None)
+            assert new.run(until=until) == old.run(until=until)
+            assert new.now == old.now
+
+
+class TestPeriodicOrderingParity:
+    """``schedule_periodic`` must be indistinguishable (same times, same
+    tie-break order) from the callback-reschedules-itself-last pattern it
+    replaced — that is the whole argument for the heartbeat coalescing."""
+
+    def _resched_trace(self, sim_cls, intervals) -> list:
+        sim = sim_cls()
+        trace = []
+
+        def make_tick(tid, interval):
+            def tick():
+                trace.append((sim.now, tid))
+                sim.schedule(interval, tick)  # reschedule as last statement
+            return tick
+
+        for tid, interval in enumerate(intervals):
+            sim.schedule(interval, make_tick(tid, interval))
+        sim.run(until=30.0)
+        return trace
+
+    def _periodic_trace(self, intervals) -> list:
+        sim = Simulator()
+        trace = []
+        for tid, interval in enumerate(intervals):
+            sim.schedule_periodic(interval, lambda t=tid: trace.append((sim.now, t)))
+        sim.run(until=30.0)
+        return trace
+
+    @pytest.mark.parametrize("intervals", [
+        (1.0, 1.0, 1.0),          # permanent three-way ties
+        (0.5, 1.0, 2.0),          # harmonic ties at every integer instant
+        (0.75, 1.25),             # ties only at 3.75, 7.5, ...
+    ])
+    def test_periodic_equals_self_rescheduling(self, intervals):
+        expected = self._resched_trace(Simulator, intervals)
+        assert self._periodic_trace(intervals) == expected
+        assert self._resched_trace(LegacySimulator, intervals) == expected
+
+    def test_first_delay_offsets_only_the_first_firing(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(2.0, lambda: times.append(sim.now),
+                              first_delay=0.5)
+        sim.run(until=7.0)
+        assert times == [0.5, 2.5, 4.5, 6.5]
+
+    def test_cancel_inside_callback_stops_rescheduling(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_periodic(1.0, lambda: (
+            fired.append(sim.now),
+            handle.cancel() if len(fired) == 3 else None))
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.pending_events == 0

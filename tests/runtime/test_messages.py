@@ -78,3 +78,71 @@ class TestFailStop:
         sim.run()
         assert transport.messages_sent == 2
         assert transport.messages_delivered == 2
+
+
+class TestSendSmall:
+    """The fast path must be observably identical to send(Message(...))."""
+
+    def test_same_delivery_instant_as_send(self):
+        sim_a, tr_a, in_a = setup()
+        tr_a.send(Message(MsgKind.HEARTBEAT, src=0, dst=1, nbytes=16, tag="hb"))
+        sim_a.run()
+        sim_b, tr_b, in_b = setup()
+        tr_b.send_small(MsgKind.HEARTBEAT, 0, 1, nbytes=16, tag="hb")
+        sim_b.run()
+        assert sim_a.now == sim_b.now  # bit-identical delay
+        assert len(in_a[1]) == len(in_b[1]) == 1
+
+    def test_delivered_message_fields(self):
+        sim, transport, inboxes = setup()
+        transport.send_small(MsgKind.APP, 0, 2, payload=("p", 1),
+                             nbytes=128, tag="dep")
+        sim.run()
+        (msg,) = inboxes[2]
+        assert msg.kind is MsgKind.APP
+        assert (msg.src, msg.dst) == (0, 2)
+        assert msg.payload == ("p", 1)
+        assert msg.nbytes == 128
+        assert msg.tag == "dep"
+        assert msg.send_time == 0.0
+
+    def test_same_accounting_as_send(self):
+        sim, transport, _ = setup()
+        transport.send_small(MsgKind.HEARTBEAT, 0, 1, nbytes=16)
+        transport.send_small(MsgKind.HEARTBEAT, 1, 2, nbytes=16)
+        sim.run()
+        assert transport.messages_sent == 2
+        assert transport.sent_by_kind["heartbeat"] == 2
+        assert transport.bytes_by_kind["heartbeat"] == 32
+
+    def test_dead_sender_drops(self):
+        sim, transport, inboxes = setup()
+        transport.set_alive(0, False)
+        transport.send_small(MsgKind.HEARTBEAT, 0, 1, nbytes=16)
+        sim.run()
+        assert inboxes[1] == []
+        assert transport.messages_dropped == 1
+
+    def test_dead_receiver_drops(self):
+        sim, transport, inboxes = setup()
+        transport.send_small(MsgKind.HEARTBEAT, 0, 1, nbytes=16)
+        transport.set_alive(1, False)
+        sim.run()
+        assert inboxes[1] == []
+        assert transport.messages_dropped == 1
+
+    def test_unregistered_destination_rejected(self):
+        _, transport, _ = setup()
+        with pytest.raises(SimulationError):
+            transport.send_small(MsgKind.APP, 0, 99)
+
+    def test_memoised_delay_is_not_stale_across_sizes(self):
+        sim, transport, _ = setup()
+        transport.send_small(MsgKind.APP, 0, 1, nbytes=1000)
+        sim.run()
+        t_big = sim.now
+        sim2, transport2, _ = setup()
+        transport2.send_small(MsgKind.APP, 0, 1, nbytes=0)
+        transport2.send_small(MsgKind.APP, 0, 1, nbytes=1000)
+        sim2.run()
+        assert sim2.now == t_big  # the 1000-byte delay, not the memoised 0-byte one
