@@ -1,0 +1,155 @@
+"""Paper-scale end-to-end benchmark: a 2×64Ki-node replica pair under ACR.
+
+The paper evaluates ACR at up to 131,072 cores on Intrepid (§6); this bench
+simulates that node count end to end — full framework, heartbeat monitor,
+periodic coordinated checkpoints — in the regime those machines actually run:
+multi-second compute iterations with the buddy-heartbeat firehose as the
+dominant event-queue load between checkpoints.
+
+Throughput is reported in two units:
+
+* ``events_per_s`` — heap events dispatched per wall second.  Honest but
+  *not* comparable across the cohort-batching change: the vectorized
+  heartbeat sweep settles 131,072 probes in a single event.
+* ``legacy_equivalent_events_per_s`` — the same run counted at pre-batching
+  granularity (one event per message, via the transport's
+  ``batched_messages``/``batch_events`` counters).  This is the unit the
+  historical ``des_acr`` baseline was measured in, so
+  ``events_speedup_vs_des_acr`` is an apples-to-apples end-to-end ratio —
+  the gated acceptance number.
+
+A small partitioned-mode measurement rides along: the same scenario class
+through :mod:`repro.harness.parallel` with ``partitions > 1``, asserting the
+merged trace is byte-identical to the single-partition run and recording the
+worker clamp (``cpu_count`` / requested / effective / partitions) plus the
+multi-process speedup (CPU-gated in ``compare_bench.py``, like
+``campaign.parallel_speedup``).
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+
+from repro.apps.synthetic import synthetic_descriptor
+from repro.core.config import ACRConfig
+from repro.core.framework import ACR
+from repro.harness.parallel import ParallelScenario, run_parallel
+
+KIB = 1024
+
+
+def _peak_rss_mib() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def bench_scale_run(
+    *,
+    nodes_per_replica: int = 64 * KIB,
+    total_iterations: int = 6,
+    iteration_seconds: float = 10.0,
+    checkpoint_interval: float = 60.0,
+    seed: int = 3,
+    reference_events_per_s: float | None = None,
+) -> dict:
+    """One failure-free 2×``nodes_per_replica`` ACR run, timed end to end."""
+    config = ACRConfig(
+        scheme="strong", checkpoint_interval=checkpoint_interval,
+        total_iterations=total_iterations, tasks_per_node=1,
+        app_scale=1e-4, seed=seed, spare_nodes=0)
+    t0 = time.perf_counter()
+    acr = ACR("synthetic", nodes_per_replica=nodes_per_replica, config=config,
+              app_kwargs={"descriptor": synthetic_descriptor(
+                  iteration_seconds=iteration_seconds)})
+    t1 = time.perf_counter()
+    report = acr.run(until=100.0 * iteration_seconds, max_events=500_000_000)
+    wall = time.perf_counter() - t1
+    sim, transport = acr.sim, acr.transport
+    events = sim.events_processed
+    legacy_events = events + transport.batched_messages - transport.batch_events
+    node_iterations = 2 * nodes_per_replica * total_iterations
+    out = {
+        "nodes": 2 * nodes_per_replica,
+        "nodes_per_replica": nodes_per_replica,
+        "total_iterations": total_iterations,
+        "iteration_seconds": iteration_seconds,
+        "completed": report.completed,
+        "sim_time": sim.now,
+        "construct_s": t1 - t0,
+        "wall_s": wall,
+        "events": events,
+        "legacy_equivalent_events": legacy_events,
+        "events_per_s": events / wall,
+        "legacy_equivalent_events_per_s": legacy_events / wall,
+        "node_iterations_per_s": node_iterations / wall,
+        "peak_rss_mib": _peak_rss_mib(),
+        "max_queue_depth": sim.max_queue_depth,
+        "max_cohort_events": sim.max_cohort_events,
+    }
+    if reference_events_per_s:
+        out["events_speedup_vs_des_acr"] = (
+            out["legacy_equivalent_events_per_s"] / reference_events_per_s)
+    return out
+
+
+def bench_parallel_mode(
+    *,
+    nodes_per_replica: int = 2 * KIB,
+    total_iterations: int = 8,
+    partitions: int = 4,
+    seed: int = 7,
+) -> dict:
+    """Partitioned-mode determinism check + speedup on a mid-size scenario."""
+    scenario = ParallelScenario(
+        nodes_per_replica=nodes_per_replica,
+        total_iterations=total_iterations,
+        iteration_seconds=0.5, n_faults=2, fault_window=(0.1, 0.4),
+        scheme="strong", snapshot_interval=2.0,
+        horizon=total_iterations * 0.5 * 6.0, seed=seed)
+    single = run_parallel(scenario, partitions=1, workers=1, trace=True)
+    cpus = os.cpu_count() or 1
+    requested = min(partitions, cpus) if cpus > 1 else partitions
+    multi = run_parallel(scenario, partitions=partitions, workers=requested,
+                         trace=True)
+    return {
+        "nodes": 2 * nodes_per_replica,
+        "partitions": partitions,
+        "cpu_count": cpus,
+        "requested_workers": multi.requested_workers,
+        "effective_workers": multi.effective_workers,
+        "windows": multi.windows,
+        "completed": bool(single.completed and multi.completed),
+        "trace_identical": single.trace_digest == multi.trace_digest,
+        "trace_digest": single.trace_digest,
+        "single_wall_s": single.wall_s,
+        "partitioned_wall_s": multi.wall_s,
+        "parallel_speedup": single.wall_s / multi.wall_s,
+        "events_single": single.events_processed,
+        "events_partitioned": multi.events_processed,
+    }
+
+
+def run_all_scale(*, quick: bool = False,
+                  reference_events_per_s: float | None = None) -> dict:
+    """``bench_scale`` section: the full-scale run + the parallel-mode check.
+
+    ``quick`` trims to the ~8Ki-node smoke configuration the CI
+    ``scale_smoke`` job runs inside its wall-clock budget.
+    """
+    if quick:
+        scale = bench_scale_run(
+            nodes_per_replica=8 * KIB, total_iterations=3,
+            reference_events_per_s=reference_events_per_s)
+        parallel = bench_parallel_mode(nodes_per_replica=256,
+                                       total_iterations=6, partitions=4)
+    else:
+        scale = bench_scale_run(reference_events_per_s=reference_events_per_s)
+        parallel = bench_parallel_mode()
+    scale["quick"] = quick
+    scale["parallel"] = parallel
+    # Surface the gated metrics at the section's top level for compare_bench.
+    scale["parallel_trace_identical"] = parallel["trace_identical"]
+    scale["parallel_speedup"] = parallel["parallel_speedup"]
+    scale["cpu_count"] = parallel["cpu_count"]
+    return {"bench_scale": scale}

@@ -34,17 +34,32 @@ GATED_RATIOS = (
     ("pack", "pack_speedup_vs_legacy"),
     ("pack", "pack_into_speedup_vs_legacy"),
     ("incremental_checksum", "incremental_speedup"),
+    ("fletcher", "striped_speedup_vs_seed"),
     ("des_dispatch", "dispatch_speedup_vs_legacy"),
     ("des_periodic", "periodic_speedup_vs_resched"),
     ("des_messages", "fastpath_speedup"),
+    ("bench_scale", "events_speedup_vs_des_acr"),
+)
+
+#: (section, metric, floor) ratios that must also clear an absolute bar —
+#: within-run dimensionless ratios, so the floor is machine-independent.
+GATED_MINIMUMS = (
+    ("bench_scale", "events_speedup_vs_des_acr", 3.0),
 )
 
 #: (section, metric) booleans that must stay true.
-GATED_FLAGS = (("campaign", "summaries_identical"),)
+GATED_FLAGS = (
+    ("campaign", "summaries_identical"),
+    ("bench_scale", "completed"),
+    ("bench_scale", "parallel_trace_identical"),
+)
 
 #: Gated only when the machine can actually go parallel: on a 1-CPU runner
 #: the worker clamp makes both paths serial and the ratio is pure noise.
-CPU_GATED_RATIOS = (("campaign", "parallel_speedup"),)
+CPU_GATED_RATIOS = (
+    ("campaign", "parallel_speedup"),
+    ("bench_scale", "parallel_speedup"),
+)
 
 #: Machine-dependent metrics shown for context only.
 INFORMATIONAL = (
@@ -52,6 +67,11 @@ INFORMATIONAL = (
     ("fletcher", "fletcher64_gib_per_s"),
     ("des_dispatch", "events_per_s"),
     ("des_acr", "events_per_s"),
+    ("des_acr", "legacy_equivalent_events_per_s"),
+    ("bench_scale", "events_per_s"),
+    ("bench_scale", "legacy_equivalent_events_per_s"),
+    ("bench_scale", "node_iterations_per_s"),
+    ("bench_scale", "peak_rss_mib"),
 )
 
 
@@ -86,6 +106,15 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list, list]:
 
     for section, metric in GATED_RATIOS:
         gate_ratio(section, metric)
+    for section, metric, floor in GATED_MINIMUMS:
+        name = f"{section}.{metric}"
+        new = _lookup(fresh, section, metric)
+        ok = new is not None and new >= floor
+        if not ok:
+            failures.append(f"{name}: {new!r} below required floor {floor}")
+        rows.append([f"{name} >= {floor}", floor,
+                     None if new is None else round(new, 3), "-",
+                     "ok" if ok else "REGRESSION"])
     for section, metric in CPU_GATED_RATIOS:
         # A parallel ratio means nothing unless both runs had cores to use.
         cpus = min(_lookup(baseline, section, "cpu_count") or 1,

@@ -32,6 +32,7 @@ import numpy as np  # noqa: E402
 
 from benchmarks.perf.bench_checkpoint import run_all  # noqa: E402
 from benchmarks.perf.bench_des import run_all_des  # noqa: E402
+from benchmarks.perf.bench_scale import run_all_scale  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -51,6 +52,10 @@ def main(argv: list[str] | None = None) -> int:
                       repeats=args.repeats)
     results.update(run_all_des(quick=args.quick,
                                repeats=min(args.repeats, 3)))
+    results.update(run_all_scale(
+        quick=args.quick,
+        reference_events_per_s=(
+            results["des_acr"]["legacy_equivalent_events_per_s"])))
     payload = {
         "benchmark": "checkpoint_hot_path",
         "quick": args.quick,
@@ -89,6 +94,16 @@ def main(argv: list[str] | None = None) -> int:
           f"msg fastpath {msg['fastpath_speedup']:.2f}x")
     print(f"acr run     {acr['events']} events in {acr['wall_s']:.2f}s "
           f"({acr['events_per_s'] / 1e3:.0f}k ev/s end-to-end)")
+    scale = results["bench_scale"]
+    print(f"scale       {scale['nodes']} nodes x{scale['total_iterations']} "
+          f"iters in {scale['wall_s']:.1f}s "
+          f"({scale['legacy_equivalent_events_per_s'] / 1e3:.0f}k eq-ev/s, "
+          f"{scale.get('events_speedup_vs_des_acr', 0.0):.2f}x des_acr, "
+          f"rss {scale['peak_rss_mib']:.0f} MiB), "
+          f"parallel trace identical={scale['parallel_trace_identical']} "
+          f"({scale['parallel']['effective_workers']}/"
+          f"{scale['parallel']['requested_workers']} workers "
+          f"on {scale['cpu_count']} core(s))")
     return 0
 
 

@@ -41,6 +41,7 @@ from repro.runtime.des import EventHandle, Simulator
 from repro.runtime.heartbeat import HeartbeatMonitor
 from repro.runtime.messages import Transport
 from repro.runtime.node import Node
+from repro.runtime.soa import TaskProgressArray
 from repro.runtime.task import Task
 from repro.util.errors import ConfigurationError, SimulationError
 from repro.util.rng import RngStream
@@ -112,6 +113,7 @@ class ACR:
         prediction_trace: PredictionTrace | None = None,
         tracer=None,
         metrics=None,
+        app_kwargs: dict | None = None,
     ):
         #: Telemetry: a no-op tracer/registry unless the caller opts in
         #: (``repro run --trace-out/--metrics-out``, campaigns, chaos runs).
@@ -152,7 +154,7 @@ class ACR:
         # --- applications (same seed => bit-identical replicas) ------------------
         self.apps: dict[int, ReplicaApp] = {
             r: make_app(app_name, self.n, scale=self.config.app_scale,
-                        seed=self.config.seed)
+                        seed=self.config.seed, **(app_kwargs or {}))
             for r in (0, 1)
         }
         self.profile = self.apps[0].checkpoint_profile()
@@ -176,6 +178,14 @@ class ACR:
                                 iteration_time=app.iteration_time)
                     node.add_task(task)
                     self.tasks[replica].append(task)
+        # Struct-of-arrays progress stamps (global index: replica-major) so
+        # the per-iteration "all tasks at cap?" test is an O(1) counter read
+        # instead of a 2·N·tpn generator sweep (see runtime/soa.py).
+        self._task_soa = TaskProgressArray(2 * total_tasks)
+        for replica in (0, 1):
+            for task in self.tasks[replica]:
+                task.bind_progress(self._task_soa,
+                                   replica * total_tasks + task.task_id)
 
         # --- protocol machinery ---------------------------------------------------
         self.consensus = ConsensusController(self.nodes)
@@ -263,15 +273,13 @@ class ACR:
         can be traced as a ``rework`` span."""
         if not self.tracer.enabled:
             return
-        progress = [t.progress for r in (0, 1) for t in self.tasks[r]]
-        self._pending_rework_from = min(progress) if progress else 0
+        self._pending_rework_from = self._task_soa.min_progress()
 
     def _begin_rework_span(self) -> None:
         if not self.tracer.enabled:
             return
         target = getattr(self, "_pending_rework_from", 0)
-        restored = [t.progress for r in (0, 1) for t in self.tasks[r]]
-        base = min(restored) if restored else 0
+        base = self._task_soa.min_progress()
         if self._rework_span is not None:
             # A second rollback landed before the first rework finished.
             self.tracer.end(self._rework_span, self.sim.now, interrupted=True)
@@ -286,8 +294,7 @@ class ACR:
     def _check_rework_done(self) -> None:
         if self._rework_target is None:
             return
-        if all(t.progress >= self._rework_target
-               for r in (0, 1) for t in self.tasks[r]):
+        if self._task_soa.all_at_least(self._rework_target):
             self.tracer.end(self._rework_span, self.sim.now,
                             iterations=self._rework_target)
             self._rework_span = None
@@ -345,6 +352,7 @@ class ACR:
             for replica in (0, 1):
                 for t in self.tasks[replica]:
                     t.iteration_cap = cap
+            self._task_soa.set_cap(cap)
         for node in self.nodes.values():
             node.on_progress = self._on_node_progress
             node.start_tasks()
@@ -1002,7 +1010,7 @@ class ACR:
         cap = self.config.total_iterations
         if cap is None or self._final_requested:
             return
-        if all(t.progress >= cap for r in (0, 1) for t in self.tasks[r]):
+        if self._task_soa.all_at_cap:
             self._final_requested = True
             self.sim.schedule(0.0, self._begin_checkpoint, "final")
 
@@ -1010,7 +1018,7 @@ class ACR:
         """Common epilogue after a checkpoint or recovery completes."""
         cap = self.config.total_iterations
         if cap is not None:
-            at_cap = all(t.progress >= cap for r in (0, 1) for t in self.tasks[r])
+            at_cap = self._task_soa.all_at_cap
             if (at_cap and self.phase == "running"
                     and self.store.safe_iteration(0) == cap
                     and self.store.safe_iteration(1) == cap):
@@ -1067,6 +1075,18 @@ class ACR:
         m.counter("sim.events_cancelled").set_total(self.sim.events_cancelled)
         m.gauge("sim.queue_depth").set(self.sim.pending_events)
         m.gauge("sim.max_queue_depth").set(self.sim.max_queue_depth)
+        # Cohort-batching effectiveness: how often the run loop drained
+        # same-instant batches, how large they got, and the heap high-water
+        # (``sim.max_queue_depth`` above) they rode on.
+        m.counter("sim.cohorts_dispatched").set_total(
+            self.sim.cohorts_dispatched)
+        m.gauge("sim.max_cohort_events").set(self.sim.max_cohort_events)
+        for i, count in enumerate(self.sim.cohort_hist):
+            if count:
+                lo = 1 << i
+                hi = (1 << (i + 1)) - 1
+                label = str(lo) if hi == lo else f"{lo}-{hi}"
+                m.counter("sim.cohort_size", bucket=label).set_total(count)
         m.counter("transport.messages_sent").set_total(self.transport.messages_sent)
         m.counter("transport.messages_delivered").set_total(
             self.transport.messages_delivered)

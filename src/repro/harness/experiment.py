@@ -46,6 +46,7 @@ def run_acr_experiment(
     injection_plan: InjectionPlan | None = None,
     tracer=None,
     metrics=None,
+    app_kwargs: dict | None = None,
 ) -> ExperimentResult:
     """Run one application to ``total_iterations`` under injected faults.
 
@@ -75,7 +76,8 @@ def run_acr_experiment(
         spare_nodes=spare_nodes,
     )
     acr = ACR(app, nodes_per_replica=nodes_per_replica, config=config,
-              injection_plan=injection_plan, tracer=tracer, metrics=metrics)
+              injection_plan=injection_plan, tracer=tracer, metrics=metrics,
+              app_kwargs=app_kwargs)
     report = acr.run(until=horizon, max_events=100_000_000)
     return ExperimentResult(report=report, acr=acr)
 

@@ -1,0 +1,658 @@
+"""Opt-in space-partitioned parallel DES mode (conservative lookahead).
+
+The single-process :class:`~repro.core.framework.ACR` run is the reference
+semantics: one event queue, one global protocol actor, bit-identical traces.
+This module parallelizes the layer that dominates paper-scale runs — the
+*distributed runtime* of nodes, ring tasks, dependency stamps, buddy
+heartbeats, hard faults, and partition-local detect/restart recovery — by
+splitting the rank range into contiguous partitions, each with its own
+:class:`~repro.runtime.des.Simulator`, transport, and heartbeat monitor.
+
+Why ranks: buddy pairs are rank-aligned across the two replicas, so a
+partition that owns ranks ``[lo, hi)`` of *both* replicas keeps every
+heartbeat, failure detection, and spare takeover local.  The only
+cross-partition traffic is the dependency-stamp fan-out of *edge tasks* (the
+ring wraps at partition boundaries), which makes a conservative
+time-window scheme practical:
+
+* every stamp crosses the boundary with the same transport delay ``δ``
+  (latency + nbytes/bandwidth — the exact float the single-process path
+  computes);
+* at each window barrier every partition promises its **earliest output
+  time**: the earliest instant any of its edge tasks could next announce a
+  stamp (a computing task announces no earlier than its scheduled completion;
+  an idle or paused task must first finish an iteration, ≥ ``min_iter``
+  away; a dead task cannot announce before its revival, ≥ ``spare_boot``
+  after a detection that has not happened yet);
+* the next window runs every partition strictly *before* ``H = min
+  promise + δ`` (events with time < H — implemented exactly with
+  ``math.nextafter``), so every boundary stamp is exchanged and injected
+  before any receiver could reach its delivery instant.
+
+Determinism contract: all randomness flows from SHA-256-derived
+:class:`~repro.util.rng.RngStream` draws keyed by ``(seed, name)`` and from
+the per-``(seed, task, iteration)`` jitter hash — none of it depends on the
+partition count or on which OS process runs a partition.  Event interleaving
+*across* partitions is unconstrained, but partitions only interact through
+timestamped stamps whose delivery instants are identical floats in every
+decomposition, so the merged, canonically-sorted trace is byte-identical for
+any ``partitions × workers`` choice (asserted in
+``tests/harness/test_parallel.py``).  What this mode does **not** cover is
+the globally-coordinated checkpoint consensus of the full framework — runs
+that need the global protocol use the (vectorized) single-process path; see
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.apps.base import _hash_unit
+from repro.runtime.des import Simulator
+from repro.runtime.heartbeat import HeartbeatMonitor
+from repro.runtime.messages import Transport
+from repro.runtime.node import Node
+from repro.runtime.soa import TaskProgressArray
+from repro.runtime.task import DEP_STAMP_NBYTES, Task, TaskState
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+_INF = float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Scenario & report
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ParallelScenario:
+    """A seeded forward-path workload the partitioned mode can simulate.
+
+    ``scheme`` picks the partition-local recovery analogue of the paper's
+    spectrum: ``"strong"`` restores a revived node's tasks to their last
+    periodic local snapshot stamp; ``"weak"`` restarts them from iteration 0.
+    """
+
+    nodes_per_replica: int
+    total_iterations: int
+    tasks_per_node: int = 1
+    iteration_seconds: float = 0.05
+    heartbeat_interval: float = 1.0
+    heartbeat_timeout_factor: float = 4.0
+    scheme: str = "strong"
+    snapshot_interval: float = 5.0
+    n_faults: int = 0
+    fault_window: tuple[float, float] = (0.2, 0.6)
+    spare_boot_time: float = 2.0
+    horizon: float = 1_000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes_per_replica < 1 or self.tasks_per_node < 1:
+            raise ConfigurationError("need >= 1 node and >= 1 task per node")
+        if self.scheme not in ("strong", "weak"):
+            raise ConfigurationError(f"unknown scheme {self.scheme!r}")
+        if self.iteration_seconds <= 0 or self.snapshot_interval <= 0:
+            raise ConfigurationError("iteration/snapshot times must be > 0")
+
+    @property
+    def total_tasks(self) -> int:
+        return self.nodes_per_replica * self.tasks_per_node
+
+
+@dataclass
+class ParallelRunReport:
+    """Outcome + worker accounting for one partitioned run.
+
+    Mirrors the campaign runner's ``effective_workers`` clamp: the requested
+    worker count is recorded next to what actually ran (``min(requested,
+    partitions, cpu_count)``) so reports and bench JSON can distinguish
+    "asked for 8" from "got 1 on this box".
+    """
+
+    completed: bool
+    sim_time: float
+    events_processed: int
+    windows: int
+    wall_s: float
+    cpu_count: int
+    requested_workers: int
+    effective_workers: int
+    partitions: int
+    per_partition_events: list[int] = field(default_factory=list)
+    trace_digest: str | None = None
+    trace: list[str] | None = None
+
+
+def effective_parallel_workers(requested: int | None, partitions: int) -> int:
+    """The campaign clamp applied to partition workers."""
+    return min(requested or 1, partitions, os.cpu_count() or 1)
+
+
+def fault_plan(scenario: ParallelScenario) -> list[tuple[float, int, int]]:
+    """Seeded hard-fault schedule: ``(time, replica, rank)``, distinct ranks.
+
+    Drawn from one named stream, so every partition (and every worker
+    process) derives the identical plan and schedules only its own ranks.
+    """
+    if scenario.n_faults == 0:
+        return []
+    n = scenario.nodes_per_replica
+    if scenario.n_faults > n:
+        raise ConfigurationError("more faults than ranks")
+    rng = RngStream(scenario.seed, "parallel/faults")
+    est_end = scenario.horizon
+    lo, hi = scenario.fault_window
+    times = rng.uniform(lo * est_end, hi * est_end, size=scenario.n_faults)
+    ranks = rng.choice(n, size=scenario.n_faults, replace=False)
+    replicas = rng.integers(0, 2, size=scenario.n_faults)
+    plan = [(float(t), int(rep), int(rk))
+            for t, rep, rk in zip(times, replicas, ranks)]
+    plan.sort()
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Partition internals
+# ---------------------------------------------------------------------------
+
+class _PartitionTransport(Transport):
+    """Transport that diverts boundary stamp fan-outs into an outbox.
+
+    Local targets ride the normal batched delivery event; foreign targets
+    are recorded as ``(deliver_time, dst, to_task, from_task, stamp, epoch)``
+    and injected into the owning partition at the next window barrier — with
+    the same delay expression, so delivery instants are bit-identical to the
+    single-partition run.
+    """
+
+    def __init__(self, sim: Simulator, **kwargs):
+        super().__init__(sim, **kwargs)
+        self.outbox: list[tuple] = []
+        self._local_nodes: frozenset[int] = frozenset()
+
+    def seal(self) -> None:
+        self._local_nodes = frozenset(self._handlers)
+
+    def send_stamps(self, src, targets, from_task, stamp, epoch, *, nbytes):
+        local_nodes = self._local_nodes
+        for dst, _ in targets:
+            if dst not in local_nodes:
+                break
+        else:
+            super().send_stamps(src, targets, from_task, stamp, epoch,
+                                nbytes=nbytes)
+            return
+        if not self._alive.get(src, False):
+            self.messages_dropped += len(targets)
+            return
+        local = [t for t in targets if t[0] in local_nodes]
+        foreign = [t for t in targets if t[0] not in local_nodes]
+        n = len(targets)
+        self.messages_sent += n
+        self.sent_by_kind["app"] += n
+        self.bytes_by_kind["app"] += n * nbytes
+        self.batched_messages += n
+        self.batch_events += 1
+        delay = self.small_delay(nbytes)
+        if local:
+            self.sim.post(delay, self._deliver_stamps, local, from_task,
+                          stamp, epoch)
+        deliver_time = self.sim.now + delay
+        for dst, to_task in foreign:
+            self.outbox.append(
+                (deliver_time, dst, to_task, from_task, stamp, epoch))
+
+    def inject(self, entries: list[tuple]) -> None:
+        """Schedule inbound boundary stamps at their exact delivery times."""
+        for t, dst, to_task, from_task, stamp, epoch in entries:
+            self.sim.schedule_at(t, self._deliver_stamps, [(dst, to_task)],
+                                 from_task, stamp, epoch)
+
+
+class _TracedNode(Node):
+    """Node with trace hooks and the harness's restart-resync reply.
+
+    A task that rolls back resets its dependency view; if its neighbors are
+    already paused at the iteration cap they would never announce again and
+    the restored task would hang — the partition-local analogue of the §2.2
+    resend problem.  The reply models the missing half: on receiving a stamp
+    *behind* our own progress, re-announce one iteration-time later.  The
+    fixed ``min_iter`` delay keeps the conservative promise sound (no
+    partition can emit a boundary stamp earlier than ``T + min_iter``
+    from an idle/paused state).
+    """
+
+    __trace__ = None   # set per-instance by the partition
+    __resync__ = 0.0   # min_iter, set per-instance by the partition
+
+    def on_task_progress(self, task: Task) -> None:
+        tr = self.__trace__
+        if tr is not None:
+            tr.append((self.sim.now, "iter", self.replica, self.rank,
+                       task.task_id, task.progress))
+        super().on_task_progress(task)
+
+    def _on_stamp(self, to_task: int, from_task: int, stamp: int,
+                  epoch: int) -> None:
+        if not self.alive:
+            return
+        task = self._task_by_id.get(to_task)
+        if task is None:
+            return
+        # The framework's rollbacks are global, so task epochs advance in
+        # lockstep and the epoch filter cleanly flushes pre-rollback traffic.
+        # Partition-local restarts desynchronize epochs (only the revived
+        # node's tasks bump), which would make a restored task drop every
+        # stamp from its never-rolled-back neighbors.  Stamps in this model
+        # are idempotent max-progress facts — a neighbor's completed
+        # iteration stays completed across its (deterministic) re-execution —
+        # so clamping the carried epoch to the receiver's is sound.
+        if epoch < task.epoch:
+            epoch = task.epoch
+        task.on_dep_message(from_task, stamp, epoch)
+        # A stamp more than one iteration behind our progress cannot occur in
+        # the dependency-gated steady state (neighbors trail by at most one)
+        # — it is the signature of a rollback on the sender's side.
+        if stamp < task.progress - 1 and task.state is not TaskState.DEAD:
+            self.sim.schedule(self.__resync__, self._resync_reply,
+                              task, task.epoch)
+
+    def _resync_reply(self, task: Task, epoch: int) -> None:
+        if self.alive and epoch == task.epoch \
+                and task.state is not TaskState.DEAD:
+            task._announce_progress()
+
+
+class _Partition:
+    """One rank range of both replicas with its own simulator + monitor."""
+
+    def __init__(self, scenario: ParallelScenario, index: int,
+                 partitions: int, *, trace: bool):
+        self.scenario = scenario
+        self.index = index
+        n = scenario.nodes_per_replica
+        per = -(-n // partitions)  # ceil
+        self.lo = min(index * per, n)
+        self.hi = min(self.lo + per, n)
+        self.sim = Simulator()
+        self.transport = _PartitionTransport(self.sim)
+        self.trace: list[tuple] | None = [] if trace else None
+        self.min_iter = scenario.iteration_seconds
+        self.boot = scenario.spare_boot_time
+        self.stamp_delay = self.transport.small_delay(DEP_STAMP_NBYTES)
+
+        tpn = scenario.tasks_per_node
+        total_tasks = scenario.total_tasks
+        seed = scenario.seed
+        base = scenario.iteration_seconds
+
+        def iteration_time(task_id: int, iteration: int) -> float:
+            # Same jitter model as ReplicaApp.iteration_time — keyed only by
+            # (seed, task, iteration), hence partition-independent.
+            return base * (1.0 + 0.05 * _hash_unit(seed, task_id, iteration))
+
+        def node_id(replica: int, rank: int) -> int:
+            return replica * n + rank
+
+        self.nodes: dict[int, Node] = {}
+        self.tasks: list[Task] = []
+        self.edge_tasks: list[Task] = []
+        local_ranks = range(self.lo, self.hi)
+        for replica in (0, 1):
+            for rank in local_ranks:
+                nid = node_id(replica, rank)
+                node = _TracedNode(nid, replica, rank, self.sim, self.transport)
+                node.__trace__ = self.trace
+                node.__resync__ = self.min_iter
+                self.nodes[nid] = node
+                for j in range(tpn):
+                    tid = rank * tpn + j
+                    left = (tid - 1) % total_tasks
+                    right = (tid + 1) % total_tasks
+                    neighbors = [(node_id(replica, left // tpn), left),
+                                 (node_id(replica, right // tpn), right)]
+                    task = Task(tid, node, neighbors=neighbors,
+                                iteration_time=iteration_time)
+                    task.iteration_cap = scenario.total_iterations
+                    node.add_task(task)
+                    self.tasks.append(task)
+                    if any(not (self.lo <= nd % n < self.hi)
+                           for nd, _ in neighbors):
+                        self.edge_tasks.append(task)
+        self.transport.seal()
+
+        self._soa = TaskProgressArray(len(self.tasks))
+        for i, task in enumerate(self.tasks):
+            task.bind_progress(self._soa, i)
+        self._soa.set_cap(scenario.total_iterations)
+
+        buddy_of = {}
+        for rank in local_ranks:
+            a, b = node_id(0, rank), node_id(1, rank)
+            buddy_of[a] = b
+            buddy_of[b] = a
+        self.monitor = HeartbeatMonitor(
+            list(self.nodes.values()), buddy_of,
+            interval=scenario.heartbeat_interval,
+            timeout_factor=scenario.heartbeat_timeout_factor,
+            on_death=self._on_death)
+        self._revive_at: dict[int, float] = {}
+        #: Last periodic local snapshot stamp per task (strong scheme).
+        self._snapshot: dict[int, int] = {t.task_id: 0 for t in self.tasks}
+        self._snap_event = None
+        self._faults_pending = 0
+
+        for t, rep, rank in fault_plan(scenario):
+            if self.lo <= rank < self.hi:
+                self.sim.schedule_at(t, self._kill, node_id(rep, rank))
+                self._faults_pending += 1
+
+        self.monitor.start()
+        if scenario.scheme == "strong":
+            self._snap_event = self.sim.schedule_periodic(
+                scenario.snapshot_interval, self._take_snapshots)
+        for node in self.nodes.values():
+            node.start_tasks()
+
+    # -- recovery ---------------------------------------------------------------
+    def _record(self, kind: str, node: Node, value: int) -> None:
+        if self.trace is not None:
+            self.trace.append((self.sim.now, kind, node.replica, node.rank,
+                               -1, value))
+
+    def _kill(self, nid: int) -> None:
+        self._faults_pending -= 1
+        node = self.nodes[nid]
+        if not node.alive:
+            return
+        self._record("kill", node, node.failures_survived)
+        node.die()
+
+    def _on_death(self, detector: Node, dead: Node) -> None:
+        self._record("detect", dead, detector.replica * self.scenario.
+                     nodes_per_replica + detector.rank)
+        revive_at = self.sim.now + self.boot
+        self._revive_at[dead.node_id] = revive_at
+        self.sim.schedule_at(revive_at, self._revive, dead.node_id)
+
+    def _revive(self, nid: int) -> None:
+        node = self.nodes[nid]
+        self._revive_at.pop(nid, None)
+        if node.alive:
+            return
+        node.revive()
+        self.monitor.notify_revived(nid)
+        self._record("revive", node, node.failures_survived)
+        strong = self.scenario.scheme == "strong"
+        for task in node.tasks:
+            target = self._snapshot[task.task_id] if strong else 0
+            task.restore(target)
+            if self.trace is not None:
+                self.trace.append((self.sim.now, "restore", node.replica,
+                                   node.rank, task.task_id, target))
+
+    def _take_snapshots(self) -> None:
+        snap = self._snapshot
+        for task in self.tasks:
+            if task.state is not TaskState.DEAD:
+                snap[task.task_id] = task.progress
+
+    # -- window protocol ---------------------------------------------------------
+    def earliest_output_time(self, now: float) -> float:
+        """Conservative lower bound on the next cross-partition delivery."""
+        if not self.edge_tasks:
+            return _INF
+        best = _INF
+        boot_floor = now + self.boot
+        for task in self.edge_tasks:
+            state = task.state
+            if state is TaskState.COMPUTING:
+                ev = task._compute_event
+                cand = ev.time if ev is not None else now
+                if self._faults_pending or self._revive_at:
+                    cand = min(cand, boot_floor)
+            elif state is TaskState.DEAD:
+                cand = self._revive_at.get(task.node.node_id, boot_floor)
+            else:  # IDLE / PAUSED: must finish an iteration (or be revived)
+                cand = now + self.min_iter
+                if self._faults_pending or self._revive_at:
+                    cand = min(cand, boot_floor)
+            if cand < best:
+                best = cand
+        return best + self.stamp_delay
+
+    def run_window(self, horizon: float) -> list[tuple]:
+        """Process every event strictly before ``horizon``; drain the outbox."""
+        self.sim.run(until=math.nextafter(horizon, -_INF))
+        out = self.transport.outbox
+        self.transport.outbox = []
+        return out
+
+    @property
+    def at_cap(self) -> bool:
+        return self._soa.all_at_cap
+
+    def owns(self, nid: int) -> bool:
+        return nid in self.nodes
+
+    def finish(self) -> None:
+        self.monitor.stop()
+        if self._snap_event is not None:
+            self._snap_event.cancel()
+
+
+# ---------------------------------------------------------------------------
+# Coordinators
+# ---------------------------------------------------------------------------
+
+def _format_trace(records: list[tuple]) -> list[str]:
+    """Canonical merged trace: one line per record, total-order sorted.
+
+    ``repr(float)`` round-trips exactly, so identical event instants render
+    to identical bytes regardless of which partition produced them.
+    """
+    records.sort()
+    return [f"{t!r} {kind} r{rep} n{rank} t{task} v{val}"
+            for t, kind, rep, rank, task, val in records]
+
+
+def _drive(partitions: list[_Partition], scenario: ParallelScenario,
+           ) -> tuple[int, float, bool]:
+    """The conservative window loop over in-process partitions.
+
+    Always runs the full ``scenario.horizon``: the end instant must not
+    depend on window placement (which varies with the partition count), or
+    late events — a fault landing after the last task hits its cap — would
+    fire in one decomposition and not another.
+    """
+    windows = 0
+    now = 0.0
+    pending: list[tuple] = []
+    for part in partitions:
+        pending.extend(part.transport.outbox)
+        part.transport.outbox = []
+    while now < scenario.horizon:
+        if pending:
+            for part in partitions:
+                mine = [e for e in pending if part.owns(e[1])]
+                if mine:
+                    part.transport.inject(mine)
+            pending = []
+        horizon = min(min(p.earliest_output_time(now) for p in partitions),
+                      scenario.horizon)
+        if horizon <= now:  # defensive: never stall
+            horizon = math.nextafter(now, _INF)
+        for part in partitions:
+            pending.extend(part.run_window(horizon))
+        now = horizon
+        windows += 1
+    completed = all(p.at_cap for p in partitions)
+    for part in partitions:
+        part.finish()
+    sim_time = max(p.sim.now for p in partitions)
+    return windows, sim_time, completed
+
+
+def _run_inprocess(scenario: ParallelScenario, n_partitions: int,
+                   trace: bool) -> tuple[ParallelRunReport, list[tuple]]:
+    parts = [_Partition(scenario, i, n_partitions, trace=trace)
+             for i in range(n_partitions)]
+    windows, sim_time, completed = _drive(parts, scenario)
+    records: list[tuple] = []
+    if trace:
+        for p in parts:
+            records.extend(p.trace or [])
+    report = ParallelRunReport(
+        completed=completed, sim_time=sim_time,
+        events_processed=sum(p.sim.events_processed for p in parts),
+        windows=windows, wall_s=0.0, cpu_count=os.cpu_count() or 1,
+        requested_workers=1, effective_workers=1, partitions=n_partitions,
+        per_partition_events=[p.sim.events_processed for p in parts])
+    return report, records
+
+
+def _worker_main(conn, scenario: ParallelScenario, indices: list[int],
+                 n_partitions: int, trace: bool) -> None:
+    """Child process: own a group of partitions, obey barrier commands."""
+    parts = [_Partition(scenario, i, n_partitions, trace=trace)
+             for i in indices]
+    try:
+        while True:
+            cmd, payload = conn.recv()
+            if cmd == "outbox":
+                out = []
+                for p in parts:
+                    out.extend(p.transport.outbox)
+                    p.transport.outbox = []
+                conn.send(out)
+            elif cmd == "inject":
+                for p in parts:
+                    mine = [e for e in payload if p.owns(e[1])]
+                    if mine:
+                        p.transport.inject(mine)
+                conn.send(True)
+            elif cmd == "eot":
+                conn.send(min((p.earliest_output_time(payload)
+                               for p in parts), default=_INF))
+            elif cmd == "run":
+                out = []
+                for p in parts:
+                    out.extend(p.run_window(payload))
+                conn.send(out)
+            elif cmd == "stop":
+                for p in parts:
+                    p.finish()
+                records = []
+                if trace:
+                    for p in parts:
+                        records.extend(p.trace or [])
+                conn.send((sum(p.sim.events_processed for p in parts),
+                           [p.sim.events_processed for p in parts],
+                           max(p.sim.now for p in parts),
+                           all(p.at_cap for p in parts), records))
+                return
+    finally:
+        conn.close()
+
+
+def _run_multiprocess(scenario: ParallelScenario, n_partitions: int,
+                      n_workers: int, trace: bool,
+                      ) -> tuple[ParallelRunReport, list[tuple]]:
+    import multiprocessing as mp
+
+    ctx = mp.get_context("fork")
+    groups: list[list[int]] = [[] for _ in range(n_workers)]
+    for i in range(n_partitions):
+        groups[i % n_workers].append(i)
+    pipes, procs = [], []
+    for g in groups:
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=_worker_main,
+                           args=(child, scenario, g, n_partitions, trace))
+        proc.start()
+        child.close()
+        pipes.append(parent)
+        procs.append(proc)
+
+    def broadcast(cmd, payload=None):
+        for c in pipes:
+            c.send((cmd, payload))
+        return [c.recv() for c in pipes]
+
+    try:
+        windows = 0
+        now = 0.0
+        pending: list[tuple] = []
+        for out in broadcast("outbox"):
+            pending.extend(out)
+        while now < scenario.horizon:
+            if pending:
+                broadcast("inject", pending)
+                pending = []
+            horizon = min(min(broadcast("eot", now)), scenario.horizon)
+            if horizon <= now:
+                horizon = math.nextafter(now, _INF)
+            for out in broadcast("run", horizon):
+                pending.extend(out)
+            now = horizon
+            windows += 1
+        finals = broadcast("stop")
+    finally:
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+    events = sum(f[0] for f in finals)
+    per_part = [e for f in finals for e in f[1]]
+    sim_time = max(f[2] for f in finals)
+    completed = all(f[3] for f in finals)
+    records = [r for f in finals for r in f[4]]
+    report = ParallelRunReport(
+        completed=completed, sim_time=sim_time, events_processed=events,
+        windows=windows, wall_s=0.0, cpu_count=os.cpu_count() or 1,
+        requested_workers=n_workers, effective_workers=n_workers,
+        partitions=n_partitions, per_partition_events=per_part)
+    return report, records
+
+
+def run_parallel(scenario: ParallelScenario, *, partitions: int = 1,
+                 workers: int | None = 1, trace: bool = False,
+                 force_processes: bool = False) -> ParallelRunReport:
+    """Run a :class:`ParallelScenario` over ``partitions`` rank ranges.
+
+    ``workers`` is the *requested* process count; like the campaign runner it
+    is clamped to ``min(workers, partitions, cpu_count)`` and both numbers
+    are recorded in the report.  ``workers <= 1`` (after clamping) runs every
+    partition in-process — same windows, same trace, no fork — which is what
+    1-CPU runners exercise.  ``trace=True`` collects the canonical merged
+    event trace (byte-identical across any partition/worker decomposition).
+    """
+    if partitions < 1:
+        raise ConfigurationError("partitions must be >= 1")
+    if partitions > scenario.nodes_per_replica:
+        raise ConfigurationError("more partitions than ranks")
+    requested = workers or 1
+    eff = effective_parallel_workers(requested, partitions)
+    if force_processes:
+        # Test hook: exercise the fork/pipe machinery even where the CPU
+        # clamp would fall back in-process (1-CPU CI runners).
+        eff = min(requested, partitions)
+    t0 = time.perf_counter()
+    if eff <= 1:
+        report, records = _run_inprocess(scenario, partitions, trace)
+    else:
+        report, records = _run_multiprocess(scenario, partitions, eff, trace)
+    report.wall_s = time.perf_counter() - t0
+    report.requested_workers = requested
+    report.effective_workers = eff
+    if trace:
+        lines = _format_trace(records)
+        report.trace = lines
+        digest = hashlib.sha256("\n".join(lines).encode()).hexdigest()
+        report.trace_digest = digest
+    return report

@@ -127,10 +127,17 @@ def _striped_sums(raw: np.ndarray) -> list[tuple[int, int]]:
     """Fletcher-64 partial sums (s1, s2) of each of the 4 byte stripes.
 
     ``fletcher64(raw[s::4])`` for each stripe ``s``: one strided gather per
-    stripe straight into the in-place Fletcher kernel.  (A gather-free
-    variant — word sums recovered from weighted column sums of 16-byte rows —
-    loses to this on every tested size: numpy's integer matvec is scalar,
-    and routing it through BLAS in float64 costs more than the gather.)
+    stripe straight into the in-place Fletcher kernel.  Alternatives that
+    lose to this on every tested size, kept on record so they are not
+    re-tried: (a) word sums recovered from weighted column sums of 16-byte
+    rows — numpy's integer matvec is scalar, and routing it through BLAS in
+    float64 costs more than the gather; (b) stripe-byte extraction from a
+    contiguous ``uint32`` view via shift/mask/``astype(uint8)`` — three full
+    vectorized passes per stripe measured ~2x slower than the single strided
+    gather.  The gathers remain ~40% of the budget, which is why the striped
+    digest trails plain :func:`fletcher64` (each stripe touches every cache
+    line); ``bench_checkpoint.py`` gates the ratio against the seed's
+    copying implementation instead of against ``fletcher64``.
     """
     sums = []
     for stripe in range(_STRIPES):

@@ -104,6 +104,15 @@ class Simulator:
         self.events_scheduled = 0
         self.events_cancelled = 0
         self.max_queue_depth = 0
+        #: Cohort-batching stats: the run loop drains all events sharing one
+        #: timestamp as a single batch (one pop loop, one dispatch pass).
+        #: ``cohort_hist[i]`` counts cohorts of size in [2^i, 2^(i+1)) —
+        #: index = size.bit_length()-1, capped — and ``max_cohort_events`` is
+        #: the largest batch seen.  Together with ``max_queue_depth`` these
+        #: quantify how much same-instant batching the workload exposes.
+        self.cohort_hist = [0] * 20
+        self.max_cohort_events = 0
+        self.cohorts_dispatched = 0
         #: Live count of pending events (scheduled, neither fired nor
         #: cancelled) — kept current by schedule/cancel/dispatch so
         #: :attr:`pending_events` is O(1) instead of a heap scan.
@@ -218,6 +227,8 @@ class Simulator:
         # read it mid-run), so it lives in a local and is stored back before
         # every callback fires.
         processed = self.events_processed
+        cohort_hist = self.cohort_hist
+        hist_top = len(cohort_hist) - 1
         try:
             while heap and not self._stopped:
                 entry = heap[0]
@@ -237,28 +248,87 @@ class Simulator:
                     )
                 heappop(heap)
                 self.now = time
-                processed += 1
-                self.events_processed = processed
-                if handle is None:
-                    # Fire-and-forget event: nothing to mark fired.
-                    self._live -= 1
-                    entry[3](*entry[4])
-                elif type(handle) is PeriodicHandle:
-                    entry[3](*entry[4])
-                    if not handle.cancelled:
-                        # Re-insert in-engine: same ordering as a callback
-                        # that reschedules itself as its last statement.
-                        next_time = time + handle.interval
-                        handle.time = next_time
-                        heappush(heap, (next_time, next(self._seq), handle,
-                                        entry[3], entry[4]))
-                        self.events_scheduled += 1
-                        if len(heap) > self.max_queue_depth:
-                            self.max_queue_depth = len(heap)
-                else:
-                    handle.fired = True
-                    self._live -= 1
-                    entry[3](*entry[4])
+                if not heap or heap[0][0] != time:
+                    # Singleton cohort — dispatch inline, no batch list (the
+                    # common case for jittered compute-completion storms).
+                    cohort_hist[0] += 1
+                    self.cohorts_dispatched += 1
+                    processed += 1
+                    self.events_processed = processed
+                    if handle is None:
+                        # Fire-and-forget event: nothing to mark fired.
+                        self._live -= 1
+                        entry[3](*entry[4])
+                    elif type(handle) is PeriodicHandle:
+                        entry[3](*entry[4])
+                        if not handle.cancelled:
+                            # Re-insert in-engine: same ordering as a callback
+                            # that reschedules itself as its last statement.
+                            next_time = time + handle.interval
+                            handle.time = next_time
+                            heappush(heap, (next_time, next(self._seq), handle,
+                                            entry[3], entry[4]))
+                            self.events_scheduled += 1
+                            if len(heap) > self.max_queue_depth:
+                                self.max_queue_depth = len(heap)
+                    else:
+                        handle.fired = True
+                        self._live -= 1
+                        entry[3](*entry[4])
+                    continue
+                # Same-timestamp cohort: drain every entry sharing this
+                # instant in one pop loop, then dispatch in one pass.  Seq
+                # order is preserved (heappop yields ascending (time, seq)),
+                # and each entry's cancelled flag is re-read at its dispatch
+                # turn — an earlier cohort member may have cancelled it.
+                cohort = [entry]
+                while heap and heap[0][0] == time:
+                    cohort.append(heappop(heap))
+                size = len(cohort)
+                self.cohorts_dispatched += 1
+                bucket = size.bit_length() - 1
+                cohort_hist[bucket if bucket < hist_top else hist_top] += 1
+                if size > self.max_cohort_events:
+                    self.max_cohort_events = size
+                for i, entry in enumerate(cohort):
+                    if self._stopped:
+                        # stop() landed mid-cohort: the unreached tail never
+                        # fired (nor was reaped) — push it back untouched.
+                        for e in cohort[i:]:
+                            heappush(heap, e)
+                        break
+                    handle = entry[2]
+                    if handle is not None and (handle.cancelled or handle.fired):
+                        # Reap at its turn, exactly as the head-reaper would
+                        # have when this entry surfaced.
+                        self.events_cancelled += 1
+                        continue
+                    if processed >= event_limit:
+                        for e in cohort[i:]:
+                            heappush(heap, e)
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "runaway simulation?"
+                        )
+                    processed += 1
+                    self.events_processed = processed
+                    if handle is None:
+                        self._live -= 1
+                        entry[3](*entry[4])
+                    elif type(handle) is PeriodicHandle:
+                        entry[3](*entry[4])
+                        if not handle.cancelled:
+                            next_time = time + handle.interval
+                            handle.time = next_time
+                            heappush(heap, (next_time, next(self._seq), handle,
+                                            entry[3], entry[4]))
+                            self.events_scheduled += 1
+                            if len(heap) > self.max_queue_depth:
+                                self.max_queue_depth = len(heap)
+                    else:
+                        handle.fired = True
+                        self._live -= 1
+                        entry[3](*entry[4])
             else:
                 if until is not None and not heap and self.now < until:
                     self.now = until

@@ -75,6 +75,7 @@ class Transport:
         self.latency = latency
         self.bandwidth = bandwidth
         self._handlers: dict[int, Callable[[Message], None]] = {}
+        self._stamp_handlers: dict[int, Callable[[int, int, int, int], None]] = {}
         self._alive: dict[int, bool] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -89,11 +90,32 @@ class Transport:
         #: latency + nbytes/bandwidth memoised per small-message size — the
         #: fast path sends the same two sizes millions of times.
         self._small_delay: dict[int, float] = {}
+        #: Batched-delivery accounting: how many logical messages rode a
+        #: batched delivery event (:meth:`send_stamps` fan-outs, monitor-wide
+        #: heartbeat sweeps) and how many such events were posted.  The
+        #: pre-batching engine processed one heap event per message, so
+        #: ``events_processed + batched_messages - batch_events`` is the
+        #: legacy-granularity event count — the unit scale benchmarks use to
+        #: compare throughput across the batching change.
+        self.batched_messages = 0
+        self.batch_events = 0
 
     # -- registration -----------------------------------------------------------
     def register(self, node_id: int, handler: Callable[[Message], None]) -> None:
         self._handlers[node_id] = handler
         self._alive[node_id] = True
+
+    def register_stamps(
+        self, node_id: int,
+        handler: Callable[[int, int, int, int], None],
+    ) -> None:
+        """Install the flat dependency-stamp handler for a node.
+
+        ``handler(to_task, from_task, stamp, epoch)`` receives exactly the
+        payload a ``MsgKind.APP`` message would carry, without the
+        :class:`Message` envelope — the delivery half of :meth:`send_stamps`.
+        """
+        self._stamp_handlers[node_id] = handler
 
     def set_alive(self, node_id: int, alive: bool) -> None:
         if node_id not in self._handlers:
@@ -161,6 +183,87 @@ class Transport:
         sim = self.sim
         sim.post(delay, self._deliver,
                  Message(kind, src, dst, payload, nbytes, tag, sim.now))
+
+    def send_stamps(
+        self,
+        src: int,
+        targets: list[tuple[int, int]],
+        from_task: int,
+        stamp: int,
+        epoch: int,
+        *,
+        nbytes: int,
+    ) -> None:
+        """Fan one task's dependency stamp out to its neighbors in one event.
+
+        Observably identical to looping ``send_small(MsgKind.APP, src, dst,
+        (to_task, from_task, stamp, epoch))`` over ``targets``: the per-call
+        sends draw consecutive sequence numbers and share one memoised delay,
+        so nothing can ever interleave between their deliveries — delivering
+        them back-to-back inside a single posted event preserves the exact
+        global order while paying one heap entry (and zero :class:`Message`
+        allocations) for the whole fan-out.  Accounting (sent / delivered /
+        dropped, per-kind tallies) matches the per-message path count for
+        count.  Targets must be registered via :meth:`register_stamps`.
+        """
+        if not self._alive.get(src, False):
+            self.messages_dropped += len(targets)
+            return
+        n = len(targets)
+        self.messages_sent += n
+        self.sent_by_kind["app"] += n
+        self.bytes_by_kind["app"] += n * nbytes
+        self.batched_messages += n
+        self.batch_events += 1
+        delay = self._small_delay.get(nbytes)
+        if delay is None:
+            delay = self.latency + nbytes / self.bandwidth + 0.0
+            self._small_delay[nbytes] = delay
+        self.sim.post(delay, self._deliver_stamps, targets, from_task,
+                      stamp, epoch)
+
+    def _deliver_stamps(
+        self, targets: list[tuple[int, int]], from_task: int,
+        stamp: int, epoch: int,
+    ) -> None:
+        alive = self._alive
+        handlers = self._stamp_handlers
+        for dst, to_task in targets:
+            if not alive.get(dst, False):
+                self.messages_dropped += 1
+                continue
+            self.messages_delivered += 1
+            handlers[dst](to_task, from_task, stamp, epoch)
+
+    # -- bulk accounting (monitor-wide sweeps) ------------------------------------
+    # The heartbeat monitor batches a whole sweep's worth of probes into one
+    # posted event; these keep the transport the single owner of the counters
+    # while letting the sweep settle N messages with O(1) Python work.  The
+    # sums are exactly what N individual send_small/_deliver calls would have
+    # produced.
+    def small_delay(self, nbytes: int) -> float:
+        """The memoised small-message delay — bit-identical to send_small's."""
+        delay = self._small_delay.get(nbytes)
+        if delay is None:
+            delay = self.latency + nbytes / self.bandwidth + 0.0
+            self._small_delay[nbytes] = delay
+        return delay
+
+    def account_sent(self, kind: MsgKind, count: int, nbytes_total: int) -> None:
+        # Each call corresponds to exactly one posted batched delivery event
+        # settling ``count`` probes (see the heartbeat monitor's send sweep).
+        self.messages_sent += count
+        kv = _KIND_VALUE[kind]
+        self.sent_by_kind[kv] += count
+        self.bytes_by_kind[kv] += nbytes_total
+        self.batched_messages += count
+        self.batch_events += 1
+
+    def account_delivered(self, count: int) -> None:
+        self.messages_delivered += count
+
+    def account_dropped(self, count: int) -> None:
+        self.messages_dropped += count
 
     def _deliver(self, msg: Message) -> None:
         if not self._alive.get(msg.dst, False):

@@ -16,7 +16,7 @@ from repro.runtime.task import Task, TaskState
 from repro.util.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
-    pass
+    from repro.runtime.soa import NodeStateArrays
 
 
 class Node:
@@ -36,8 +36,14 @@ class Node:
         self.sim = sim
         self.transport = transport
         self.tasks: list[Task] = []
+        self._task_by_id: dict[int, Task] = {}
         self.alive = True
         self.failures_survived = 0
+        #: Optional struct-of-arrays mirror of (alive, failures_survived);
+        #: bound by the heartbeat monitor so its sweeps read liveness
+        #: vectorized.  die()/revive() are the only writers (see soa.py).
+        self._soa: "NodeStateArrays | None" = None
+        self._soa_slot = -1
         #: Maximum progress reported by any local task (consensus Phase 1).
         self.local_max_progress = 0
         #: Hooks installed by the ACR framework.
@@ -46,13 +52,23 @@ class Node:
         self.control_handler: Callable[[Message], None] | None = None
         self.heartbeat_handler: Callable[[Message], None] | None = None
         transport.register(node_id, self._on_message)
+        transport.register_stamps(node_id, self._on_stamp)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node(id={self.node_id}, replica={self.replica}, rank={self.rank})"
 
+    # -- struct-of-arrays binding -------------------------------------------------
+    def bind_state_arrays(self, soa: "NodeStateArrays", slot: int) -> None:
+        """Mirror this node's liveness into a :class:`NodeStateArrays` slot."""
+        self._soa = soa
+        self._soa_slot = slot
+        soa.alive[slot] = self.alive
+        soa.failures_survived[slot] = self.failures_survived
+
     # -- task hosting -------------------------------------------------------------
     def add_task(self, task: Task) -> None:
         self.tasks.append(task)
+        self._task_by_id[task.task_id] = task
 
     def start_tasks(self) -> None:
         for t in self.tasks:
@@ -76,10 +92,16 @@ class Node:
             self.control_handler(msg)
 
     def _find_task(self, task_id: int) -> Task | None:
-        for t in self.tasks:
-            if t.task_id == task_id:
-                return t
-        return None
+        return self._task_by_id.get(task_id)
+
+    def _on_stamp(self, to_task: int, from_task: int, stamp: int,
+                  epoch: int) -> None:
+        """Flat dependency-stamp delivery (Transport.send_stamps fast path)."""
+        if not self.alive:
+            return
+        task = self._task_by_id.get(to_task)
+        if task is not None:
+            task.on_dep_message(from_task, stamp, epoch)
 
     # -- ACR agent callbacks (installed by the framework) ---------------------------
     def on_task_progress(self, task: Task) -> None:
@@ -108,6 +130,8 @@ class Node:
         if not self.alive:
             return
         self.alive = False
+        if self._soa is not None:
+            self._soa.set_dead(self._soa_slot)
         self.transport.set_alive(self.node_id, False)
         for t in self.tasks:
             t.kill()
@@ -116,4 +140,6 @@ class Node:
         """A spare node takes over this node's identity after recovery."""
         self.alive = True
         self.failures_survived += 1
+        if self._soa is not None:
+            self._soa.set_alive(self._soa_slot, self.failures_survived)
         self.transport.set_alive(self.node_id, True)

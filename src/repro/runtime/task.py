@@ -18,7 +18,6 @@ from enum import Enum
 from typing import TYPE_CHECKING, Callable
 
 from repro.runtime.des import EventHandle
-from repro.runtime.messages import MsgKind
 from repro.util.errors import SimulationError
 
 #: Dependency-stamp message size (paper §2.2 neighbor messages).
@@ -26,6 +25,7 @@ DEP_STAMP_NBYTES = 1024
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.node import Node
+    from repro.runtime.soa import TaskProgressArray
 
 
 class TaskState(str, Enum):
@@ -76,6 +76,17 @@ class Task:
         self.iteration_cap: int | None = None
         self._compute_event: EventHandle | None = None
         self.iterations_executed = 0
+        #: Optional struct-of-arrays mirror of ``progress``; bound by the
+        #: framework so monitor-wide at-cap/rework checks are O(1)/vectorized
+        #: (see soa.py).  Progress assignments are the only writers.
+        self._soa: "TaskProgressArray | None" = None
+        self._soa_index = -1
+
+    def bind_progress(self, soa: "TaskProgressArray", index: int) -> None:
+        """Mirror this task's progress into a :class:`TaskProgressArray`."""
+        self._soa = soa
+        self._soa_index = index
+        soa.progress[index] = self.progress
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
@@ -100,7 +111,10 @@ class Task:
         if self._compute_event is not None:
             self._compute_event.cancel()
             self._compute_event = None
+        old = self.progress
         self.progress = int(progress)
+        if self._soa is not None:
+            self._soa.stamp(self._soa_index, old, self.progress)
         self.epoch += 1
         self.dep_stamps = {tid: self.progress - 1 for _, tid in self.neighbors}
         self.pause_at = None
@@ -142,11 +156,22 @@ class Task:
 
     # -- execution engine ---------------------------------------------------------
     def _deps_satisfied(self) -> bool:
-        return all(stamp >= self.progress for stamp in self.dep_stamps.values())
+        # Plain loop, not all(genexpr): this runs a few times per iteration
+        # per task and the generator frame is measurable at campaign scale.
+        progress = self.progress
+        for stamp in self.dep_stamps.values():
+            if stamp < progress:
+                return False
+        return True
 
     def _pause_bound(self) -> int | None:
-        bounds = [b for b in (self.pause_at, self.iteration_cap) if b is not None]
-        return min(bounds) if bounds else None
+        p = self.pause_at
+        c = self.iteration_cap
+        if p is None:
+            return c
+        if c is None:
+            return p
+        return p if p < c else c
 
     def _try_start(self) -> None:
         if self.state in (TaskState.COMPUTING, TaskState.DEAD):
@@ -173,7 +198,10 @@ class Task:
         if epoch != self.epoch or self.state is TaskState.DEAD:
             return  # stale completion from before a rollback
         self._compute_event = None
-        self.progress += 1
+        progress = self.progress + 1
+        self.progress = progress
+        if self._soa is not None:
+            self._soa.stamp(self._soa_index, progress - 1, progress)
         self.iterations_executed += 1
         self.state = TaskState.IDLE
         self._announce_progress()
@@ -184,19 +212,18 @@ class Task:
         """Send the dependency stamp for the just-completed iteration.
 
         Stamps go out once per task per iteration per neighbor — the app
-        firehose — so they ride the transport's small-message fast path.
+        firehose — so the whole fan-out rides one
+        :meth:`~repro.runtime.messages.Transport.send_stamps` event
+        (observably identical to per-neighbor ``send_small`` calls: the
+        per-call sends share one delay and consecutive sequence numbers, so
+        nothing could ever interleave between their deliveries).
         """
-        transport = self.node.transport
-        src = self.node.node_id
-        my_id = self.task_id
-        progress = self.progress
-        epoch = self.epoch
-        for node_id, task_id in self.neighbors:
-            transport.send_small(
-                MsgKind.APP, src, node_id,
-                (task_id, my_id, progress, epoch),
-                nbytes=DEP_STAMP_NBYTES, tag="dep",
-            )
+        node = self.node
+        node.transport.send_stamps(
+            node.node_id, self.neighbors,
+            self.task_id, self.progress, self.epoch,
+            nbytes=DEP_STAMP_NBYTES,
+        )
 
     def on_dep_message(self, from_task: int, stamp: int, epoch: int) -> None:
         """Receive a neighbor's dependency stamp (idempotent, monotone)."""
@@ -204,8 +231,19 @@ class Task:
             return
         if epoch < self.epoch:
             return  # pre-rollback traffic: flushed
-        prev = self.dep_stamps.get(from_task, -1)
+        stamps = self.dep_stamps
+        prev = stamps.get(from_task, -1)
         if stamp > prev:
-            self.dep_stamps[from_task] = stamp
-        if self.state is TaskState.IDLE:
-            self._try_start()
+            stamps[from_task] = stamp
+        if self.state is not TaskState.IDLE:
+            return
+        # Skip _try_start while some dependency still lags: an IDLE task
+        # always sits below its pause bound (every transition into IDLE runs
+        # _try_start, which parks it PAUSED otherwise), so with unsatisfied
+        # deps the call would be a pure no-op — and roughly half the stamp
+        # deliveries in a ring arrive before the task's other neighbor.
+        progress = self.progress
+        for s in stamps.values():
+            if s < progress:
+                return
+        self._try_start()

@@ -1,0 +1,139 @@
+"""Determinism contract of the space-partitioned parallel DES mode.
+
+The entire value of :mod:`repro.harness.parallel` is one promise: the merged
+canonical trace is *byte-identical* across every decomposition — 1 partition,
+N partitions in-process, N partitions across forked workers — for the same
+:class:`ParallelScenario`.  These tests assert that promise for both recovery
+schemes with mid-run hard faults, plus the worker-clamp accounting that
+mirrors the campaign runner (requested vs effective vs cpu_count).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.parallel import (
+    ParallelScenario,
+    effective_parallel_workers,
+    fault_plan,
+    run_parallel,
+)
+from repro.util.errors import ConfigurationError
+
+pytestmark = pytest.mark.scale_smoke
+
+
+def _scenario(scheme: str, **overrides) -> ParallelScenario:
+    kwargs = dict(
+        nodes_per_replica=64,
+        total_iterations=6,
+        iteration_seconds=0.5,
+        heartbeat_interval=1.0,
+        scheme=scheme,
+        snapshot_interval=2.0,
+        n_faults=2,
+        fault_window=(0.1, 0.4),
+        spare_boot_time=2.0,
+        horizon=18.0,
+        seed=5,
+    )
+    kwargs.update(overrides)
+    return ParallelScenario(**kwargs)
+
+
+class TestTraceDeterminism:
+    @pytest.mark.parametrize("scheme", ["strong", "weak"])
+    def test_trace_identical_across_partition_counts(self, scheme):
+        scenario = _scenario(scheme)
+        reports = {p: run_parallel(scenario, partitions=p, workers=1,
+                                   trace=True)
+                   for p in (1, 4, 8)}
+        baseline = reports[1]
+        assert baseline.completed
+        assert baseline.trace, "trace collection returned nothing"
+        for p, report in reports.items():
+            assert report.completed, f"partitions={p} did not complete"
+            assert report.trace == baseline.trace, f"partitions={p} diverged"
+            assert report.trace_digest == baseline.trace_digest
+        # Partitioned runs really did window-step rather than free-run.
+        assert reports[4].windows > 1
+        assert reports[8].windows >= reports[4].windows
+
+        # The scenario exercised what the contract claims: deaths detected,
+        # spares booted, tasks restored, and forward progress resumed.
+        kinds = {line.split()[1] for line in baseline.trace}
+        assert {"iter", "kill", "detect", "revive", "restore"} <= kinds
+
+    def test_fault_free_decomposition_also_identical(self):
+        scenario = _scenario("strong", n_faults=0, horizon=10.0)
+        single = run_parallel(scenario, partitions=1, trace=True)
+        split = run_parallel(scenario, partitions=4, trace=True)
+        assert single.completed and split.completed
+        assert single.trace_digest == split.trace_digest
+
+    def test_forked_workers_match_inprocess(self):
+        """The fork/pipe machinery itself, exercised via ``force_processes``
+        so 1-CPU runners cover it too (the CPU clamp would otherwise fall
+        back in-process and leave the pipes untested)."""
+        scenario = _scenario("strong", nodes_per_replica=32, horizon=14.0)
+        inproc = run_parallel(scenario, partitions=4, workers=1, trace=True)
+        forked = run_parallel(scenario, partitions=4, workers=2, trace=True,
+                              force_processes=True)
+        assert forked.completed
+        assert forked.effective_workers == 2
+        assert forked.trace_digest == inproc.trace_digest
+
+    @pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                        reason="needs >1 CPU for a real parallel run")
+    def test_multiprocess_trace_identical_on_multicore(self):
+        scenario = _scenario("weak")
+        single = run_parallel(scenario, partitions=1, trace=True)
+        multi = run_parallel(scenario, partitions=4, workers=4, trace=True)
+        assert multi.effective_workers > 1
+        assert multi.trace_digest == single.trace_digest
+
+
+class TestWorkerAccounting:
+    def test_clamp_mirrors_campaign_rule(self):
+        cpus = os.cpu_count() or 1
+        assert effective_parallel_workers(None, 8) == 1
+        assert effective_parallel_workers(4, 2) == min(4, 2, cpus)
+        assert effective_parallel_workers(64, 64) == min(64, cpus)
+
+    def test_report_records_requested_vs_effective(self):
+        scenario = _scenario("strong", n_faults=0, nodes_per_replica=8,
+                             horizon=6.0)
+        report = run_parallel(scenario, partitions=4, workers=8)
+        assert report.requested_workers == 8
+        assert report.effective_workers == min(8, 4, os.cpu_count() or 1)
+        assert report.cpu_count == (os.cpu_count() or 1)
+        assert report.partitions == 4
+        assert len(report.per_partition_events) == 4
+        assert sum(report.per_partition_events) == report.events_processed
+
+    def test_more_partitions_than_ranks_rejected(self):
+        scenario = _scenario("strong", nodes_per_replica=4, n_faults=2)
+        with pytest.raises(ConfigurationError):
+            run_parallel(scenario, partitions=8)
+
+
+class TestFaultPlan:
+    def test_seeded_plan_is_deterministic_and_distinct(self):
+        scenario = _scenario("strong", n_faults=2)
+        plan = fault_plan(scenario)
+        assert plan == fault_plan(scenario)
+        assert len(plan) == 2
+        ranks = [rank for _, _, rank in plan]
+        assert len(set(ranks)) == len(ranks)
+        lo, hi = scenario.fault_window
+        for t, replica, rank in plan:
+            assert lo * scenario.horizon <= t <= hi * scenario.horizon
+            assert replica in (0, 1)
+            assert 0 <= rank < scenario.nodes_per_replica
+
+    def test_different_seed_different_plan(self):
+        a = fault_plan(_scenario("strong", seed=1))
+        b = fault_plan(_scenario("strong", seed=2))
+        assert a != b

@@ -69,6 +69,20 @@ class TestEnabledPath:
         assert snap["counters"]["sim.events_processed"] > 0
         assert "acr.checkpoint_time_s" in snap["gauges"]
 
+    def test_snapshot_reports_batching_effectiveness(self):
+        """Heap high-water + cohort-size histogram reach ``repro report``."""
+        result = _run(metrics=MetricsRegistry())
+        snap = result.report.metrics_snapshot
+        sim = result.acr.sim
+        assert snap["gauges"]["sim.max_queue_depth"] == sim.max_queue_depth
+        assert snap["gauges"]["sim.max_cohort_events"] == sim.max_cohort_events
+        assert (snap["counters"]["sim.cohorts_dispatched"]
+                == sim.cohorts_dispatched > 0)
+        buckets = {k: v for k, v in snap["counters"].items()
+                   if k.startswith("sim.cohort_size{")}
+        assert buckets, "cohort-size histogram missing from snapshot"
+        assert sum(buckets.values()) == sim.cohorts_dispatched
+
 
 class TestCliTraceOut:
     def test_trace_out_is_valid_chrome_trace(self, tmp_path, capsys):

@@ -16,8 +16,10 @@ _spec.loader.exec_module(compare_bench)
 
 
 def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
-             dispatch=3.2, periodic=4.0, fastpath=1.5,
-             parallel=2.5, cpu_count=4):
+             dispatch=3.2, periodic=4.0, fastpath=1.5, striped=1.7,
+             parallel=2.5, cpu_count=4, scale_speedup=4.0,
+             scale_completed=True, trace_identical=True,
+             scale_parallel=1.8, scale_cpu_count=4):
     return {
         "pack": {
             "pack_speedup_vs_legacy": pack,
@@ -25,7 +27,8 @@ def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
             "pack_into_gib_per_s": 4.0,
         },
         "incremental_checksum": {"incremental_speedup": incremental},
-        "fletcher": {"fletcher64_gib_per_s": 8.0},
+        "fletcher": {"fletcher64_gib_per_s": 8.0,
+                     "striped_speedup_vs_seed": striped},
         "campaign": {"summaries_identical": identical,
                      "parallel_speedup": parallel,
                      "cpu_count": cpu_count},
@@ -33,7 +36,17 @@ def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
                          "events_per_s": 8.0e5},
         "des_periodic": {"periodic_speedup_vs_resched": periodic},
         "des_messages": {"fastpath_speedup": fastpath},
-        "des_acr": {"events_per_s": 4.0e4},
+        "des_acr": {"events_per_s": 4.0e4,
+                    "legacy_equivalent_events_per_s": 1.1e5},
+        "bench_scale": {"events_speedup_vs_des_acr": scale_speedup,
+                        "completed": scale_completed,
+                        "parallel_trace_identical": trace_identical,
+                        "parallel_speedup": scale_parallel,
+                        "cpu_count": scale_cpu_count,
+                        "events_per_s": 5.0e4,
+                        "legacy_equivalent_events_per_s": 4.4e5,
+                        "node_iterations_per_s": 1.7e4,
+                        "peak_rss_mib": 860.0},
     }
 
 
@@ -93,12 +106,43 @@ class TestCompare:
         # Same regression, but either run saw one core: the clamp makes
         # both campaign paths serial, so the ratio is noise — never gated.
         for base_cpus, fresh_cpus in ((1, 1), (1, 4), (4, 1)):
-            base = _results(cpu_count=base_cpus)
-            fresh = _results(parallel=0.4, cpu_count=fresh_cpus)
+            base = _results(cpu_count=base_cpus, scale_cpu_count=base_cpus)
+            fresh = _results(parallel=0.4, cpu_count=fresh_cpus,
+                             scale_parallel=0.4,
+                             scale_cpu_count=fresh_cpus)
             rows, failures = compare_bench.compare(base, fresh, 0.30)
             assert failures == []
-            assert any("skipped" in str(r[-1]) for r in rows
-                       if r[0] == "campaign.parallel_speedup")
+            for metric in ("campaign.parallel_speedup",
+                           "bench_scale.parallel_speedup"):
+                assert any("skipped" in str(r[-1]) for r in rows
+                           if r[0] == metric)
+
+    def test_scale_speedup_regression_fails(self):
+        fresh = _results(scale_speedup=4.0 * 0.5)  # -50% on a 30% gate
+        _, failures = compare_bench.compare(_results(), fresh, 0.30)
+        assert any("bench_scale.events_speedup_vs_des_acr" in f
+                   for f in failures)
+
+    def test_scale_speedup_absolute_floor(self):
+        # Within tolerance of a weak baseline but below the acceptance bar:
+        # the floor is absolute, not relative.
+        base = _results(scale_speedup=3.1)
+        fresh = _results(scale_speedup=2.5)
+        _, failures = compare_bench.compare(base, fresh, 0.30)
+        assert any("below required floor 3.0" in f for f in failures)
+        # At or above the floor (and within tolerance) passes.
+        _, failures = compare_bench.compare(base, _results(scale_speedup=3.0),
+                                            0.30)
+        assert failures == []
+
+    def test_scale_flags_gated(self):
+        for kwargs, name in (
+            ({"scale_completed": False}, "bench_scale.completed"),
+            ({"trace_identical": False}, "bench_scale.parallel_trace_identical"),
+        ):
+            _, failures = compare_bench.compare(
+                _results(), _results(**kwargs), 0.30)
+            assert any(name in f for f in failures)
 
 
 class TestMain:

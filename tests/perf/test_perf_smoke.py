@@ -44,8 +44,13 @@ class TestMicroBenchmarks:
 
     def test_bench_fletcher_reports_throughput(self):
         result = bench_fletcher(total_mib=TINY_MIB, repeats=1)
-        for key in ("fletcher32_s", "fletcher64_s", "striped_digest_s"):
+        for key in ("fletcher32_s", "fletcher64_s", "striped_digest_s",
+                    "seed_striped_digest_s"):
             assert result[key] > 0
+        # The seed reference shares the gather but adds copies; the current
+        # path must never fall behind it (the bench itself also asserts the
+        # two digests stay bit-identical).
+        assert result["striped_speedup_vs_seed"] > 0
 
     def test_bench_incremental_reports_speedup(self):
         result = bench_incremental_checksum(total_mib=TINY_MIB, nfields=4,
@@ -156,7 +161,12 @@ class TestRunBenchEntryPoint:
         assert payload["benchmark"] == "checkpoint_hot_path"
         assert set(payload["results"]) == {
             "pack", "fletcher", "incremental_checksum", "campaign",
-            "des_dispatch", "des_periodic", "des_messages", "des_acr"}
+            "des_dispatch", "des_periodic", "des_messages", "des_acr",
+            "bench_scale"}
+        scale = payload["results"]["bench_scale"]
+        assert scale["completed"]
+        assert scale["parallel_trace_identical"]
+        assert scale["events_speedup_vs_des_acr"] > 0
 
     def test_run_all_quick_covers_every_benchmark(self):
         results = run_all(quick=True)
