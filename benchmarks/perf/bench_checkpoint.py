@@ -9,7 +9,10 @@ baseline, so every future PR has a perf trajectory to defend:
 * **checksums** — Fletcher-32/64 and the 32-byte striped digest throughput,
   plus incremental field-granular digests with 1 of N fields dirty vs a full
   recompute;
-* **campaigns** — multi-seed replay throughput, serial vs ``workers=N``.
+* **campaigns** — multi-seed replay throughput, serial vs ``workers=N``;
+* **durable tiers** — the level-2/3 persist path (deep copy + SHA-256 guard
+  per shard), its modeled atomic-vs-unsafe safety overhead, and the
+  torn-write fallback guarantee.
 
 All timings use best-of-``repeats`` ``perf_counter`` deltas; payload sizes
 and speedups land in ``BENCH_checkpoint.json`` via :func:`run_all`.
@@ -183,6 +186,70 @@ def bench_incremental_checksum(total_mib: float = 64.0, nfields: int = 16,
     }
 
 
+def bench_tiered_persist(total_mib: float = 64.0, nshards: int = 8,
+                         repeats: int = 3) -> dict:
+    """Durable-tier group write: real cost of the modeled persist path.
+
+    The hierarchy's bookkeeping per persist is one deep copy plus one
+    SHA-256 per shard, so ``persist_gib_per_s`` tracks how much simulated
+    storage a campaign can afford and ``sha_share_of_persist`` shows where
+    that wall time goes.  Two dimensionless gates ride along:
+    ``sim_safety_overhead`` (the modeled atomic-vs-unsafe write-time ratio,
+    pure cost-model arithmetic, must stay >= 1) and
+    ``restore_fallback_correct`` (a torn group write must never be served
+    back by :meth:`DurableHierarchy.restore`).
+    """
+    from repro.core.checkpoint import CheckpointGeneration
+    from repro.storage.hierarchy import DurableHierarchy, _digest
+    from repro.storage.tiers import NODE_LOCAL_TIER, WriteProtocol
+
+    rng = np.random.default_rng(7)
+    per_shard = max(1, int(total_mib * MIB) // nshards)
+
+    def make_gen(iteration: int) -> CheckpointGeneration:
+        return CheckpointGeneration(
+            iteration=iteration,
+            shards={r: PackedState(rng.integers(0, 256, size=per_shard,
+                                                dtype=np.uint8))
+                    for r in range(nshards)})
+
+    gen = make_gen(10)
+    nbytes = sum(s.nbytes for s in gen.shards.values())
+
+    def persist_once(protocol: WriteProtocol) -> None:
+        hier = DurableHierarchy(
+            [NODE_LOCAL_TIER.with_protocol(protocol)], nshards)
+        hier.persist_now(gen, 0.0)
+
+    t_atomic = _best(lambda: persist_once(WriteProtocol.ATOMIC_DIRSYNC),
+                     repeats)
+    t_unsafe = _best(lambda: persist_once(WriteProtocol.UNSAFE), repeats)
+    t_sha = _best(lambda: [_digest(s.buffer) for s in gen.shards.values()],
+                  repeats)
+
+    hier = DurableHierarchy(
+        [NODE_LOCAL_TIER.with_protocol(WriteProtocol.UNSAFE)], nshards)
+    hier.persist_now(gen, 0.0)
+    hier.stage(2, make_gen(20), 1.0)
+    hier.abort_inflight(1.0, fault_point=nshards // 2)
+    restored = hier.restore(2.0)
+    fallback_correct = (restored is not None
+                        and restored.generation.iteration == 10
+                        and restored.fellback)
+    return {
+        "payload_mib": nbytes / MIB,
+        "nshards": nshards,
+        "persist_atomic_s": t_atomic,
+        "persist_unsafe_s": t_unsafe,
+        "sha256_s": t_sha,
+        "persist_gib_per_s": nbytes / t_atomic / (1 << 30),
+        "sha_share_of_persist": t_sha / t_atomic if t_atomic > 0 else 0.0,
+        "sim_safety_overhead": NODE_LOCAL_TIER.safety_overhead(nbytes,
+                                                               nshards),
+        "restore_fallback_correct": bool(fallback_correct),
+    }
+
+
 def bench_campaign(seeds: int = 8, workers: int = 4,
                    total_iterations: int = 400) -> dict:
     """Multi-seed campaign throughput, serial vs process-parallel.
@@ -230,5 +297,7 @@ def run_all(*, quick: bool = False, total_mib: float = 64.0,
                                    repeats=max(2, repeats - 2)),
         "incremental_checksum": bench_incremental_checksum(
             total_mib=total_mib, repeats=repeats),
+        "tiered_persist": bench_tiered_persist(
+            total_mib=total_mib, repeats=max(2, repeats - 2)),
         "campaign": bench_campaign(**campaign_kwargs),
     }

@@ -35,6 +35,7 @@ GATED_RATIOS = (
     ("pack", "pack_into_speedup_vs_legacy"),
     ("incremental_checksum", "incremental_speedup"),
     ("fletcher", "striped_speedup_vs_seed"),
+    ("tiered_persist", "sim_safety_overhead"),
     ("des_dispatch", "dispatch_speedup_vs_legacy"),
     ("des_periodic", "periodic_speedup_vs_resched"),
     ("des_messages", "fastpath_speedup"),
@@ -45,11 +46,15 @@ GATED_RATIOS = (
 #: within-run dimensionless ratios, so the floor is machine-independent.
 GATED_MINIMUMS = (
     ("bench_scale", "events_speedup_vs_des_acr", 3.0),
+    # The atomic protocol can never be cheaper than streaming straight to
+    # the final location — a ratio below 1 means the cost model broke.
+    ("tiered_persist", "sim_safety_overhead", 1.0),
 )
 
 #: (section, metric) booleans that must stay true.
 GATED_FLAGS = (
     ("campaign", "summaries_identical"),
+    ("tiered_persist", "restore_fallback_correct"),
     ("bench_scale", "completed"),
     ("bench_scale", "parallel_trace_identical"),
 )
@@ -65,6 +70,8 @@ CPU_GATED_RATIOS = (
 INFORMATIONAL = (
     ("pack", "pack_into_gib_per_s"),
     ("fletcher", "fletcher64_gib_per_s"),
+    ("tiered_persist", "persist_gib_per_s"),
+    ("tiered_persist", "sha_share_of_persist"),
     ("des_dispatch", "events_per_s"),
     ("des_acr", "events_per_s"),
     ("des_acr", "legacy_equivalent_events_per_s"),

@@ -79,6 +79,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"checksum    {inc['payload_mib']:8.1f} MiB  "
           f"incremental ({inc['dirty_fields']}/{inc['nfields']} dirty) "
           f"{inc['incremental_speedup']:.1f}x vs full recompute")
+    tier = results["tiered_persist"]
+    print(f"tiers       {tier['payload_mib']:8.1f} MiB  "
+          f"persist {tier['persist_gib_per_s']:.2f} GiB/s "
+          f"(sha {100.0 * tier['sha_share_of_persist']:.0f}%), "
+          f"modeled atomic overhead {tier['sim_safety_overhead']:.2f}x, "
+          f"fallback correct={tier['restore_fallback_correct']}")
     print(f"campaign    {camp['seeds']} seeds   "
           f"workers={camp['workers']} {camp['parallel_speedup']:.2f}x "
           f"on {camp['cpu_count']} core(s), "

@@ -37,7 +37,19 @@ TARGETING_MODES = (
                         # weak-pending windows
     "buddy-pair",       # back-to-back hard faults on one buddy pair
     "random",           # anywhere in the run
+    "storage-torn",     # tear the next durable-tier group write
+    "storage-rot",      # flip a bit at rest in a stored generation
+    "storage-spike",    # pathological latency on the next group write
 )
+
+#: Storage-fault targeting modes (only drawn for storage-enabled schedules).
+STORAGE_MODES = ("storage-torn", "storage-rot", "storage-spike")
+
+_STORAGE_KIND_OF_MODE = {
+    "storage-torn": FaultKind.TORN_WRITE,
+    "storage-rot": FaultKind.BIT_ROT,
+    "storage-spike": FaultKind.WRITE_SPIKE,
+}
 
 #: Heartbeat detection latency bound used when chaining faults into the
 #: recovery window opened by an earlier fault (timeout_factor * interval).
@@ -62,6 +74,10 @@ class ChaosSchedule:
     events: tuple[FaultEvent, ...] = ()
     #: Targeting mode used for each entry of ``events`` (diagnostics only).
     modes: tuple[str, ...] = ()
+    #: Run with the default durable tiers (levels 2+3) behind the store.
+    storage_tiers: bool = False
+    #: Group-write protocol for the tiers ("unsafe" | "atomic-dirsync").
+    storage_protocol: str = "atomic-dirsync"
 
     def plan(self) -> InjectionPlan:
         return InjectionPlan(list(self.events))
@@ -69,6 +85,18 @@ class ChaosSchedule:
     def config(self) -> ACRConfig:
         from repro.model.schemes import ResilienceScheme
 
+        tiers: tuple = ()
+        if self.storage_tiers:
+            from repro.storage.tiers import WriteProtocol, default_tiers
+
+            # Pin the tier periods to multiples of the level-1 interval so
+            # persists (and the faults aimed at them) actually fire within
+            # the bounded chaotic run.
+            tiers = default_tiers(
+                protocol=WriteProtocol(self.storage_protocol),
+                tier2_interval=2.0 * self.checkpoint_interval,
+                tier3_interval=5.0 * self.checkpoint_interval,
+            )
         return ACRConfig(
             scheme=ResilienceScheme(self.scheme),
             async_checkpointing=self.async_checkpointing,
@@ -79,6 +107,7 @@ class ChaosSchedule:
             spare_nodes=self.spare_nodes,
             app_scale=1e-4,
             seed=self.seed,
+            storage_tiers=tiers,
         )
 
     def with_events(self, events: tuple[FaultEvent, ...],
@@ -103,17 +132,20 @@ class ChaosSchedule:
             "horizon": self.horizon,
             "events": [
                 {"time": e.time, "kind": str(e.kind), "replica": e.replica,
-                 "node_id": e.node_id}
+                 "node_id": e.node_id, "level": e.level}
                 for e in self.events
             ],
             "modes": list(self.modes),
+            "storage_tiers": self.storage_tiers,
+            "storage_protocol": self.storage_protocol,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ChaosSchedule":
         events = tuple(
             FaultEvent(time=float(e["time"]), kind=FaultKind(e["kind"]),
-                       replica=int(e["replica"]), node_id=int(e["node_id"]))
+                       replica=int(e["replica"]), node_id=int(e["node_id"]),
+                       level=int(e.get("level", 0)))
             for e in data["events"]
         )
         modes = tuple(data.get("modes") or ("?",) * len(events))
@@ -131,6 +163,9 @@ class ChaosSchedule:
             horizon=float(data["horizon"]),
             events=events,
             modes=modes,
+            storage_tiers=bool(data.get("storage_tiers", False)),
+            storage_protocol=str(data.get("storage_protocol",
+                                          "atomic-dirsync")),
         )
 
     def to_json(self) -> str:
@@ -184,8 +219,10 @@ def fuzz_schedule(seed: int, *, app: str = "jacobi3d-charm") -> ChaosSchedule:
     """Deterministically fuzz one schedule from ``seed``.
 
     The configuration axes cycle so any 12 consecutive seeds cover all three
-    schemes × blocking/async × checksum/full-compare; the remaining knobs and
-    the fault schedule are drawn from seed-derived random streams.
+    schemes × blocking/async × checksum/full-compare; two further axes turn
+    the durable storage tiers on every other dozen and alternate their write
+    protocol, and the remaining knobs and the fault schedule are drawn from
+    seed-derived random streams.
     """
     if seed < 0:
         raise ConfigurationError(f"chaos seed must be >= 0, got {seed}")
@@ -193,6 +230,8 @@ def fuzz_schedule(seed: int, *, app: str = "jacobi3d-charm") -> ChaosSchedule:
     scheme = SCHEMES[seed % 3]
     async_ckpt = bool((seed // 3) % 2)
     use_checksum = bool((seed // 6) % 2)
+    storage_tiers = bool((seed // 12) % 2)
+    storage_protocol = "unsafe" if (seed // 24) % 2 else "atomic-dirsync"
     nodes = int(rng.integers(2, 5))
     tasks_per_node = int(rng.integers(1, 3))
     interval = float(rng.uniform(1.5, 5.0))
@@ -210,6 +249,8 @@ def fuzz_schedule(seed: int, *, app: str = "jacobi3d-charm") -> ChaosSchedule:
         spare_nodes=16,
         horizon=0.0,  # patched below from the probe run
         events=(),
+        storage_tiers=storage_tiers,
+        storage_protocol=storage_protocol,
     )
     # Probe with a generous provisional horizon, then bound the chaotic run
     # at a multiple of the failure-free duration (rollbacks cost rework).
@@ -270,5 +311,16 @@ def _draw_faults(rng: RngStream, sched: ChaosSchedule,
         events.append(FaultEvent(time=float(t), kind=kind, replica=replica,
                                  node_id=rank))
         modes.append(mode)
+    if sched.storage_tiers:
+        # Storage faults come from a dedicated child stream AFTER the node
+        # faults, so enabling the tiers never perturbs the base draws above.
+        srng = rng.child("storage")
+        for _ in range(int(srng.integers(1, 4))):
+            mode = STORAGE_MODES[int(srng.integers(0, len(STORAGE_MODES)))]
+            level = 2 if srng.uniform() < 0.7 else 3
+            t = float(srng.uniform(0.5, max(windows.final_time, 2.0)))
+            events.append(FaultEvent(time=t, kind=_STORAGE_KIND_OF_MODE[mode],
+                                     replica=0, node_id=0, level=level))
+            modes.append(mode)
     order = sorted(range(len(events)), key=lambda j: events[j].time)
     return [events[j] for j in order], [modes[j] for j in order]

@@ -41,6 +41,14 @@ Invariant catalog
     window* — a weak-pending solo checkpoint or a medium-recovery checkpoint
     commits without comparison (§2.3), exactly the exposure the Section-5
     model quantifies.
+``storage-monotone``
+    Generations persisted to one durable tier never go backwards in
+    iteration (a later group write always stores a later-or-equal state).
+``storage-integrity``
+    A durable-tier restore never serves a torn or rotted copy: every shard
+    of the generation handed back to recovery re-verifies against its
+    recorded SHA-256, the generation is complete, and the returned bytes
+    equal the stored bytes exactly.
 """
 
 from __future__ import annotations
@@ -72,7 +80,8 @@ LEGAL_TRANSITIONS: dict[str | None, frozenset[str]] = {
     "idle": frozenset({"running"}),
     "running": frozenset({"consensus", "recovering", "done"}),
     "consensus": frozenset({"checkpointing", "running", "done"}),
-    "checkpointing": frozenset({"running", "recovering", "done"}),
+    "checkpointing": frozenset({"running", "persisting", "recovering", "done"}),
+    "persisting": frozenset({"running", "done"}),
     "recovering": frozenset({"running", "done"}),
     "done": frozenset(),
 }
@@ -101,6 +110,8 @@ class InvariantMonitor:
     def __post_init__(self) -> None:
         self._acr: "ACR | None" = None
         self._last_event_time = 0.0
+        #: Per-tier iteration high-water marks (storage-monotone).
+        self._tier_last_iteration: dict[int, int] = {}
 
     # -- wiring --------------------------------------------------------------------
     def attach(self, acr: "ACR") -> "InvariantMonitor":
@@ -109,6 +120,8 @@ class InvariantMonitor:
         self._acr = acr
         acr.attach_observer(self)
         acr.store.observers.append(self)
+        if getattr(acr, "storage", None) is not None:
+            acr.storage.observers.append(self)
         # Subscribe (don't clobber): the telemetry tracer and this monitor
         # can both observe the same run's timeline.
         acr.timeline.subscribe(self._on_timeline_event)
@@ -161,6 +174,47 @@ class InvariantMonitor:
             self._fail("generation-complete",
                        f"{action} on replica {replica}: negative iteration "
                        f"{gen.iteration}")
+
+    # -- durable-storage hooks -------------------------------------------------------
+    def on_tier_persist(self, level: int, staged, torn: bool) -> None:
+        """A group write landed on a tier (possibly torn under ``unsafe``)."""
+        self.checks_performed += 1
+        last = self._tier_last_iteration.get(level)
+        if last is not None and staged.iteration < last:
+            self._fail("storage-monotone",
+                       f"tier {level} persisted iteration {staged.iteration} "
+                       f"after iteration {last}")
+        self._tier_last_iteration[level] = staged.iteration
+
+    def on_tier_restore(self, level: int, staged, gen) -> None:
+        """Recovery accepted a stored copy: re-verify it independently.
+
+        The check recomputes every shard's SHA-256 from the stored bytes —
+        never trusting the hierarchy's own ``torn`` bookkeeping — so a torn
+        or rotted generation sneaking past the framework's guard fails here.
+        """
+        import hashlib
+
+        self.checks_performed += 1
+        acr = self._acr
+        n = acr.store.nodes_per_replica if acr is not None else len(gen.shards)
+        if len(staged.shards) != n or not gen.complete(n):
+            self._fail("storage-integrity",
+                       f"tier {level} restore served an incomplete generation "
+                       f"({len(staged.shards)}/{n} stored, "
+                       f"{len(gen.shards)}/{n} returned)")
+        for rank in sorted(staged.shards):
+            shard = staged.shards[rank]
+            stored = shard.state.buffer.tobytes()
+            if hashlib.sha256(stored).hexdigest() != shard.digest:
+                self._fail("storage-integrity",
+                           f"tier {level} restore served rank {rank} whose "
+                           f"bytes do not match the recorded SHA-256 "
+                           f"(torn={shard.torn})")
+            if gen.shards[rank].buffer.tobytes() != stored:
+                self._fail("storage-integrity",
+                           f"tier {level} restore returned rank {rank} bytes "
+                           f"differing from the verified stored copy")
 
     # -- the individual invariants -------------------------------------------------------
     def _check_safe_sync(self, acr: "ACR") -> None:

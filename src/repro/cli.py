@@ -68,6 +68,17 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--checksum", action="store_true",
                        help="compare Fletcher digests instead of full state")
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--tiers", default="off",
+                       choices=["off", "2", "3", "both"],
+                       help="durable checkpoint tiers behind the in-memory "
+                            "store (2=node-local, 3=shared FS)")
+    run_p.add_argument("--tier-protocol", default="atomic-dirsync",
+                       choices=["atomic-dirsync", "unsafe"],
+                       help="group-write crash-consistency protocol")
+    run_p.add_argument("--tier2-interval", type=float, default=None,
+                       help="level-2 persist period (s); default: Daly plan")
+    run_p.add_argument("--tier3-interval", type=float, default=None,
+                       help="level-3 persist period (s); default: Daly plan")
     run_p.add_argument("--trace-out", default=None, metavar="FILE",
                        help="write the run's phase spans as a Chrome "
                             "trace_event JSON (load in Perfetto)")
@@ -86,6 +97,8 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="SDC rate per socket (FIT)")
     model_p.add_argument("--mtbf-years", type=float, default=50.0,
                          help="per-socket hard-error MTBF (years)")
+    model_p.add_argument("--tiers", action="store_true",
+                         help="also print the durable-tier interval plan")
     model_p.add_argument("--hours", type=float, default=24.0,
                          help="job length (hours)")
 
@@ -245,6 +258,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
+    storage_tiers: tuple = ()
+    if args.tiers != "off":
+        from repro.storage.tiers import (
+            NODE_LOCAL_TIER,
+            SHARED_FS_TIER,
+            WriteProtocol,
+        )
+
+        protocol = WriteProtocol(args.tier_protocol)
+        specs = []
+        if args.tiers in ("2", "both"):
+            specs.append(NODE_LOCAL_TIER.with_protocol(protocol)
+                         .with_interval(args.tier2_interval))
+        if args.tiers in ("3", "both"):
+            specs.append(SHARED_FS_TIER.with_protocol(protocol)
+                         .with_interval(args.tier3_interval))
+        storage_tiers = tuple(specs)
     result = run_acr_experiment(
         args.app,
         nodes_per_replica=args.nodes,
@@ -256,6 +286,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         hard_mtbf=args.hard_mtbf,
         sdc_mtbf=args.sdc_mtbf,
         seed=args.seed,
+        storage_tiers=storage_tiers,
         tracer=tracer,
         metrics=metrics,
     )
@@ -283,6 +314,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(format_table(["phase", "time (s)", "share %"], phase_rows,
                            title="protocol time by phase"))
         print(note)
+    if r.storage_counters:
+        print()
+        print(format_table(
+            ["counter", "value"],
+            [[k, int(v) if float(v).is_integer() else round(v, 4)]
+             for k, v in sorted(r.storage_counters.items())],
+            title="durable storage tiers"))
     print("\ntimeline:")
     print(r.timeline.render_ascii(width=80))
     if tracer is not None:
@@ -331,12 +369,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(note)
             print()
         counters = snap.get("counters", {})
+        storage_counters = {k: v for k, v in counters.items()
+                            if k.startswith("storage.")}
+        counters = {k: v for k, v in counters.items()
+                    if not k.startswith("storage.")}
         if counters:
             print(format_table(
                 ["counter", "value"],
                 [[k, int(v) if float(v).is_integer() else v]
                  for k, v in sorted(counters.items())],
                 title="counters"))
+            print()
+        if storage_counters:
+            print(format_table(
+                ["counter", "value"],
+                [[k, int(v) if float(v).is_integer() else v]
+                 for k, v in sorted(storage_counters.items())],
+                title="durable storage tiers (level hit/miss/fallback)"))
             print()
         other_gauges = {k: v for k, v in gauges.items()
                         if not k.startswith(prefix)}
@@ -402,6 +451,20 @@ def _cmd_model(args: argparse.Namespace) -> int:
         title=(f"Section-5 model: {args.sockets} sockets/replica, "
                f"delta={args.delta}s, {args.fit} FIT/socket, "
                f"M_H={args.mtbf_years}y/socket, {args.hours}h job")))
+    if args.tiers:
+        from repro.model.multilevel import plan_tier_intervals
+        from repro.storage.tiers import default_tiers
+
+        nbytes, nshards = 64 * 1024 * 1024, 8
+        plans = plan_tier_intervals(default_tiers(), nbytes, nshards)
+        print()
+        print(format_table(
+            ["level", "tier", "protocol", "delta (s)", "assumed MTBF (s)",
+             "interval (s)", "overhead"],
+            [[p.level, p.name, p.protocol, round(p.delta, 4), p.mtbf,
+              round(p.interval, 1), f"{p.overhead:.2%}"] for p in plans],
+            title=f"durable-tier plan ({nbytes >> 20} MiB generation, "
+                  f"{nshards} shards)"))
     return 0
 
 
@@ -585,8 +648,10 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 0
     if args.store_command == "gc":
         result = store.gc(wipe=args.wipe)
+        tmp = (f", swept {result.tmp_removed} orphaned temp file(s)"
+               if result.tmp_removed else "")
         print(f"store {store.root}: removed {result.removed} cell(s) "
-              f"({result.bytes_freed} bytes), kept {result.kept}")
+              f"({result.bytes_freed} bytes), kept {result.kept}{tmp}")
         return 0
     problems = store.verify()
     if problems:

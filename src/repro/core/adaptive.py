@@ -61,6 +61,8 @@ class AdaptiveIntervalController:
         self.assume_weibull = assume_weibull
         self.failure_times: list[float] = []
         self.interval_history: list[tuple[float, float]] = []  # (time, interval)
+        #: Per-durable-tier interval decisions: level -> [(time, interval)].
+        self.tier_interval_history: dict[int, list[tuple[float, float]]] = {}
 
     def record_failure(self, time: float) -> None:
         """Feed one observed failure (detection time) into the history.
@@ -113,4 +115,24 @@ class AdaptiveIntervalController:
             interval = daly_tau(max(self.delta, 1e-6), fit.current_mtbf)
         interval = min(max(interval, self.min_interval), self.max_interval)
         self.interval_history.append((now, interval))
+        return interval
+
+    def tier_interval(self, now: float, *, level: int, delta: float,
+                      fallback: float, failure_share: float = 1.0) -> float:
+        """Persist period for one durable storage tier (§5 model, per level).
+
+        Uses the same Weibull fit as :meth:`next_interval`, but scales the
+        fitted MTBF by ``1 / failure_share``: only that fraction of observed
+        failures is deep enough to need this tier, so its effective MTBF is
+        correspondingly longer and its Daly period wider.  Before the fit has
+        data the model-planned ``fallback`` period is used.
+        """
+        fit = self.fit(now)
+        if fit is None:
+            interval = fallback
+        else:
+            mtbf = fit.current_mtbf / max(failure_share, 1e-9)
+            interval = daly_tau(max(delta, 1e-6), mtbf)
+        interval = min(max(interval, self.min_interval), self.max_interval)
+        self.tier_interval_history.setdefault(level, []).append((now, interval))
         return interval

@@ -60,6 +60,11 @@ class ACRConfig:
     seed: int = 0
     #: Functional state scale for the mini-apps (1.0 = full Table-2 size).
     app_scale: float = 1e-4
+    #: Durable checkpoint tiers behind the in-memory double checkpoint
+    #: (:class:`~repro.storage.tiers.TierSpec` entries, levels 2/3).  Empty
+    #: means the paper's pure in-memory protocol — the default, and what the
+    #: committed golden digests pin down.
+    storage_tiers: tuple = ()
 
     def __post_init__(self) -> None:
         if self.checkpoint_interval <= 0:
@@ -76,6 +81,13 @@ class ACRConfig:
             raise ConfigurationError("total_iterations must be >= 1")
         if not (0 < self.app_scale <= 1.0):
             raise ConfigurationError("app_scale must be in (0, 1]")
+        levels = [getattr(t, "level", None) for t in self.storage_tiers]
+        if any(level not in (2, 3) for level in levels):
+            raise ConfigurationError(
+                f"storage_tiers must be TierSpec entries with level 2 or 3, "
+                f"got levels {levels}")
+        if len(set(levels)) != len(levels):
+            raise ConfigurationError(f"duplicate storage tier levels: {levels}")
 
     def with_overrides(self, **kwargs) -> "ACRConfig":
         return replace(self, **kwargs)

@@ -26,6 +26,11 @@ class TimelineKind(str, Enum):
     INTERVAL_ADAPTED = "interval_adapted"
     CONSENSUS_START = "consensus_start"
     CONSENSUS_DECIDED = "consensus_decided"
+    #: Durable-tier events (only recorded when storage tiers are enabled, so
+    #: default runs stay bit-identical to the committed golden digests).
+    TIER_PERSIST = "tier_persist"
+    TIER_RESTORE = "tier_restore"
+    STORAGE_FAULT_INJECTED = "storage_fault_injected"
     JOB_END = "job_end"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -29,7 +29,13 @@ from repro.core.events import Timeline, TimelineKind
 from repro.core.prediction import PredictionTrace
 from repro.core.sdc import detect_sdc
 from repro.faults.bitflip import BitFlipInjector
-from repro.faults.injector import FaultEvent, FaultKind, InjectionPlan
+from repro.faults.injector import (
+    STORAGE_FAULT_KINDS,
+    FaultEvent,
+    FaultKind,
+    InjectionPlan,
+)
+from repro.model.daly import daly_tau
 from repro.model.schemes import ResilienceScheme
 from repro.network.allocation import torus_for_nodes
 from repro.obs.metrics import NULL_METRICS
@@ -43,6 +49,7 @@ from repro.runtime.messages import Transport
 from repro.runtime.node import Node
 from repro.runtime.soa import TaskProgressArray
 from repro.runtime.task import Task
+from repro.storage.hierarchy import DurableHierarchy
 from repro.util.errors import ConfigurationError, SimulationError
 from repro.util.rng import RngStream
 
@@ -87,6 +94,10 @@ class RunReport:
     #: Metrics-registry snapshot taken at finalization (None when telemetry
     #: was disabled); picklable, so campaigns can merge it across workers.
     metrics_snapshot: dict | None = None
+    #: Durable-tier counters (``tier<level>.<name>`` plus hierarchy totals,
+    #: see :meth:`~repro.storage.hierarchy.DurableHierarchy.counters`);
+    #: empty when no storage tiers were configured.
+    storage_counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def overhead_fraction(self) -> float:
@@ -199,6 +210,12 @@ class ACR:
             on_death=self._on_death_detected,
         )
         self.store = CheckpointStore(self.n)
+        #: Durable tiers behind the in-memory double checkpoint; None keeps
+        #: the paper's pure level-1 protocol (and the golden digests) intact.
+        self.storage: DurableHierarchy | None = None
+        if self.config.storage_tiers:
+            self.storage = DurableHierarchy(
+                self.config.storage_tiers, self.n, seed=self.config.seed)
         self.adaptive: AdaptiveIntervalController | None = None
         if self.config.adaptive:
             delta = self.cost.checkpoint_breakdown(
@@ -219,7 +236,8 @@ class ACR:
         # --- run state --------------------------------------------------------------
         self.timeline = Timeline()
         self.report = RunReport(timeline=self.timeline)
-        self.phase = "idle"  # idle|running|consensus|checkpointing|recovering|done
+        # idle|running|consensus|checkpointing|persisting|recovering|done
+        self.phase = "idle"
         self._checkpoint_timer: EventHandle | None = None
         self._phase_events: list[EventHandle] = []
         self._background_event: EventHandle | None = None
@@ -382,6 +400,19 @@ class ACR:
     # -- fault injection ---------------------------------------------------------------
     def _inject_fault(self, event: FaultEvent) -> None:
         if self.phase == "done":
+            return
+        if event.kind in STORAGE_FAULT_KINDS:
+            self.timeline.record(
+                self.sim.now, TimelineKind.STORAGE_FAULT_INJECTED,
+                fault=str(event.kind), level=event.level)
+            if self.storage is None:
+                return  # no durable tiers configured; nothing to hit
+            if event.kind is FaultKind.TORN_WRITE:
+                self.storage.arm_torn_write(event.level)
+            elif event.kind is FaultKind.BIT_ROT:
+                self.storage.inject_bit_rot(event.level, self.sim.now)
+            else:
+                self.storage.arm_write_spike(event.level)
             return
         if event.kind is FaultKind.SDC:
             self.report.sdc_injected += 1
@@ -612,6 +643,24 @@ class ACR:
                         iteration=iteration)
         self._span_checkpoint = None
         self.metrics.gauge("store.memory_bytes").set(self.store.memory_bytes())
+        if self.storage is not None and len(replicas) == 2:
+            # Only compared generations flow to the durable tiers: a solo
+            # (weak-pending) checkpoint skipped SDC comparison and must not
+            # become a trusted deep copy.
+            persist_s = self._begin_tier_persist(committed[replicas[0]])
+            if persist_s > 0.0:
+                if self.config.async_checkpointing:
+                    # Tasks resumed back in _do_pack; the tier group write
+                    # streams in the background like the transfer did.
+                    self._background_event = self.sim.schedule(
+                        persist_s, self._finish_tier_persist)
+                    return
+                self.report.checkpoint_blocking_time += persist_s
+                self.phase = "persisting"
+                self._phase_events = [
+                    self.sim.schedule(persist_s, self._finish_tier_persist)
+                ]
+                return
         if self._weak_pending is not None:
             self._start_weak_shipment(committed[replicas[0]])
             # The healthy replica resumes immediately: zero-overhead recovery.
@@ -623,6 +672,71 @@ class ACR:
         for t in self.tasks[0] + self.tasks[1]:
             t.resume()
         self._after_activity()
+
+    # -- durable tiers (level 2/3 behind the in-memory double checkpoint) -----------------
+    def _tier_interval(self, spec, nbytes: int) -> float:
+        """Current persist period for one durable tier: pinned by the spec,
+        adapted from the live failure fit, or the static Daly plan at the
+        tier's assumed MTBF."""
+        if spec.interval is not None:
+            return spec.interval
+        delta = spec.write_time(nbytes, self.n)
+        fallback = daly_tau(max(delta, 1e-6), spec.mtbf_assumed)
+        if self.adaptive is not None:
+            return self.adaptive.tier_interval(
+                self.sim.now, level=spec.level, delta=delta,
+                fallback=fallback, failure_share=spec.failure_share)
+        return fallback
+
+    def _begin_tier_persist(self, gen: CheckpointGeneration) -> float:
+        """Stage the freshly committed generation on every due tier; returns
+        the total modeled group-write duration (0.0 when nothing is due)."""
+        nbytes = gen.nbytes
+        due = self.storage.due_levels(
+            self.sim.now, lambda spec: self._tier_interval(spec, nbytes))
+        total = 0.0
+        for level in due:
+            duration = self.storage.stage(level, gen, self.sim.now)
+            self._charge(f"checkpoint.tier{level}-persist", duration,
+                         "checkpoint")
+            total += duration
+        return total
+
+    def _finish_tier_persist(self) -> None:
+        self._phase_events = []
+        self._background_event = None
+        for outcome in self.storage.complete_inflight(self.sim.now):
+            self.timeline.record(self.sim.now, TimelineKind.TIER_PERSIST,
+                                 **outcome)
+        if self.phase == "persisting":
+            self.phase = "running"
+            for t in self.tasks[0] + self.tasks[1]:
+                t.resume()
+        self._after_activity()
+
+    def _restore_from_storage(self) -> CheckpointGeneration | None:
+        """Deepest-fallback restore: the newest intact generation anywhere in
+        the durable hierarchy, or None (no tiers / nothing intact).
+
+        The tier read is charged to ``recovery_time`` but — like the SDC
+        rollback unpack — not simulated as elapsed time: the recovery event
+        that reaches this point already carries the scheme's modeled restart
+        duration.
+        """
+        if self.storage is None:
+            return None
+        result = self.storage.restore(self.sim.now)
+        if result is None:
+            self.timeline.record(self.sim.now, TimelineKind.TIER_RESTORE,
+                                 hit=False)
+            return None
+        self._charge(f"recovery.tier{result.level}-read", result.read_time,
+                     "recovery")
+        self.timeline.record(self.sim.now, TimelineKind.TIER_RESTORE,
+                             hit=True, level=result.level,
+                             iteration=result.generation.iteration,
+                             fellback=result.fellback)
+        return result.generation
 
     def _rollback_both(self, reason: str) -> None:
         """Both replicas return to their last safe checkpoint (SDC recovery:
@@ -643,15 +757,19 @@ class ACR:
             self._sdc_rollback_streak += 1
             if self._sdc_rollback_streak > 3:
                 # Comparison keeps failing after rollback: the rollback
-                # target itself must be corrupted/divergent.  Last resort -
-                # restart from the beginning of the execution.
+                # target itself must be corrupted/divergent.  Prefer the
+                # durable tiers — any intact persisted generation passed
+                # comparison when written, and installing one identical copy
+                # on BOTH replicas breaks the livelock without losing the
+                # run.  Last resort: restart from the beginning.
                 reason = "sdc-escalation"
                 self._sdc_rollback_streak = 0
+                restored = self._restore_from_storage()
                 for replica in (0, 1):
+                    source = (restored if restored is not None
+                              else self._initial_gen[replica])
                     self.store.install_safe(
-                        replica,
-                        self.store.clone_generation(self._initial_gen[replica]),
-                    )
+                        replica, self.store.clone_generation(source))
         self.report.recoveries[reason] = self.report.recoveries.get(reason, 0) + 1
         self._note_rework_target()
         for replica in (0, 1):
@@ -690,6 +808,10 @@ class ACR:
             self._background_event = None
             for r in (0, 1):
                 self.store.discard(r)
+            if self.storage is not None:
+                # The crash interrupted an asynchronous tier group write:
+                # unsafe tiers land a torn generation, atomic tiers abort.
+                self.storage.abort_inflight(self.sim.now)
             self._checkpoint_deferred = True
             self._end_checkpoint_span_cancelled()
         if self.phase == "recovering":
@@ -700,10 +822,12 @@ class ACR:
             self._checkpoint_deferred = True
             self._end_checkpoint_span_cancelled()
             self.phase = "running"
-        elif self.phase == "checkpointing":
+        elif self.phase in ("checkpointing", "persisting"):
             self._cancel_phase_events()
             for r in (0, 1):
                 self.store.discard(r)
+            if self.storage is not None:
+                self.storage.abort_inflight(self.sim.now)
             self._checkpoint_deferred = True
             self._end_checkpoint_span_cancelled()
             self.phase = "running"
@@ -961,11 +1085,17 @@ class ACR:
                                      replica=v.replica, rank=v.rank, swept=True)
             v.revive()
             self.heartbeat.notify_revived(v.node_id)
+        tier_hit = False
         if from_scratch:
+            # "Restart from the beginning" (§2.3) becomes "restart from the
+            # newest intact durable generation" when tiers are configured.
+            restored = self._restore_from_storage()
+            tier_hit = restored is not None
             for replica in (0, 1):
+                source = (restored if tier_hit
+                          else self._initial_gen[replica])
                 self.store.install_safe(
-                    replica, self.store.clone_generation(self._initial_gen[replica])
-                )
+                    replica, self.store.clone_generation(source))
         # A weak-pending solo checkpoint may have committed on the healthy
         # replica before this failure abandoned the shipment, leaving the two
         # safe generations at different iterations.  Rolling the replicas back
@@ -982,7 +1112,9 @@ class ACR:
             self._restore_replica(replica, self.store.safe(replica))
         self._begin_rework_span()
         self.report.rollbacks += 1
-        key = "restart-from-beginning" if from_scratch else "double-failure"
+        key = ("tier-restore" if tier_hit
+               else "restart-from-beginning" if from_scratch
+               else "double-failure")
         self.report.recoveries[key] = self.report.recoveries.get(key, 0) + 1
         self.timeline.record(self.sim.now, TimelineKind.ROLLBACK, reason=key)
         self.timeline.record(self.sim.now, TimelineKind.RECOVERY_DONE, scheme=key)
@@ -1048,6 +1180,8 @@ class ACR:
         if self._watchdog_event is not None:
             self._watchdog_event.cancel()
             self._watchdog_event = None
+        if self.storage is not None:
+            self.storage.discard_inflight()
 
     def _finish_job(self) -> None:
         self._quiesce_timers()
@@ -1116,6 +1250,14 @@ class ACR:
         m.counter("acr.spare_nodes_used").set_total(rep.spare_nodes_used)
         for scheme, n in rep.recoveries.items():
             m.counter("acr.recoveries", scheme=scheme).set_total(n)
+        if self.storage is not None:
+            for level, tier in sorted(self.storage.tiers.items()):
+                for name, value in tier.counters.items():
+                    m.counter(f"storage.{name}",
+                              level=str(level)).set_total(value)
+            m.counter("storage.restore_misses").set_total(
+                self.storage.restore_misses)
+            m.counter("storage.fallbacks").set_total(self.storage.fallbacks)
         m.gauge("acr.spares_left").set(self._spares_left)
         m.gauge("acr.checkpoint_time_s").set(rep.checkpoint_time)
         m.gauge("acr.checkpoint_blocking_time_s").set(
@@ -1132,6 +1274,8 @@ class ACR:
             self.tracer.end_open(self.sim.now)
         if self.metrics.enabled:
             rep.metrics_snapshot = self.metrics_snapshot()
+        if self.storage is not None:
+            rep.storage_counters = self.storage.counters()
         live_progress = [t.progress for r in (0, 1) for t in self.tasks[r]]
         rep.iterations_completed = min(live_progress) if live_progress else 0
         rep.rework_iterations = sum(

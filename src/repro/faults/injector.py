@@ -25,25 +25,50 @@ from repro.util.rng import RngStream
 class FaultKind(str, Enum):
     HARD = "hard"
     SDC = "sdc"
+    #: Storage faults against the durable tiers (:mod:`repro.storage`):
+    #: a group write torn mid-flight, a bit silently flipped at rest, and a
+    #: pathological write-latency spike.
+    TORN_WRITE = "torn-write"
+    BIT_ROT = "bit-rot"
+    WRITE_SPIKE = "write-spike"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
 
+#: Fault kinds that target a durable storage tier rather than a node.
+STORAGE_FAULT_KINDS = frozenset(
+    {FaultKind.TORN_WRITE, FaultKind.BIT_ROT, FaultKind.WRITE_SPIKE})
+
+
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled fault: at ``time``, hit node ``node_id`` of ``replica``."""
+    """One scheduled fault: at ``time``, hit node ``node_id`` of ``replica``.
+
+    Storage faults additionally carry the tier ``level`` (2 or 3) they
+    strike; their replica/node_id are ignored by the framework.
+    """
 
     time: float
     kind: FaultKind
     replica: int  # 0 or 1
     node_id: int  # node index within the replica
+    level: int = 0  # storage tier level (storage fault kinds only)
 
     def __post_init__(self) -> None:
         if self.replica not in (0, 1):
             raise ConfigurationError(f"replica must be 0 or 1, got {self.replica}")
         if self.time < 0:
             raise ConfigurationError(f"fault time must be non-negative, got {self.time}")
+        if self.kind in STORAGE_FAULT_KINDS:
+            if self.level not in (2, 3):
+                raise ConfigurationError(
+                    f"storage fault {self.kind} needs level 2 or 3, "
+                    f"got {self.level}")
+        elif self.level != 0:
+            raise ConfigurationError(
+                f"non-storage fault {self.kind} cannot carry level "
+                f"{self.level}")
 
 
 @dataclass

@@ -44,6 +44,7 @@ def run_acr_experiment(
     app_scale: float = 1e-4,
     spare_nodes: int = 64,
     injection_plan: InjectionPlan | None = None,
+    storage_tiers: tuple = (),
     tracer=None,
     metrics=None,
     app_kwargs: dict | None = None,
@@ -74,6 +75,7 @@ def run_acr_experiment(
         app_scale=app_scale,
         seed=seed,
         spare_nodes=spare_nodes,
+        storage_tiers=storage_tiers,
     )
     acr = ACR(app, nodes_per_replica=nodes_per_replica, config=config,
               injection_plan=injection_plan, tracer=tracer, metrics=metrics,

@@ -1,0 +1,62 @@
+"""Section-5-style planning for the durable checkpoint tiers.
+
+The paper's §5 model optimizes one checkpoint period against one failure
+rate.  With durable tiers behind the in-memory double checkpoint the same
+Daly machinery applies per level: each tier persists at the optimum period
+for *its* cost (the tier's group-write time for the payload) against the
+failure class it protects from (node loss for level 2, partition loss for
+level 3) — the CRAFT / Montezanti multi-level structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.daly import daly_tau
+from repro.storage.tiers import TierSpec
+
+
+@dataclass(frozen=True)
+class TierPlan:
+    """One tier's planned persist schedule for a given payload."""
+
+    level: int
+    name: str
+    protocol: str
+    #: Simulated group-write time for the payload (the tier's delta).
+    delta: float
+    #: Assumed MTBF of the failure class the tier absorbs.
+    mtbf: float
+    #: Chosen persist period (fixed if the spec pins one, else Daly).
+    interval: float
+    #: Steady-state overhead fraction delta / (interval + delta).
+    overhead: float
+
+
+def tier_interval(spec: TierSpec, nbytes: int, nshards: int) -> float:
+    """The persist period for one tier: its pinned interval, or the Daly
+    optimum for its write cost at its assumed MTBF."""
+    if spec.interval is not None:
+        return spec.interval
+    delta = spec.write_time(nbytes, nshards)
+    return daly_tau(max(delta, 1e-6), spec.mtbf_assumed)
+
+
+def plan_tier_intervals(tiers, nbytes: int,
+                        nshards: int) -> tuple[TierPlan, ...]:
+    """Per-level persist plan for a checkpoint payload of ``nbytes`` split
+    across ``nshards`` shard files."""
+    plans = []
+    for spec in sorted(tiers, key=lambda s: s.level):
+        delta = spec.write_time(nbytes, nshards)
+        interval = tier_interval(spec, nbytes, nshards)
+        plans.append(TierPlan(
+            level=spec.level,
+            name=spec.name,
+            protocol=str(spec.protocol),
+            delta=delta,
+            mtbf=spec.mtbf_assumed,
+            interval=interval,
+            overhead=delta / (interval + delta) if interval > 0 else 1.0,
+        ))
+    return tuple(plans)

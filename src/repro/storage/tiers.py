@@ -1,0 +1,162 @@
+"""Cost models for the durable checkpoint tiers behind ACR's level 1.
+
+The paper's double in-memory checkpoint (§2.1) is level 1 of a realistic
+resilience stack.  CRAFT and Montezanti et al. (PAPERS.md) give the cost
+structure for the two tiers modeled here:
+
+* **level 2 — node-local disk/NVM**: low latency, high bandwidth, survives a
+  process crash but not the node;
+* **level 3 — shared parallel FS**: higher latency, lower effective
+  bandwidth, survives losing the whole partition.
+
+Each tier writes a checkpoint *generation* (one shard per rank) as a group
+write under one of two protocols:
+
+* ``unsafe`` — shards stream straight into their final location.  A crash
+  mid-group leaves a **torn** generation on the tier: some shards intact,
+  one mid-write, the rest missing.  Recovery must detect this (the SHA-256
+  guard) and fall back.
+* ``atomic-dirsync`` — each shard lands via temp file + fsync + rename, and
+  the group commits with a final directory sync.  A crash either leaves the
+  previous generation intact or the new one complete, never a torn mix —
+  at the cost of one fsync per shard plus the dirsync, the ~40-70% latency
+  overhead the ckpt-integrity exemplar measures.
+
+The specs below are *simulated* costs charged through ``ACR._charge``; no
+real I/O happens (the hierarchy keeps generations in memory, see
+:mod:`repro.storage.hierarchy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.util.errors import ConfigurationError
+
+
+class WriteProtocol(str, Enum):
+    """Group-write crash-consistency protocol for one tier."""
+
+    UNSAFE = "unsafe"
+    ATOMIC_DIRSYNC = "atomic-dirsync"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Cost/behaviour parameters of one durable checkpoint tier."""
+
+    #: Tier level: 2 = node-local disk, 3 = shared FS (1 is the in-memory
+    #: double checkpoint the framework already implements).
+    level: int
+    name: str
+    #: Fixed per-group-write setup latency (seconds).
+    write_latency: float
+    #: Sustained write bandwidth (bytes/second).
+    write_bandwidth: float
+    #: Fixed per-restore latency (seconds).
+    read_latency: float
+    #: Sustained read bandwidth (bytes/second).
+    read_bandwidth: float
+    #: Crash-consistency protocol for the group write.
+    protocol: WriteProtocol = WriteProtocol.ATOMIC_DIRSYNC
+    #: Cost of one fsync barrier on this medium (seconds); the atomic
+    #: protocol pays one per shard plus one directory sync.
+    fsync_time: float = 0.0
+    #: Fixed persist interval (seconds); None lets the §5 model / adaptive
+    #: controller choose one from the tier's assumed failure rate.
+    interval: float | None = None
+    #: MTBF of the failure class this tier protects against (seconds),
+    #: used by the Daly planner when ``interval`` is None.
+    mtbf_assumed: float = 3600.0
+    #: Fraction of observed failures deep enough to need this tier — scales
+    #: the adaptive controller's fitted MTBF when it plans this tier's period.
+    failure_share: float = 0.2
+    #: Stored generations retained (oldest dropped beyond this).
+    keep_generations: int = 2
+
+    def __post_init__(self) -> None:
+        if self.level not in (2, 3):
+            raise ConfigurationError(
+                f"tier level must be 2 or 3, got {self.level}")
+        if self.write_latency < 0 or self.read_latency < 0 or self.fsync_time < 0:
+            raise ConfigurationError("tier latencies must be non-negative")
+        if self.write_bandwidth <= 0 or self.read_bandwidth <= 0:
+            raise ConfigurationError("tier bandwidths must be positive")
+        if self.interval is not None and self.interval <= 0:
+            raise ConfigurationError("tier interval must be positive")
+        if self.mtbf_assumed <= 0:
+            raise ConfigurationError("tier mtbf_assumed must be positive")
+        if not (0.0 < self.failure_share <= 1.0):
+            raise ConfigurationError("failure_share must be in (0, 1]")
+        if self.keep_generations < 1:
+            raise ConfigurationError("keep_generations must be >= 1")
+
+    # -- cost model -----------------------------------------------------------
+    def write_time(self, nbytes: int, nshards: int) -> float:
+        """Simulated seconds to persist one generation of ``nbytes`` total
+        across ``nshards`` shard files under this tier's protocol."""
+        base = self.write_latency + nbytes / self.write_bandwidth
+        if self.protocol is WriteProtocol.ATOMIC_DIRSYNC:
+            # One fsync per shard file plus the closing directory sync.
+            base += self.fsync_time * (nshards + 1)
+        return base
+
+    def read_time(self, nbytes: int) -> float:
+        """Simulated seconds to read one generation back during recovery."""
+        return self.read_latency + nbytes / self.read_bandwidth
+
+    def safety_overhead(self, nbytes: int, nshards: int) -> float:
+        """Atomic-vs-unsafe write-time ratio for this payload (>= 1)."""
+        unsafe = replace(self, protocol=WriteProtocol.UNSAFE)
+        return self.with_protocol(WriteProtocol.ATOMIC_DIRSYNC).write_time(
+            nbytes, nshards) / unsafe.write_time(nbytes, nshards)
+
+    def with_protocol(self, protocol: WriteProtocol) -> "TierSpec":
+        return replace(self, protocol=protocol)
+
+    def with_interval(self, interval: float | None) -> "TierSpec":
+        return replace(self, interval=interval)
+
+
+#: Node-local disk/NVM defaults: ~ms setup, GB/s-class streaming.
+NODE_LOCAL_TIER = TierSpec(
+    level=2,
+    name="node-local",
+    write_latency=5e-3,
+    write_bandwidth=1.2e9,
+    read_latency=2e-3,
+    read_bandwidth=2.0e9,
+    fsync_time=4e-3,
+    mtbf_assumed=1800.0,
+    failure_share=0.2,
+)
+
+#: Shared parallel-FS defaults: tens of ms setup, contended bandwidth.
+SHARED_FS_TIER = TierSpec(
+    level=3,
+    name="shared-fs",
+    write_latency=2e-2,
+    write_bandwidth=3.0e8,
+    read_latency=1e-2,
+    read_bandwidth=5.0e8,
+    fsync_time=1.5e-2,
+    mtbf_assumed=7200.0,
+    failure_share=0.05,
+)
+
+
+def default_tiers(
+    *,
+    protocol: WriteProtocol = WriteProtocol.ATOMIC_DIRSYNC,
+    tier2_interval: float | None = None,
+    tier3_interval: float | None = None,
+) -> tuple[TierSpec, TierSpec]:
+    """The standard level-2 + level-3 pair, optionally pinned to intervals."""
+    return (
+        NODE_LOCAL_TIER.with_protocol(protocol).with_interval(tier2_interval),
+        SHARED_FS_TIER.with_protocol(protocol).with_interval(tier3_interval),
+    )

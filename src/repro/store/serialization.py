@@ -102,6 +102,7 @@ def report_to_dict(report: RunReport) -> dict:
         "interval_history": [[t, v] for t, v in report.interval_history],
         "phase_times": dict(report.phase_times),
         "metrics_snapshot": sanitize_snapshot(report.metrics_snapshot),
+        "storage_counters": dict(report.storage_counters),
     }
 
 
@@ -145,6 +146,10 @@ def report_from_dict(payload: dict) -> RunReport:
         phase_times={str(k): float(v)
                      for k, v in payload["phase_times"].items()},
         metrics_snapshot=payload["metrics_snapshot"],
+        # .get: absent in payloads written before the durable tiers existed.
+        storage_counters={str(k): float(v)
+                          for k, v in (payload.get("storage_counters")
+                                       or {}).items()},
     )
 
 

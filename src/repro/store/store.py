@@ -62,6 +62,8 @@ class GcResult:
     kept: int = 0
     bytes_freed: int = 0
     removed_keys: list[str] = field(default_factory=list)
+    #: Orphaned ``*.tmp.*`` files swept up (interrupted writes).
+    tmp_removed: int = 0
 
 
 class ResultStore:
@@ -81,9 +83,11 @@ class ResultStore:
             *, kind: str) -> str:
         """Persist one cell atomically; returns its content address.
 
-        The record lands via a same-directory temp file + ``os.replace`` so a
-        crash mid-write never leaves a torn object, then one journal line is
-        appended to ``index.jsonl``.
+        The record lands via a same-directory temp file that is fsynced
+        *before* ``os.replace`` (otherwise a crash after the rename can leave
+        the final name pointing at unwritten data), the directory entry is
+        synced after it, and only then is one journal line appended to
+        ``index.jsonl``.
         """
         key = material_key(material)
         path = self.object_path(key)
@@ -96,10 +100,32 @@ class ResultStore:
             "payload": payload,
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+        data = json.dumps(record, sort_keys=True).encode("utf-8")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
         os.replace(tmp, path)
+        self._fsync_dir(path.parent)
         self._journal(key, kind, material)
         return key
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Sync a directory entry; tolerated as best-effort (some filesystems
+        refuse O_RDONLY fsync on directories)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def _journal(self, key: str, kind: str, material: Mapping[str, Any]) -> None:
         line = json.dumps(
@@ -112,24 +138,86 @@ class ResultStore:
             sort_keys=True,
         )
         self.root.mkdir(parents=True, exist_ok=True)
-        with open(self.index_path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+        # One O_APPEND os.write of the whole encoded line: appends of a
+        # single small buffer land atomically, so a crash can tear at most
+        # the final line of the journal — which journal_entries() tolerates —
+        # and the fsync makes the line durable before put() returns.
+        payload = (line + "\n").encode("utf-8")
+        fd = os.open(self.index_path,
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def journal_entries(self) -> tuple[list[dict], list[str]]:
+        """Decoded journal lines plus any problems found.
+
+        A torn trailing line (interrupted append) is reported, not raised;
+        whole lines before it are still returned.
+        """
+        entries: list[dict] = []
+        problems: list[str] = []
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as fh:
+                lines = fh.read().split("\n")
+        except OSError:
+            return entries, problems
+        # A well-formed journal ends with "\n", so the final split element is
+        # empty; anything else is the torn tail of an interrupted append.
+        for i, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                where = ("torn trailing line" if i == len(lines) - 1
+                         else f"undecodable line {i + 1}")
+                problems.append(f"index.jsonl: {where} ({line[:40]!r}...)")
+                continue
+            entries.append(record)
+        return entries, problems
 
     # -- read -----------------------------------------------------------------
     def get(self, material: Mapping[str, Any]) -> dict | None:
         """The payload cached for this key material, or None (miss)."""
-        record = self._load_record(self.object_path(material_key(material)))
+        record = self._load_record(self.object_path(material_key(material)),
+                                   quarantine=True)
         return None if record is None else record.get("payload")
 
     def has(self, material: Mapping[str, Any]) -> bool:
         return self.object_path(material_key(material)).is_file()
 
-    def _load_record(self, path: Path) -> dict | None:
-        """Load one object file; a missing or corrupt record reads as a miss."""
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an undecodable object aside for post-mortem instead of leaving
+        it to shadow its address (a re-run would hit the corrupt file again
+        and read a miss forever)."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            pass
+
+    def _load_record(self, path: Path, *, quarantine: bool = False) -> dict | None:
+        """Load one object file; a missing or corrupt record reads as a miss.
+
+        With ``quarantine=True`` an undecodable file is moved to
+        ``quarantine/`` so the address becomes writable again (``gc`` passes
+        False — it reclaims corrupt files itself).
+        """
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 record = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None
+        except json.JSONDecodeError:
+            if quarantine:
+                self._quarantine(path)
             return None
         if not isinstance(record, dict) or record.get("format") != STORE_FORMAT:
             return None
@@ -145,7 +233,7 @@ class ResultStore:
         ``verify`` reports them)."""
         out = []
         for path in self._object_files():
-            record = self._load_record(path)
+            record = self._load_record(path, quarantine=True)
             if record is None:
                 continue
             material = record.get("material") or {}
@@ -166,7 +254,8 @@ class ResultStore:
     # -- maintenance ----------------------------------------------------------
     def gc(self, *, wipe: bool = False) -> GcResult:
         """Remove stale cells (different code fingerprint); ``wipe`` removes
-        everything.  Corrupt object files are always removed."""
+        everything.  Corrupt object files and orphaned temp files from
+        interrupted writes are always removed."""
         result = GcResult()
         current = code_fingerprint()
         for path in list(self._object_files()):
@@ -183,6 +272,11 @@ class ResultStore:
                 path.unlink()
             else:
                 result.kept += 1
+        if self.objects_dir.is_dir():
+            for tmp in sorted(self.objects_dir.glob("*/*.tmp.*")):
+                result.tmp_removed += 1
+                result.bytes_freed += tmp.stat().st_size
+                tmp.unlink()
         if wipe and self.index_path.is_file():
             self.index_path.unlink()
         return result
@@ -192,9 +286,20 @@ class ResultStore:
 
         Checks every object parses, carries the current format, sits at the
         address its key claims, and that the key is in fact the canonical
-        digest of the stored material.
+        digest of the stored material; also flags orphaned temp files,
+        quarantined objects, and torn journal lines.
         """
         problems = []
+        if self.objects_dir.is_dir():
+            for tmp in sorted(self.objects_dir.glob("*/*.tmp.*")):
+                problems.append(
+                    f"{tmp.name}: orphaned temp file (interrupted write)")
+        if self.quarantine_dir.is_dir():
+            for q in sorted(self.quarantine_dir.iterdir()):
+                problems.append(
+                    f"quarantine/{q.name}: undecodable object set aside")
+        _, journal_problems = self.journal_entries()
+        problems.extend(journal_problems)
         for path in self._object_files():
             try:
                 with open(path, "r", encoding="utf-8") as fh:

@@ -19,7 +19,8 @@ def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
              dispatch=3.2, periodic=4.0, fastpath=1.5, striped=1.7,
              parallel=2.5, cpu_count=4, scale_speedup=4.0,
              scale_completed=True, trace_identical=True,
-             scale_parallel=1.8, scale_cpu_count=4):
+             scale_parallel=1.8, scale_cpu_count=4,
+             safety_overhead=1.6, fallback_correct=True):
     return {
         "pack": {
             "pack_speedup_vs_legacy": pack,
@@ -29,6 +30,10 @@ def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
         "incremental_checksum": {"incremental_speedup": incremental},
         "fletcher": {"fletcher64_gib_per_s": 8.0,
                      "striped_speedup_vs_seed": striped},
+        "tiered_persist": {"sim_safety_overhead": safety_overhead,
+                           "restore_fallback_correct": fallback_correct,
+                           "persist_gib_per_s": 0.6,
+                           "sha_share_of_persist": 0.55},
         "campaign": {"summaries_identical": identical,
                      "parallel_speedup": parallel,
                      "cpu_count": cpu_count},
@@ -134,6 +139,20 @@ class TestCompare:
         _, failures = compare_bench.compare(base, _results(scale_speedup=3.0),
                                             0.30)
         assert failures == []
+
+    def test_tiered_persist_safety_overhead_floor(self):
+        # A modeled atomic write cheaper than the unsafe one means the tier
+        # cost model broke — gated absolutely, not just vs the baseline.
+        fresh = _results(safety_overhead=0.9)
+        _, failures = compare_bench.compare(
+            _results(safety_overhead=0.95), fresh, 0.30)
+        assert any("below required floor 1.0" in f for f in failures)
+
+    def test_tiered_persist_fallback_flag_gated(self):
+        _, failures = compare_bench.compare(
+            _results(), _results(fallback_correct=False), 0.30)
+        assert any("tiered_persist.restore_fallback_correct" in f
+                   for f in failures)
 
     def test_scale_flags_gated(self):
         for kwargs, name in (

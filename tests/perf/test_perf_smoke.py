@@ -15,6 +15,7 @@ from benchmarks.perf.bench_checkpoint import (
     bench_fletcher,
     bench_incremental_checksum,
     bench_pack,
+    bench_tiered_persist,
     legacy_pack,
     run_all,
 )
@@ -63,6 +64,15 @@ class TestMicroBenchmarks:
         result = bench_campaign(seeds=2, workers=2, total_iterations=20)
         assert result["summaries_identical"]
         assert result["serial_s"] > 0 and result["parallel_s"] > 0
+
+    def test_bench_tiered_persist_gates_hold_at_smoke_size(self):
+        result = bench_tiered_persist(total_mib=TINY_MIB, nshards=4,
+                                      repeats=1)
+        assert result["persist_atomic_s"] > 0
+        assert result["persist_unsafe_s"] > 0
+        assert result["persist_gib_per_s"] > 0
+        assert result["sim_safety_overhead"] >= 1.0
+        assert result["restore_fallback_correct"]
 
     def test_legacy_pack_matches_zero_copy_pack(self):
         obj = MultiFieldState(4, int(TINY_MIB * (1 << 20)))
@@ -160,9 +170,12 @@ class TestRunBenchEntryPoint:
         payload = json.loads(out.read_text())
         assert payload["benchmark"] == "checkpoint_hot_path"
         assert set(payload["results"]) == {
-            "pack", "fletcher", "incremental_checksum", "campaign",
-            "des_dispatch", "des_periodic", "des_messages", "des_acr",
-            "bench_scale"}
+            "pack", "fletcher", "incremental_checksum", "tiered_persist",
+            "campaign", "des_dispatch", "des_periodic", "des_messages",
+            "des_acr", "bench_scale"}
+        tier = payload["results"]["tiered_persist"]
+        assert tier["restore_fallback_correct"]
+        assert tier["sim_safety_overhead"] >= 1.0
         scale = payload["results"]["bench_scale"]
         assert scale["completed"]
         assert scale["parallel_trace_identical"]

@@ -1,0 +1,100 @@
+"""Chaos fuzzing of the durable tiers: storage faults under every scheme.
+
+The fuzzer's storage axes (seed//12 enables tiers, seed//24 picks the
+unsafe protocol) ride on top of the base schedule draws, so seeds with
+storage disabled produce bitwise-identical schedules to the pre-tier
+fuzzer.  The monitored runs assert the recovery invariants hold while
+torn writes, bit rot, and write spikes land mid-flight.
+"""
+
+import pytest
+
+from repro.chaos.fuzzer import STORAGE_MODES, ChaosSchedule, fuzz_schedule
+from repro.chaos.runner import run_schedule
+from repro.faults.injector import STORAGE_FAULT_KINDS
+
+
+class TestFuzzerAxes:
+    def test_storage_axis_follows_seed_arithmetic(self):
+        for seed in range(48):
+            sched = fuzz_schedule(seed)
+            assert sched.storage_tiers == bool((seed // 12) % 2)
+            expected = "unsafe" if (seed // 24) % 2 else "atomic-dirsync"
+            assert sched.storage_protocol == expected
+
+    def test_storage_seeds_draw_storage_events(self):
+        sched = fuzz_schedule(12)
+        assert sched.storage_tiers
+        storage_events = [e for e in sched.events
+                          if e.kind in STORAGE_FAULT_KINDS]
+        assert storage_events
+        assert all(e.level in (2, 3) for e in storage_events)
+
+    def test_non_storage_seeds_draw_none(self):
+        for seed in range(12):
+            sched = fuzz_schedule(seed)
+            assert not sched.storage_tiers
+            assert not [e for e in sched.events
+                        if e.kind in STORAGE_FAULT_KINDS]
+
+    def test_all_storage_modes_reachable(self):
+        seen = set()
+        for seed in range(12, 24):
+            for e in fuzz_schedule(seed).events:
+                if e.kind in STORAGE_FAULT_KINDS:
+                    seen.add(e.kind)
+        for seed in range(36, 48):
+            for e in fuzz_schedule(seed).events:
+                if e.kind in STORAGE_FAULT_KINDS:
+                    seen.add(e.kind)
+        assert len(seen) >= 2  # the draw spans the mode table
+        assert len(STORAGE_MODES) == 3
+
+    def test_schedule_round_trips_storage_fields(self):
+        sched = fuzz_schedule(36)
+        back = ChaosSchedule.from_dict(sched.to_dict())
+        assert back.storage_tiers == sched.storage_tiers
+        assert back.storage_protocol == sched.storage_protocol
+        assert [e.level for e in back.events] == [e.level for e in sched.events]
+        assert back.to_dict() == sched.to_dict()
+
+    def test_legacy_schedule_dict_loads_without_storage_fields(self):
+        payload = fuzz_schedule(3).to_dict()
+        payload.pop("storage_tiers")
+        payload.pop("storage_protocol")
+        for e in payload["events"]:
+            e.pop("level")
+        back = ChaosSchedule.from_dict(payload)
+        assert not back.storage_tiers
+        assert back.storage_protocol == "atomic-dirsync"
+
+    def test_config_builds_tiers_only_when_enabled(self):
+        assert fuzz_schedule(0).config().storage_tiers == ()
+        tiers = fuzz_schedule(36).config().storage_tiers
+        assert [t.level for t in tiers] == [2, 3]
+        assert all(str(t.protocol) == "unsafe" for t in tiers)
+
+
+@pytest.mark.storage_smoke
+class TestMonitoredStorageRuns:
+    """Storage-fault seeds under the full invariant monitor.
+
+    Seeds 12-17 run the atomic-dirsync protocol, 36-41 the unsafe one —
+    both must satisfy every invariant, including storage-monotone and
+    storage-integrity (a restore never hands back torn/rotted state).
+    """
+
+    @pytest.mark.parametrize("seed", [12, 13, 14, 15, 16, 17,
+                                      36, 37, 38, 39, 40, 41])
+    def test_storage_seed_green(self, seed):
+        sched = fuzz_schedule(seed)
+        assert sched.storage_tiers
+        outcome = run_schedule(sched)
+        assert outcome.ok, (outcome.invariant, outcome.violation)
+        assert outcome.checks_performed > 0
+
+    def test_storage_outcome_is_deterministic(self):
+        a = run_schedule(fuzz_schedule(12))
+        b = run_schedule(fuzz_schedule(12))
+        assert (a.ok, a.completed, a.aborted_reason) == \
+            (b.ok, b.completed, b.aborted_reason)

@@ -1,0 +1,157 @@
+"""Durable tiers wired through the full DES framework, end to end."""
+
+import pytest
+
+from repro.core.config import ACRConfig
+from repro.core.events import TimelineKind
+from repro.core.framework import ACR
+from repro.faults.injector import FaultEvent, FaultKind, InjectionPlan
+from repro.harness.experiment import run_acr_experiment
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.tiers import default_tiers
+from repro.store.serialization import report_from_dict, report_to_dict
+
+TIERS = default_tiers(tier2_interval=2.0, tier3_interval=4.0)
+
+
+def _tiered(**kw):
+    defaults = dict(
+        nodes_per_replica=2,
+        total_iterations=30,
+        checkpoint_interval=1.0,
+        horizon=200.0,
+        seed=3,
+        storage_tiers=TIERS,
+    )
+    defaults.update(kw)
+    return run_acr_experiment(**defaults)
+
+
+class TestFailureFree:
+    def test_storage_disabled_by_default(self):
+        res = run_acr_experiment(nodes_per_replica=2, total_iterations=10,
+                                 horizon=50.0)
+        assert res.acr.storage is None
+        assert res.report.storage_counters == {}
+        assert res.acr.timeline.of_kind(TimelineKind.TIER_PERSIST) == []
+
+    def test_tiers_persist_on_their_intervals(self):
+        res = _tiered()
+        assert res.ok
+        counters = res.report.storage_counters
+        assert counters["tier2.persists"] >= 1
+        assert counters["tier3.persists"] >= 1
+        # Level 2 runs on the shorter period, so it persists at least as often.
+        assert counters["tier2.persists"] >= counters["tier3.persists"]
+        events = res.acr.timeline.of_kind(TimelineKind.TIER_PERSIST)
+        assert events
+        assert all(e.detail["outcome"] == "ok" for e in events)
+
+    def test_persist_time_lands_in_the_phase_breakdown(self):
+        res = _tiered()
+        rep = res.report
+        assert rep.phase_times.get("checkpoint.tier2-persist", 0.0) > 0.0
+        assert rep.phase_time_sum == pytest.approx(
+            rep.checkpoint_time + rep.recovery_time)
+
+    def test_async_mode_persists_in_the_background(self):
+        config = ACRConfig(checkpoint_interval=1.0, total_iterations=30,
+                           async_checkpointing=True, seed=3,
+                           storage_tiers=TIERS)
+        acr = ACR(nodes_per_replica=2, config=config)
+        rep = acr.run(until=200.0)
+        assert rep.completed
+        assert rep.storage_counters["tier2.persists"] >= 1
+        # The group write streams behind the application, so the tier cost
+        # shows in checkpoint_time but not in the blocking share.
+        assert rep.checkpoint_blocking_time < rep.checkpoint_time
+
+    def test_metrics_snapshot_exports_tier_counters(self):
+        res = _tiered(metrics=MetricsRegistry())
+        snap = res.report.metrics_snapshot
+        assert snap is not None
+        storage_keys = [k for k in snap["counters"] if k.startswith("storage.")]
+        assert storage_keys
+        assert any("level=2" in k for k in storage_keys)
+
+
+class TestTierRestore:
+    def test_buddy_pair_death_restores_from_durable_tier(self):
+        # Both halves of a buddy pair die inside one detection window: the
+        # in-memory double checkpoint is gone.  Without tiers that means
+        # restart-from-beginning; with them, recovery resumes from the last
+        # persisted generation.
+        plan = InjectionPlan([
+            FaultEvent(time=2.5, kind=FaultKind.HARD, replica=0, node_id=0),
+            FaultEvent(time=2.51, kind=FaultKind.HARD, replica=1, node_id=0),
+        ])
+        res = _tiered(scheme="weak", total_iterations=60,
+                      injection_plan=plan,
+                      storage_tiers=default_tiers(tier2_interval=1.0,
+                                                  tier3_interval=2.0))
+        assert res.ok
+        assert res.report.recoveries.get("tier-restore", 0) >= 1
+        restores = [e for e in res.acr.timeline.of_kind(
+            TimelineKind.TIER_RESTORE) if e.detail.get("hit")]
+        assert restores
+        assert restores[0].detail["iteration"] > 0
+        assert res.report.storage_counters["tier2.restore_hits"] >= 1
+        assert res.report.phase_times.get("recovery.tier2-read", 0.0) > 0.0
+        assert res.report.result_correct is True
+
+    def test_without_tiers_the_same_crash_restarts_from_beginning(self):
+        plan = InjectionPlan([
+            FaultEvent(time=2.5, kind=FaultKind.HARD, replica=0, node_id=0),
+            FaultEvent(time=2.51, kind=FaultKind.HARD, replica=1, node_id=0),
+        ])
+        res = _tiered(scheme="weak", total_iterations=60,
+                      injection_plan=plan, storage_tiers=())
+        assert res.ok
+        assert res.report.recoveries.get("restart-from-beginning", 0) >= 1
+        assert res.report.recoveries.get("tier-restore", 0) == 0
+
+
+class TestStorageFaultInjection:
+    def test_injected_torn_write_is_recorded_and_counted(self):
+        plan = InjectionPlan([
+            # Armed before the first persist (~t=1.4) so that write trips it.
+            FaultEvent(time=0.5, kind=FaultKind.TORN_WRITE, replica=0,
+                       node_id=0, level=2),
+        ])
+        res = _tiered(injection_plan=plan,
+                      storage_tiers=default_tiers(tier2_interval=1.0,
+                                                  tier3_interval=50.0))
+        assert res.ok
+        injected = res.acr.timeline.of_kind(
+            TimelineKind.STORAGE_FAULT_INJECTED)
+        assert len(injected) == 1
+        assert injected[0].detail["level"] == 2
+        counters = res.report.storage_counters
+        # Default protocol is atomic-dirsync: the tear aborts the write.
+        assert counters["tier2.aborted_writes"] == 1
+
+    def test_write_spike_inflates_one_persist(self):
+        base = _tiered().report.phase_times["checkpoint.tier2-persist"]
+        plan = InjectionPlan([
+            FaultEvent(time=0.5, kind=FaultKind.WRITE_SPIKE, replica=0,
+                       node_id=0, level=2),
+        ])
+        spiked = _tiered(injection_plan=plan)
+        assert spiked.report.storage_counters["tier2.write_spikes"] == 1
+        assert (spiked.report.phase_times["checkpoint.tier2-persist"]
+                > base)
+
+
+class TestSerialization:
+    def test_report_round_trips_storage_counters(self):
+        rep = _tiered().report
+        payload = report_to_dict(rep)
+        back = report_from_dict(payload)
+        assert back.storage_counters == rep.storage_counters
+        assert back.storage_counters["tier2.persists"] >= 1
+
+    def test_legacy_payload_without_storage_counters_loads(self):
+        payload = report_to_dict(_tiered().report)
+        payload.pop("storage_counters")
+        legacy = report_from_dict(payload)
+        assert legacy.storage_counters == {}

@@ -1,0 +1,193 @@
+"""Crash-durability of the on-disk ResultStore.
+
+Covers the three durability bugs fixed alongside the tier work: fsync
+ordering in ``put`` (data before rename, directory entry after), the
+single-buffer journal append with torn-tail tolerance, and quarantine /
+temp-file sweeping for interrupted or corrupt writes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.store import KIND_RUN_REPORT, ResultStore, code_fingerprint
+
+pytestmark = pytest.mark.storage_smoke
+
+
+def _material(seed=1):
+    return {
+        "kind": KIND_RUN_REPORT,
+        "app": "synthetic",
+        "seed": seed,
+        "config": {"horizon": 10.0},
+        "code": code_fingerprint(),
+    }
+
+
+class Crash(RuntimeError):
+    """Stands in for the process dying mid-write."""
+
+
+def _crash_on(monkeypatch, name, call_index=1):
+    """Make the ``call_index``-th call to ``os.<name>`` raise :class:`Crash`."""
+    real = getattr(os, name)
+    calls = {"n": 0}
+
+    def wrapper(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == call_index:
+            raise Crash(f"simulated crash in os.{name}")
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(os, name, wrapper)
+
+
+class TestFsyncOrdering:
+    def test_data_is_synced_before_the_rename(self, tmp_path, monkeypatch):
+        calls = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def rec_fsync(fd):
+            calls.append("fsync")
+            return real_fsync(fd)
+
+        def rec_replace(src, dst):
+            calls.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", rec_fsync)
+        monkeypatch.setattr(os, "replace", rec_replace)
+        ResultStore(tmp_path).put(_material(), {"v": 1}, kind=KIND_RUN_REPORT)
+
+        assert "replace" in calls
+        rename_at = calls.index("replace")
+        # The object's bytes reach the platter before the rename publishes
+        # them; the directory entry and the journal line are synced after.
+        assert calls[:rename_at].count("fsync") >= 1
+        assert calls[rename_at + 1:].count("fsync") >= 2
+
+
+class TestCrashKillPoints:
+    """Interrupt ``put`` at each step; the store must stay sound."""
+
+    @pytest.mark.parametrize("os_call, index, tmp_left", [
+        ("write", 1, True),     # crash writing the temp file
+        ("fsync", 1, True),     # crash syncing the temp file
+        ("replace", 1, True),   # crash before the rename publishes
+        ("write", 2, False),    # crash appending the journal line
+    ])
+    def test_interrupted_put_leaves_no_torn_record(
+            self, tmp_path, monkeypatch, os_call, index, tmp_left):
+        store = ResultStore(tmp_path)
+        store.put(_material(seed=1), {"v": 1}, kind=KIND_RUN_REPORT)
+        with pytest.raises(Crash):
+            _crash_on(monkeypatch, os_call, index)
+            store.put(_material(seed=2), {"v": 2}, kind=KIND_RUN_REPORT)
+        monkeypatch.undo()
+
+        # The record written before the crash is untouched.
+        assert store.get(_material(seed=1)) == {"v": 1}
+        if tmp_left:
+            # The interrupted write never published: a miss, plus an
+            # orphaned temp file that verify flags and gc sweeps.
+            assert store.get(_material(seed=2)) is None
+            assert any("orphaned temp file" in p for p in store.verify())
+            result = store.gc()
+            assert result.tmp_removed == 1
+            assert not list(tmp_path.rglob("*.tmp.*"))
+            assert store.verify() == []
+        else:
+            # Crash after the rename: the object is durable even though
+            # its journal line is lost.
+            assert store.get(_material(seed=2)) == {"v": 2}
+            assert store.verify() == []
+
+    def test_put_succeeds_after_an_interrupted_attempt(
+            self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        with pytest.raises(Crash):
+            _crash_on(monkeypatch, "replace", 1)
+            store.put(_material(), {"v": 1}, kind=KIND_RUN_REPORT)
+        monkeypatch.undo()
+        store.put(_material(), {"v": 2}, kind=KIND_RUN_REPORT)
+        assert store.get(_material()) == {"v": 2}
+
+
+class TestJournal:
+    def test_torn_trailing_line_is_tolerated_and_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(seed=1), {}, kind=KIND_RUN_REPORT)
+        store.put(_material(seed=2), {}, kind=KIND_RUN_REPORT)
+        with open(store.index_path, "ab") as fh:
+            fh.write(b'{"key": "cut-off-mid-app')  # no trailing newline
+        entries, problems = store.journal_entries()
+        assert [e["seed"] for e in entries] == [1, 2]
+        assert len(problems) == 1
+        assert "torn trailing line" in problems[0]
+        assert any("torn trailing line" in p for p in store.verify())
+
+    def test_undecodable_mid_file_line_is_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(seed=1), {}, kind=KIND_RUN_REPORT)
+        store.put(_material(seed=2), {}, kind=KIND_RUN_REPORT)
+        lines = store.index_path.read_text().splitlines()
+        lines.insert(1, "%% not json %%")
+        store.index_path.write_text("\n".join(lines) + "\n")
+        entries, problems = store.journal_entries()
+        assert len(entries) == 2
+        assert any("undecodable line 2" in p for p in problems)
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        entries, problems = ResultStore(tmp_path).journal_entries()
+        assert entries == [] and problems == []
+
+
+class TestQuarantine:
+    def test_corrupt_object_is_quarantined_on_read(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(_material(), {"v": 1}, kind=KIND_RUN_REPORT)
+        store.object_path(key).write_text("{not json")
+        assert store.get(_material()) is None
+        # Moved aside, so the address is writable again instead of the
+        # corrupt file shadowing it forever.
+        assert not store.object_path(key).exists()
+        assert (store.quarantine_dir / f"{key}.json").is_file()
+        assert any("quarantine" in p for p in store.verify())
+        store.put(_material(), {"v": 2}, kind=KIND_RUN_REPORT)
+        assert store.get(_material()) == {"v": 2}
+
+    def test_wrong_format_is_a_miss_but_not_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = store.put(_material(), {"v": 1}, kind=KIND_RUN_REPORT)
+        path = store.object_path(key)
+        record = json.loads(path.read_text())
+        record["format"] = 99
+        path.write_text(json.dumps(record))
+        assert store.get(_material()) is None
+        assert path.exists()  # decodable, just foreign: gc's business
+
+    def test_entries_skip_and_quarantine_corrupt_objects(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(seed=1), {}, kind=KIND_RUN_REPORT)
+        key = store.put(_material(seed=2), {}, kind=KIND_RUN_REPORT)
+        store.object_path(key).write_text("junk")
+        listed = store.entries()
+        assert [e.seed for e in listed] == [1]
+        assert (store.quarantine_dir / f"{key}.json").is_file()
+
+
+class TestTmpSweep:
+    def test_gc_sweeps_orphaned_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_material(), {}, kind=KIND_RUN_REPORT)
+        orphan = store.objects_dir / "ab" / "deadbeef.json.tmp.12345"
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_text("partial write")
+        assert any("orphaned temp file" in p for p in store.verify())
+        result = store.gc()
+        assert result.tmp_removed == 1
+        assert result.kept == 1
+        assert not orphan.exists()
+        assert store.verify() == []

@@ -1,0 +1,85 @@
+"""TierSpec cost model, protocols, and the per-level interval planner."""
+
+import pytest
+
+from repro.model.multilevel import plan_tier_intervals, tier_interval
+from repro.storage.tiers import (
+    NODE_LOCAL_TIER,
+    SHARED_FS_TIER,
+    TierSpec,
+    WriteProtocol,
+    default_tiers,
+)
+from repro.util.errors import ConfigurationError
+
+MIB = 1024 * 1024
+
+
+class TestSpecValidation:
+    def test_level_must_be_2_or_3(self):
+        with pytest.raises(ConfigurationError):
+            TierSpec(level=1, name="x", write_latency=0.0,
+                     write_bandwidth=1e9, read_latency=0.0,
+                     read_bandwidth=1e9)
+
+    def test_bandwidths_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            NODE_LOCAL_TIER.__class__(**{
+                **NODE_LOCAL_TIER.__dict__, "write_bandwidth": 0.0})
+
+    def test_failure_share_bounds(self):
+        with pytest.raises(ConfigurationError):
+            TierSpec(level=2, name="x", write_latency=0.0,
+                     write_bandwidth=1e9, read_latency=0.0,
+                     read_bandwidth=1e9, failure_share=0.0)
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            NODE_LOCAL_TIER.with_interval(0.0)
+
+
+class TestCostModel:
+    def test_atomic_write_costs_more_than_unsafe(self):
+        atomic = NODE_LOCAL_TIER.with_protocol(WriteProtocol.ATOMIC_DIRSYNC)
+        unsafe = NODE_LOCAL_TIER.with_protocol(WriteProtocol.UNSAFE)
+        assert (atomic.write_time(64 * MIB, 8)
+                > unsafe.write_time(64 * MIB, 8))
+
+    def test_atomic_pays_one_fsync_per_shard_plus_dirsync(self):
+        atomic = NODE_LOCAL_TIER.with_protocol(WriteProtocol.ATOMIC_DIRSYNC)
+        unsafe = NODE_LOCAL_TIER.with_protocol(WriteProtocol.UNSAFE)
+        gap = atomic.write_time(MIB, 8) - unsafe.write_time(MIB, 8)
+        assert gap == pytest.approx(NODE_LOCAL_TIER.fsync_time * 9)
+
+    def test_safety_overhead_at_least_one(self):
+        for spec in default_tiers():
+            assert spec.safety_overhead(64 * MIB, 8) >= 1.0
+
+    def test_read_time_scales_with_bytes(self):
+        assert (SHARED_FS_TIER.read_time(64 * MIB)
+                > SHARED_FS_TIER.read_time(MIB))
+
+    def test_default_tiers_are_levels_2_and_3(self):
+        t2, t3 = default_tiers()
+        assert (t2.level, t3.level) == (2, 3)
+        t2u, _ = default_tiers(protocol=WriteProtocol.UNSAFE)
+        assert t2u.protocol is WriteProtocol.UNSAFE
+
+
+class TestIntervalPlanner:
+    def test_pinned_interval_wins(self):
+        spec = NODE_LOCAL_TIER.with_interval(42.0)
+        assert tier_interval(spec, 64 * MIB, 8) == 42.0
+
+    def test_daly_interval_grows_with_mtbf(self):
+        fast = tier_interval(NODE_LOCAL_TIER, 64 * MIB, 8)
+        slow = tier_interval(SHARED_FS_TIER, 64 * MIB, 8)
+        # level 3 has both a higher delta and a longer assumed MTBF
+        assert slow > fast > 0.0
+
+    def test_plan_orders_by_level_and_bounds_overhead(self):
+        plans = plan_tier_intervals(default_tiers(), 64 * MIB, 8)
+        assert [p.level for p in plans] == [2, 3]
+        for p in plans:
+            assert 0.0 < p.overhead < 0.5
+            assert p.interval > p.delta
