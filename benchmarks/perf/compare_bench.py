@@ -49,6 +49,9 @@ GATED_MINIMUMS = (
     # The atomic protocol can never be cheaper than streaming straight to
     # the final location — a ratio below 1 means the cost model broke.
     ("tiered_persist", "sim_safety_overhead", 1.0),
+    # Streaming telemetry at the default cadence must stay within ~5% of
+    # the unsampled engine throughput — observability is opt-in AND cheap.
+    ("obs_stream", "sampled_rate_ratio", 0.95),
 )
 
 #: (section, metric) booleans that must stay true.
@@ -75,6 +78,8 @@ INFORMATIONAL = (
     ("des_dispatch", "events_per_s"),
     ("des_acr", "events_per_s"),
     ("des_acr", "legacy_equivalent_events_per_s"),
+    ("obs_stream", "sampled_events_per_s"),
+    ("obs_stream", "unsampled_events_per_s"),
     ("bench_scale", "events_per_s"),
     ("bench_scale", "legacy_equivalent_events_per_s"),
     ("bench_scale", "node_iterations_per_s"),

@@ -32,6 +32,7 @@ import numpy as np  # noqa: E402
 
 from benchmarks.perf.bench_checkpoint import run_all  # noqa: E402
 from benchmarks.perf.bench_des import run_all_des  # noqa: E402
+from benchmarks.perf.bench_obs_stream import run_all_obs  # noqa: E402
 from benchmarks.perf.bench_scale import run_all_scale  # noqa: E402
 
 
@@ -51,6 +52,8 @@ def main(argv: list[str] | None = None) -> int:
     results = run_all(quick=args.quick, total_mib=args.mib,
                       repeats=args.repeats)
     results.update(run_all_des(quick=args.quick,
+                               repeats=min(args.repeats, 3)))
+    results.update(run_all_obs(quick=args.quick,
                                repeats=min(args.repeats, 3)))
     results.update(run_all_scale(
         quick=args.quick,
@@ -100,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
           f"msg fastpath {msg['fastpath_speedup']:.2f}x")
     print(f"acr run     {acr['events']} events in {acr['wall_s']:.2f}s "
           f"({acr['events_per_s'] / 1e3:.0f}k ev/s end-to-end)")
+    obs = results["obs_stream"]
+    print(f"obs stream  {obs['samples']} samples every {obs['interval']:g} "
+          f"sim-s (+{obs['extra_events']} events): "
+          f"{obs['sampled_rate_ratio']:.3f}x unsampled throughput")
     scale = results["bench_scale"]
     print(f"scale       {scale['nodes']} nodes x{scale['total_iterations']} "
           f"iters in {scale['wall_s']:.1f}s "

@@ -22,6 +22,7 @@ from repro.chaos.shrinker import ShrinkResult, shrink_schedule
 from repro.chaos.fuzzer import ChaosSchedule
 from repro.harness.campaign import effective_workers, fan_out
 from repro.obs.metrics import merge_snapshots
+from repro.obs.progress import ProgressTracker
 from repro.store import (
     KIND_CHAOS_OUTCOME,
     ResultStore,
@@ -56,8 +57,9 @@ class ChaosCampaignResult:
         return sum(o.checks_performed for o in self.outcomes)
 
     def merged_metrics(self) -> dict:
-        """Campaign-wide metrics snapshot (counters add, gauges take max,
-        histograms merge bucket-wise across every schedule's run)."""
+        """Campaign-wide metrics snapshot (counters add, gauges last-writer
+        by worker index, histograms merge bucket-wise across every
+        schedule's run)."""
         return merge_snapshots([o.metrics for o in self.outcomes])
 
     def coverage(self) -> dict[str, int]:
@@ -84,6 +86,8 @@ def run_chaos_campaign(
     cache: ResultStore | None = None,
     cache_dir: str | None = None,
     resume: bool = True,
+    flight_dir: str | None = None,
+    progress: ProgressTracker | None = None,
 ) -> ChaosCampaignResult:
     """Fuzz + run + verify one schedule per seed; shrink any failures.
 
@@ -93,6 +97,14 @@ def run_chaos_campaign(
     to the serial path.  ``cache`` /
     ``cache_dir`` persist each verdict as it completes and — with ``resume``
     (the default) — load cached verdicts instead of re-running them.
+
+    ``flight_dir`` arms a flight recorder on every run: failing seeds dump
+    their recent-event tail plus the replayable schedule there (see
+    :func:`repro.chaos.runner.run_schedule`).  When a result store is
+    configured and no explicit ``flight_dir`` is given, dumps land in the
+    store's ``quarantine/`` directory — forensic artifacts live next to the
+    other objects the store had to set aside.  ``progress`` receives a tick
+    per verdict (cached, passed, or failed).
     """
     if isinstance(seeds, int):
         seeds = range(seeds)
@@ -102,6 +114,8 @@ def run_chaos_campaign(
     store = cache if cache is not None else (
         ResultStore(cache_dir) if cache_dir is not None else None
     )
+    if flight_dir is None and store is not None:
+        flight_dir = str(store.quarantine_dir)
 
     outcomes: list[ChaosOutcome | None] = [None] * len(seed_list)
     materials: dict[int, dict] = {}
@@ -115,6 +129,8 @@ def run_chaos_campaign(
                 if payload is not None:
                     outcomes[pos] = outcome_from_dict(payload)
                     hits += 1
+                    if progress is not None:
+                        progress.cell_cached()
                     continue
         pending.append((pos, seed))
 
@@ -125,6 +141,11 @@ def run_chaos_campaign(
                 materials[pos], outcome_to_dict(outcome),
                 kind=KIND_CHAOS_OUTCOME,
             )
+        if progress is not None:
+            if outcome.ok:
+                progress.cell_completed()
+            else:
+                progress.cell_failed()
 
     if pending:
         nworkers = effective_workers(workers, len(pending))
@@ -133,15 +154,17 @@ def run_chaos_campaign(
             positions = [pos for pos, _ in pending]
             done = fan_out(
                 run_chaos_seed,
-                [(seed, app) for _, seed in pending],
+                [(seed, app, flight_dir) for _, seed in pending],
                 nworkers,
                 on_result=lambda j, outcome: commit(positions[j], outcome),
             )
         if done is None:
             for pos, seed in pending:
                 if outcomes[pos] is None:
-                    commit(pos, run_chaos_seed(seed, app))
+                    commit(pos, run_chaos_seed(seed, app, flight_dir))
 
+    if progress is not None:
+        progress.finish()
     final = [o for o in outcomes if o is not None]
     assert len(final) == len(seed_list)
     result = ChaosCampaignResult(

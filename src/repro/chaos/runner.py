@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.chaos.fuzzer import ChaosSchedule, fuzz_schedule
 from repro.chaos.monitor import InvariantMonitor, InvariantViolation
 from repro.core.events import TimelineKind
+from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.util.errors import ACRError
 
@@ -43,9 +44,13 @@ class ChaosOutcome:
     fingerprint: str = ""
     schedule: dict = field(default_factory=dict)
     #: End-of-run metrics snapshot (plain dict, see
-    #: :meth:`repro.obs.metrics.MetricsRegistry.snapshot`) — the flight
-    #: recorder a failing schedule ships home alongside its repro plan.
+    #: :meth:`repro.obs.metrics.MetricsRegistry.snapshot`) — shipped home
+    #: alongside the repro plan for every schedule, passing or failing.
     metrics: dict = field(default_factory=dict)
+    #: Path of the flight-recorder artifact dumped for a failing run (None
+    #: for passing runs or when no ``flight_dir`` was configured); see
+    #: :class:`repro.obs.flight.FlightRecorder`.
+    flight_path: str | None = None
 
     @property
     def scheme(self) -> str:
@@ -63,13 +68,26 @@ def _fingerprint(report) -> str:
     return h.hexdigest()
 
 
-def run_schedule(schedule: ChaosSchedule) -> ChaosOutcome:
-    """Run one schedule to its horizon with every invariant armed."""
+def run_schedule(schedule: ChaosSchedule, *,
+                 flight_dir: str | None = None,
+                 flight_capacity: int = DEFAULT_FLIGHT_CAPACITY) -> ChaosOutcome:
+    """Run one schedule to its horizon with every invariant armed.
+
+    With ``flight_dir`` set, a :class:`~repro.obs.flight.FlightRecorder`
+    rides along (passively — it never schedules events, so the execution is
+    unchanged) and a failing run dumps its event tail plus the replayable
+    schedule to ``<flight_dir>/flight-seed<seed>.json``; the artifact path
+    comes back on :attr:`ChaosOutcome.flight_path`.
+    """
     from repro.core.framework import ACR
 
     acr = ACR(schedule.app, nodes_per_replica=schedule.nodes_per_replica,
               config=schedule.config(), injection_plan=schedule.plan(),
               metrics=MetricsRegistry())
+    flight = None
+    if flight_dir is not None:
+        flight = FlightRecorder(capacity=flight_capacity)
+        flight.attach(acr)
     monitor = InvariantMonitor().attach(acr)
     outcome = ChaosOutcome(seed=schedule.seed, ok=True,
                            schedule=schedule.to_dict())
@@ -102,9 +120,28 @@ def run_schedule(schedule: ChaosSchedule) -> ChaosOutcome:
     # Snapshot even when the run died mid-protocol: the metrics of a failing
     # schedule are exactly the ones worth keeping.
     outcome.metrics = acr.metrics_snapshot()
+    if flight is not None:
+        flight.detach()
+        if not outcome.ok:
+            from pathlib import Path
+
+            path = Path(flight_dir) / f"flight-seed{schedule.seed}.json"
+            flight.dump(
+                path,
+                reason="invariant_violation" if outcome.invariant != "no-crash"
+                else "run_raised",
+                invariant=outcome.invariant,
+                violation=outcome.violation,
+                schedule=outcome.schedule,
+                context={"seed": schedule.seed,
+                         "final_time": outcome.final_time,
+                         "fingerprint": outcome.fingerprint},
+            )
+            outcome.flight_path = str(path)
     return outcome
 
 
-def run_chaos_seed(seed: int, app: str = "jacobi3d-charm") -> ChaosOutcome:
+def run_chaos_seed(seed: int, app: str = "jacobi3d-charm",
+                   flight_dir: str | None = None) -> ChaosOutcome:
     """Fuzz + run one seed end to end (module-level, hence picklable)."""
-    return run_schedule(fuzz_schedule(seed, app=app))
+    return run_schedule(fuzz_schedule(seed, app=app), flight_dir=flight_dir)

@@ -87,6 +87,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="trace file format (default: chrome)")
     run_p.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the run's metrics-registry snapshot as JSON")
+    run_p.add_argument("--series-out", default=None, metavar="FILE",
+                       help="sample the metrics registry periodically and "
+                            "write the time series (arms an in-sim sampling "
+                            "timer; the run stays deterministic but is a "
+                            "different execution than an unsampled one)")
+    run_p.add_argument("--series-interval", type=float, default=None,
+                       metavar="S",
+                       help="sampling period in simulated seconds "
+                            "(default: 5.0)")
+    run_p.add_argument("--series-format", default="json",
+                       choices=["json", "jsonl", "openmetrics"],
+                       help="series file format (openmetrics exports the "
+                            "final sample as Prometheus text)")
 
     model_p = sub.add_parser("model", help="query the Section-5 model")
     model_p.add_argument("--sockets", type=int, default=16384,
@@ -126,6 +139,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="metrics JSON from `repro run --metrics-out`")
     report_p.add_argument("--trace", default=None, metavar="FILE",
                           help="Chrome trace JSON from `repro run --trace-out`")
+    report_p.add_argument("--series", default=None, metavar="FILE",
+                          help="time-series JSON from "
+                               "`repro run --series-out`")
+    report_p.add_argument("--format", default="table",
+                          choices=["table", "json"],
+                          help="render tables (default) or one JSON document")
 
     campaign_p = sub.add_parser(
         "campaign",
@@ -153,6 +172,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_p.add_argument("--checksum", action="store_true")
     campaign_p.add_argument("--horizon", type=float, default=10_000.0)
     campaign_p.add_argument("--spare-nodes", type=int, default=64)
+    _add_progress_flags(campaign_p)
     _add_cache_flags(campaign_p)
 
     store_p = sub.add_parser(
@@ -191,9 +211,43 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--out", default=None, metavar="DIR",
                          help="write minimized repro plans as JSON into DIR")
     chaos_p.add_argument("--replay", default=None, metavar="PLAN.json",
-                         help="replay one serialized schedule instead of fuzzing")
+                         help="replay one serialized schedule — or a "
+                              "flight-recorder artifact, whose embedded "
+                              "schedule is replayed — instead of fuzzing")
+    chaos_p.add_argument("--flight-dir", default=None, metavar="DIR",
+                         help="arm a flight recorder on every run; failing "
+                              "seeds dump their event tail + repro plan here "
+                              "(default: the result store's quarantine/ "
+                              "when caching is on)")
+    _add_progress_flags(chaos_p)
     _add_cache_flags(chaos_p, default_off=True)
     return parser
+
+
+def _add_progress_flags(parser: argparse.ArgumentParser) -> None:
+    """--progress / --progress-file on a sweep subcommand."""
+    parser.add_argument("--progress", action="store_true",
+                        help="render live per-cell progress (cells/s, "
+                             "cache-hit rate, ETA) while the sweep runs")
+    parser.add_argument("--progress-file", default=None, metavar="FILE",
+                        help="atomically rewrite FILE with a JSON progress "
+                             "snapshot on every cell (poll it from outside)")
+
+
+def _progress_for(args: argparse.Namespace, total: int, label: str):
+    """The ProgressTracker the progress flags select (or None)."""
+    if not args.progress and args.progress_file is None:
+        return None
+    from repro.obs import ProgressTracker, render_progress_line
+
+    on_event = None
+    if args.progress:
+        def on_event(event: dict) -> None:
+            end = "\n" if event["done"] else ""
+            print("\r\x1b[K" + render_progress_line(event),
+                  end=end, file=sys.stderr, flush=True)
+    return ProgressTracker(total, on_event=on_event,
+                           path=args.progress_file, label=label)
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser,
@@ -249,7 +303,7 @@ def _phase_breakdown_rows(phase_times: dict[str, float],
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    tracer = metrics = None
+    tracer = metrics = series = None
     if args.trace_out is not None:
         from repro.obs import SpanTracer
 
@@ -258,6 +312,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
+    if args.series_out is not None:
+        from repro.obs import DEFAULT_SERIES_INTERVAL, TimeSeriesRecorder
+
+        series = TimeSeriesRecorder(
+            interval=args.series_interval or DEFAULT_SERIES_INTERVAL)
+    elif args.series_interval is not None:
+        print("--series-interval has no effect without --series-out",
+              file=sys.stderr)
+        return 2
     storage_tiers: tuple = ()
     if args.tiers != "off":
         from repro.storage.tiers import (
@@ -289,6 +352,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         storage_tiers=storage_tiers,
         tracer=tracer,
         metrics=metrics,
+        series=series,
     )
     r = result.report
     rows = [
@@ -336,11 +400,48 @@ def _cmd_run(args: argparse.Namespace) -> int:
         write_metrics(r.metrics_snapshot or {}, args.metrics_out,
                       app=args.app, scheme=args.scheme, seed=args.seed)
         print(f"metrics written to {args.metrics_out}")
+    if series is not None:
+        from repro.obs import write_series
+
+        write_series(args.series_out, r.series or series.to_dict(),
+                     fmt=args.series_format)
+        print(f"series written to {args.series_out} "
+              f"({len(series)} samples x {len(series.keys())} metrics, "
+              f"every {series.interval:g} sim-s)")
     return 0 if (r.completed and r.aborted_reason is None) else 1
+
+
+def _series_trends(series: dict) -> dict:
+    """Per-metric first/last/delta trend summary of a series payload."""
+    from repro.obs import TimeSeriesRecorder
+
+    rec = TimeSeriesRecorder.from_dict(series)
+    trends: dict = {"samples": len(rec), "interval": rec.interval,
+                    "span_s": (rec.times[-1] - rec.times[0]) if rec.times
+                    else 0.0,
+                    "counters": {}, "gauges": {}}
+    for key, col in sorted(rec.counters.items()):
+        trends["counters"][key] = {
+            "first": col[0] if col else 0.0,
+            "last": col[-1] if col else 0.0,
+            "delta": (col[-1] - col[0]) if col else 0.0,
+            "deltas": rec.deltas(key),
+        }
+    for key, col in sorted(rec.gauges.items()):
+        trends["gauges"][key] = {
+            "first": col[0] if col else 0.0,
+            "last": col[-1] if col else 0.0,
+            "min": min(col) if col else 0.0,
+            "max": max(col) if col else 0.0,
+            "values": list(col),
+        }
+    return trends
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render telemetry files written by ``repro run``."""
+    import json
+
     from repro.obs import (
         load_json,
         snapshot_percentile,
@@ -348,13 +449,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
         validate_chrome_trace,
     )
 
-    if args.metrics is None and args.trace is None:
-        print("nothing to report: pass --metrics and/or --trace",
+    if args.metrics is None and args.trace is None and args.series is None:
+        print("nothing to report: pass --metrics, --trace and/or --series",
               file=sys.stderr)
         return 2
     status = 0
+    as_json = args.format == "json"
+    document: dict = {}
     if args.metrics is not None:
         snap = load_json(args.metrics)
+        if as_json:
+            document["metrics"] = snap
+            snap = {}
         gauges = snap.get("gauges", {})
         prefix = "acr.phase_time_s{phase="
         phase_times = {k[len(prefix):-1]: v for k, v in gauges.items()
@@ -418,12 +524,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
             status = 1
         else:
             summary = trace_phase_summary(payload)
+            if as_json:
+                document["trace"] = {
+                    "events": len(payload["traceEvents"]),
+                    "spans": {name: {"count": count, "total_s": total}
+                              for name, (count, total) in summary.items()},
+                }
+            else:
+                print(format_table(
+                    ["span", "count", "total (s)"],
+                    [[name, count, round(total, 4)]
+                     for name, (count, total) in sorted(summary.items())],
+                    title=f"trace span summary ({args.trace}, "
+                          f"{len(payload['traceEvents'])} events)"))
+    if args.series is not None:
+        trends = _series_trends(load_json(args.series))
+        if as_json:
+            document["series"] = trends
+        else:
+            from repro.viz import sparkline
+
+            rows = []
+            for key, tr in trends["counters"].items():
+                rows.append([key, tr["first"], tr["last"],
+                             round(tr["delta"], 4),
+                             sparkline(tr["deltas"], width=24)
+                             if tr["deltas"] else ""])
+            for key, tr in trends["gauges"].items():
+                rows.append([key, round(tr["first"], 4),
+                             round(tr["last"], 4), "-",
+                             sparkline(tr["values"], width=24)
+                             if tr["values"] else ""])
             print(format_table(
-                ["span", "count", "total (s)"],
-                [[name, count, round(total, 4)]
-                 for name, (count, total) in sorted(summary.items())],
-                title=f"trace span summary ({args.trace}, "
-                      f"{len(payload['traceEvents'])} events)"))
+                ["metric", "first", "last", "delta",
+                 "trend (deltas/values)"],
+                rows,
+                title=f"time-series trends ({args.series}, "
+                      f"{trends['samples']} samples over "
+                      f"{trends['span_s']:g} sim-s)"))
+            print()
+    if as_json:
+        print(json.dumps(document, indent=2, sort_keys=True))
     return status
 
 
@@ -588,12 +729,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.harness.campaign import run_campaign
 
     store = _store_for(args)
+    progress = _progress_for(args, args.seeds, "campaign")
     result = run_campaign(
         args.app,
         seeds=range(args.seed_start, args.seed_start + args.seeds),
         workers=args.workers,
         cache=store,
         resume=not args.no_resume,
+        progress=progress,
         nodes_per_replica=args.nodes,
         scheme=args.scheme,
         mapping=args.mapping,
@@ -691,8 +834,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
 
     if args.replay is not None:
+        import json
+
+        from repro.obs import is_flight_artifact
+
         with open(args.replay, "r", encoding="utf-8") as fh:
-            schedule = ChaosSchedule.from_json(fh.read())
+            payload = json.load(fh)
+        if is_flight_artifact(payload):
+            # A flight-recorder dump embeds the replayable schedule: replay
+            # the exact execution whose event tail the artifact shows.
+            if not payload.get("schedule"):
+                print(f"{args.replay}: flight artifact has no embedded "
+                      f"schedule", file=sys.stderr)
+                return 2
+            schedule = ChaosSchedule.from_dict(payload["schedule"])
+            print(f"flight artifact: replaying embedded schedule "
+                  f"(seed {schedule.seed}, reason {payload.get('reason')!r}, "
+                  f"{len(payload.get('events', []))} tail events)")
+        else:
+            schedule = ChaosSchedule.from_dict(payload)
         outcome = run_schedule(schedule)
         rows = [
             ["seed", outcome.seed],
@@ -710,10 +870,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                            title=f"chaos replay: {args.replay}"))
         return 0 if outcome.ok else 1
 
+    progress = _progress_for(args, args.seeds, "chaos")
     result = run_chaos_campaign(
         args.seeds, workers=args.workers, app=args.app,
         shrink=not args.no_shrink, cache=_store_for(args, default_off=True),
-        resume=not args.no_resume)
+        resume=not args.no_resume, flight_dir=args.flight_dir,
+        progress=progress)
     print(format_table(
         ["scheme / mode", "schedules"],
         [[cell, count] for cell, count in sorted(result.coverage().items())],
@@ -733,6 +895,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             line += (f"  (minimized {shrink.original_events} -> "
                      f"{shrink.minimized_events} faults)")
         print(line)
+        if failure.flight_path:
+            print(f"    flight recording: {failure.flight_path} "
+                  f"(`repro chaos --replay` accepts it)")
         if args.out is not None:
             import os
 

@@ -38,7 +38,8 @@ from repro.faults.injector import (
 from repro.model.daly import daly_tau
 from repro.model.schemes import ResilienceScheme
 from repro.network.allocation import torus_for_nodes
-from repro.obs.metrics import NULL_METRICS
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.series import NULL_SERIES
 from repro.obs.tracer import NULL_TRACER
 from repro.network.costs import CostModel, MachineConstants
 from repro.network.mapping import build_mapping
@@ -94,6 +95,11 @@ class RunReport:
     #: Metrics-registry snapshot taken at finalization (None when telemetry
     #: was disabled); picklable, so campaigns can merge it across workers.
     metrics_snapshot: dict | None = None
+    #: Time-series of metric snapshots over simulated time
+    #: (:meth:`~repro.obs.series.TimeSeriesRecorder.to_dict` payload; None
+    #: when streaming sampling was disabled).  Picklable and mergeable via
+    #: :func:`~repro.obs.series.merge_series`.
+    series: dict | None = None
     #: Durable-tier counters (``tier<level>.<name>`` plus hierarchy totals,
     #: see :meth:`~repro.storage.hierarchy.DurableHierarchy.counters`);
     #: empty when no storage tiers were configured.
@@ -124,6 +130,7 @@ class ACR:
         prediction_trace: PredictionTrace | None = None,
         tracer=None,
         metrics=None,
+        series=None,
         app_kwargs: dict | None = None,
     ):
         #: Telemetry: a no-op tracer/registry unless the caller opts in
@@ -132,6 +139,16 @@ class ACR:
         #: un-instrumented runs are bit-identical executions.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Streaming time-series sampling (a TimeSeriesRecorder).  Unlike the
+        #: tracer/registry this *does* arm an engine-level periodic timer when
+        #: enabled, so a sampled run is a different — still deterministic —
+        #: execution; the NULL_SERIES default arms nothing and stays
+        #: bit-identical to an un-instrumented run.
+        self.series = series if series is not None else NULL_SERIES
+        if self.series.enabled and not self.metrics.enabled:
+            # Sampling implies metrics: there is nothing to sample out of the
+            # no-op registry, so opt the run into a real one.
+            self.metrics = MetricsRegistry()
         #: Protocol observers (e.g. the chaos InvariantMonitor).  Each may
         #: implement ``on_phase_change(acr, old, new)``; attached before any
         #: phase assignment so even construction-time transitions are seen.
@@ -239,6 +256,7 @@ class ACR:
         # idle|running|consensus|checkpointing|persisting|recovering|done
         self.phase = "idle"
         self._checkpoint_timer: EventHandle | None = None
+        self._series_timer = None
         self._phase_events: list[EventHandle] = []
         self._background_event: EventHandle | None = None
         self._watchdog_event: EventHandle | None = None
@@ -380,7 +398,15 @@ class ACR:
         if self.prediction_trace is not None:
             for alarm in self.prediction_trace.alarms:
                 self.sim.schedule_at(alarm.time, self._on_prediction_alarm)
+        if self.series.enabled:
+            self._series_timer = self.sim.schedule_periodic(
+                self.series.interval, self._sample_series)
         self._arm_checkpoint_timer()
+
+    def _sample_series(self) -> None:
+        """Periodic streaming-telemetry tick: snapshot the registry into the
+        time-series recorder at the current simulated time."""
+        self.series.sample(self.sim.now, self.metrics_snapshot())
 
     def _on_prediction_alarm(self) -> None:
         """A failure-prediction alarm: checkpoint right now so the predicted
@@ -1173,6 +1199,9 @@ class ACR:
         if self._checkpoint_timer is not None:
             self._checkpoint_timer.cancel()
             self._checkpoint_timer = None
+        if self._series_timer is not None:
+            self._series_timer.cancel()
+            self._series_timer = None
         self._cancel_phase_events()
         if self._background_event is not None:
             self._background_event.cancel()
@@ -1274,6 +1303,11 @@ class ACR:
             self.tracer.end_open(self.sim.now)
         if self.metrics.enabled:
             rep.metrics_snapshot = self.metrics_snapshot()
+        if self.series.enabled:
+            # Final sample so the series always covers the end of the run
+            # (collapses onto the last tick when they coincide).
+            self.series.sample(self.sim.now, self.metrics_snapshot())
+            rep.series = self.series.to_dict()
         if self.storage is not None:
             rep.storage_counters = self.storage.counters()
         live_progress = [t.progress for r in (0, 1) for t in self.tasks[r]]

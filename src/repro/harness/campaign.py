@@ -24,6 +24,8 @@ import numpy as np
 from repro.core.framework import RunReport
 from repro.harness.experiment import run_experiment_report
 from repro.obs.metrics import merge_snapshots
+from repro.obs.progress import ProgressTracker
+from repro.obs.series import merge_series
 from repro.store import (
     KIND_RUN_REPORT,
     ResultStore,
@@ -54,6 +56,9 @@ class CampaignSummary:
     #: Merged metrics snapshot across workers (None when no run collected
     #: metrics); see :func:`repro.obs.metrics.merge_snapshots`.
     metrics: dict | None = None
+    #: Merged time series across cells (None when no run sampled a series);
+    #: see :func:`repro.obs.series.merge_series`.
+    series: dict | None = None
 
     @property
     def completion_rate(self) -> float:
@@ -109,6 +114,7 @@ def summarize(reports: Sequence[RunReport]) -> CampaignSummary:
         for phase, t in r.phase_times.items():
             phase_times[phase] = phase_times.get(phase, 0.0) + t
     snapshots = [r.metrics_snapshot for r in reports if r.metrics_snapshot]
+    series_list = [r.series for r in reports if r.series]
     return CampaignSummary(
         runs=len(reports),
         completed_runs=len(completed),
@@ -131,6 +137,7 @@ def summarize(reports: Sequence[RunReport]) -> CampaignSummary:
         total_recoveries=recoveries,
         phase_times=phase_times,
         metrics=merge_snapshots(snapshots) if snapshots else None,
+        series=merge_series(series_list) if series_list else None,
     )
 
 
@@ -221,6 +228,7 @@ def run_campaign(
     cache: ResultStore | None = None,
     cache_dir: str | None = None,
     resume: bool = True,
+    progress: ProgressTracker | None = None,
     **experiment_kwargs,
 ) -> CampaignResult:
     """Run :func:`run_acr_experiment` once per seed and aggregate.
@@ -239,6 +247,11 @@ def run_campaign(
     cells already in the store are loaded instead of simulated, and every
     freshly computed cell is persisted the moment its worker finishes.
     ``resume=False`` recomputes everything but still writes the store.
+
+    ``progress`` (a :class:`~repro.obs.progress.ProgressTracker`) receives a
+    per-cell tick as each cell is served from cache or committed — the live
+    ``repro campaign --progress`` view and the machine-readable progress
+    file both hang off it.
     """
     seed_list = [int(s) for s in seeds]
     if workers is not None and workers < 1:
@@ -261,6 +274,8 @@ def run_campaign(
                 if payload is not None:
                     reports[pos] = report_from_dict(payload)
                     hits += 1
+                    if progress is not None:
+                        progress.cell_cached()
                     continue
         pending.append((pos, seed))
 
@@ -270,6 +285,8 @@ def run_campaign(
             store.put(
                 materials[pos], report_to_dict(report), kind=KIND_RUN_REPORT
             )
+        if progress is not None:
+            progress.cell_completed()
 
     if pending:
         nworkers = effective_workers(workers, len(pending))
@@ -288,6 +305,8 @@ def run_campaign(
                     commit(pos, run_experiment_report(app, seed,
                                                       experiment_kwargs))
 
+    if progress is not None:
+        progress.finish()
     final = [r for r in reports if r is not None]
     assert len(final) == len(seed_list)
     return CampaignResult(

@@ -47,15 +47,19 @@ def run_acr_experiment(
     storage_tiers: tuple = (),
     tracer=None,
     metrics=None,
+    series=None,
     app_kwargs: dict | None = None,
 ) -> ExperimentResult:
     """Run one application to ``total_iterations`` under injected faults.
 
     ``hard_mtbf`` / ``sdc_mtbf`` draw Poisson fault schedules over the whole
     horizon; pass an explicit ``injection_plan`` for deterministic scenarios.
-    ``tracer`` / ``metrics`` opt the run into telemetry (a
+    ``tracer`` / ``metrics`` / ``series`` opt the run into telemetry (a
     :class:`~repro.obs.tracer.SpanTracer` /
-    :class:`~repro.obs.metrics.MetricsRegistry`); by default both are no-ops.
+    :class:`~repro.obs.metrics.MetricsRegistry` /
+    :class:`~repro.obs.series.TimeSeriesRecorder`); by default all are
+    no-ops.  Note ``series`` arms a periodic sampling timer, so a sampled
+    run is not bit-identical to an un-sampled one (the other two are).
     """
     if injection_plan is None:
         injection_plan = poisson_plan(
@@ -79,7 +83,7 @@ def run_acr_experiment(
     )
     acr = ACR(app, nodes_per_replica=nodes_per_replica, config=config,
               injection_plan=injection_plan, tracer=tracer, metrics=metrics,
-              app_kwargs=app_kwargs)
+              series=series, app_kwargs=app_kwargs)
     report = acr.run(until=horizon, max_events=100_000_000)
     return ExperimentResult(report=report, acr=acr)
 
@@ -97,13 +101,21 @@ def run_experiment_report(app: str, seed: int,
     ``collect_metrics=True`` in ``experiment_kwargs`` gives the run its own
     :class:`~repro.obs.metrics.MetricsRegistry`; its snapshot travels back on
     ``report.metrics_snapshot`` (a plain dict) and the campaign merges the
-    per-worker snapshots.
+    per-worker snapshots.  ``collect_series=<interval>`` (simulated seconds)
+    additionally arms streaming time-series sampling; the series travels back
+    on ``report.series`` and campaigns merge the per-cell series with
+    :func:`~repro.obs.series.merge_series`.
     """
     kwargs = dict(experiment_kwargs)
     if kwargs.pop("collect_metrics", False):
         from repro.obs.metrics import MetricsRegistry
 
         kwargs["metrics"] = MetricsRegistry()
+    series_interval = kwargs.pop("collect_series", None)
+    if series_interval:
+        from repro.obs.series import TimeSeriesRecorder
+
+        kwargs["series"] = TimeSeriesRecorder(interval=float(series_interval))
     return run_acr_experiment(app, seed=seed, **kwargs).report
 
 

@@ -52,6 +52,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.apps.base import _hash_unit
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.series import TimeSeriesRecorder, merge_series
 from repro.runtime.des import Simulator
 from repro.runtime.heartbeat import HeartbeatMonitor
 from repro.runtime.messages import Transport
@@ -126,6 +128,14 @@ class ParallelRunReport:
     per_partition_events: list[int] = field(default_factory=list)
     trace_digest: str | None = None
     trace: list[str] | None = None
+    #: Merged decomposition-invariant metrics snapshot (``collect_metrics``);
+    #: equal to the 1-partition run's snapshot for any decomposition.
+    metrics: dict | None = None
+    #: Per-partition snapshots in partition-index order (``collect_metrics``).
+    partition_metrics: list[dict] | None = None
+    #: Merged per-partition time series (``series_interval``); see
+    #: :func:`repro.obs.series.merge_series`.
+    series: dict | None = None
 
 
 def effective_parallel_workers(requested: int | None, partitions: int) -> int:
@@ -272,7 +282,8 @@ class _Partition:
     """One rank range of both replicas with its own simulator + monitor."""
 
     def __init__(self, scenario: ParallelScenario, index: int,
-                 partitions: int, *, trace: bool):
+                 partitions: int, *, trace: bool,
+                 series_interval: float | None = None):
         self.scenario = scenario
         self.index = index
         n = scenario.nodes_per_replica
@@ -346,6 +357,21 @@ class _Partition:
         self._snapshot: dict[int, int] = {t.task_id: 0 for t in self.tasks}
         self._snap_event = None
         self._faults_pending = 0
+        #: Recovery accounting (decomposition-invariant: each fault is owned
+        #: by exactly one partition in every decomposition).
+        self._kills = 0
+        self._detections = 0
+        self._revives = 0
+        self._restores = 0
+        #: Streaming telemetry: a partition-local series sampled on this
+        #: partition's own clock.  Samples are passive counter reads — no
+        #: state mutation, no sends — so the canonical trace is unchanged.
+        self.series: TimeSeriesRecorder | None = None
+        self._series_event = None
+        if series_interval:
+            self.series = TimeSeriesRecorder(interval=series_interval)
+            self._series_event = self.sim.schedule_periodic(
+                series_interval, self._sample_series)
 
         for t, rep, rank in fault_plan(scenario):
             if self.lo <= rank < self.hi:
@@ -371,11 +397,13 @@ class _Partition:
         if not node.alive:
             return
         self._record("kill", node, node.failures_survived)
+        self._kills += 1
         node.die()
 
     def _on_death(self, detector: Node, dead: Node) -> None:
         self._record("detect", dead, detector.replica * self.scenario.
                      nodes_per_replica + detector.rank)
+        self._detections += 1
         revive_at = self.sim.now + self.boot
         self._revive_at[dead.node_id] = revive_at
         self.sim.schedule_at(revive_at, self._revive, dead.node_id)
@@ -388,10 +416,12 @@ class _Partition:
         node.revive()
         self.monitor.notify_revived(nid)
         self._record("revive", node, node.failures_survived)
+        self._revives += 1
         strong = self.scenario.scheme == "strong"
         for task in node.tasks:
             target = self._snapshot[task.task_id] if strong else 0
             task.restore(target)
+            self._restores += 1
             if self.trace is not None:
                 self.trace.append((self.sim.now, "restore", node.replica,
                                    node.rank, task.task_id, target))
@@ -401,6 +431,45 @@ class _Partition:
         for task in self.tasks:
             if task.state is not TaskState.DEAD:
                 snap[task.task_id] = task.progress
+
+    # -- observability -----------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Decomposition-invariant counters of this partition.
+
+        Only quantities that sum across partitions to exactly the
+        1-partition run's totals are exported: transport message/byte
+        accounting (counted once, in the partition owning the sender or the
+        delivery), task iteration totals, and fault/recovery counts (each
+        fault is owned by exactly one partition).  Simulator event counts are
+        deliberately excluded — boundary stamps are injected as individual
+        events but delivered batched locally, so they differ across
+        decompositions.  A fresh registry per call keeps non-monotone values
+        (task progress drops on weak restore) honest.
+        """
+        m = MetricsRegistry()
+        t = self.transport
+        m.counter("transport.messages_sent").set_total(t.messages_sent)
+        m.counter("transport.messages_delivered").set_total(
+            t.messages_delivered)
+        m.counter("transport.messages_dropped").set_total(t.messages_dropped)
+        for kind, n in t.sent_by_kind.items():
+            m.counter("transport.messages_sent_by_kind", kind=kind).set_total(n)
+        for kind, b in t.bytes_by_kind.items():
+            m.counter("transport.bytes_sent", kind=kind).set_total(b)
+        # batched_messages (per message) is invariant; batch_events (one per
+        # batched send) is not — each partition's heartbeat monitor emits its
+        # own batches — so only the former is exported.
+        m.counter("transport.batched_messages").set_total(t.batched_messages)
+        m.counter("tasks.iterations_completed").set_total(
+            sum(task.progress for task in self.tasks))
+        m.counter("tasks.restores").set_total(self._restores)
+        m.counter("nodes.kills").set_total(self._kills)
+        m.counter("nodes.detections").set_total(self._detections)
+        m.counter("nodes.revives").set_total(self._revives)
+        return m.snapshot()
+
+    def _sample_series(self) -> None:
+        self.series.sample(self.sim.now, self.metrics_snapshot())
 
     # -- window protocol ---------------------------------------------------------
     def earliest_output_time(self, now: float) -> float:
@@ -444,6 +513,12 @@ class _Partition:
         self.monitor.stop()
         if self._snap_event is not None:
             self._snap_event.cancel()
+        if self._series_event is not None:
+            self._series_event.cancel()
+            self._series_event = None
+        if self.series is not None:
+            # Final sample so every partition's series covers the horizon.
+            self.series.sample(self.sim.now, self.metrics_snapshot())
 
 
 # ---------------------------------------------------------------------------
@@ -499,8 +574,11 @@ def _drive(partitions: list[_Partition], scenario: ParallelScenario,
 
 
 def _run_inprocess(scenario: ParallelScenario, n_partitions: int,
-                   trace: bool) -> tuple[ParallelRunReport, list[tuple]]:
-    parts = [_Partition(scenario, i, n_partitions, trace=trace)
+                   trace: bool, collect_metrics: bool = False,
+                   series_interval: float | None = None,
+                   ) -> tuple[ParallelRunReport, list[tuple]]:
+    parts = [_Partition(scenario, i, n_partitions, trace=trace,
+                        series_interval=series_interval)
              for i in range(n_partitions)]
     windows, sim_time, completed = _drive(parts, scenario)
     records: list[tuple] = []
@@ -513,13 +591,21 @@ def _run_inprocess(scenario: ParallelScenario, n_partitions: int,
         windows=windows, wall_s=0.0, cpu_count=os.cpu_count() or 1,
         requested_workers=1, effective_workers=1, partitions=n_partitions,
         per_partition_events=[p.sim.events_processed for p in parts])
+    if collect_metrics:
+        report.partition_metrics = [p.metrics_snapshot() for p in parts]
+    if series_interval:
+        report.series = merge_series(
+            [p.series.to_dict() for p in parts if p.series is not None])
     return report, records
 
 
 def _worker_main(conn, scenario: ParallelScenario, indices: list[int],
-                 n_partitions: int, trace: bool) -> None:
+                 n_partitions: int, trace: bool,
+                 collect_metrics: bool = False,
+                 series_interval: float | None = None) -> None:
     """Child process: own a group of partitions, obey barrier commands."""
-    parts = [_Partition(scenario, i, n_partitions, trace=trace)
+    parts = [_Partition(scenario, i, n_partitions, trace=trace,
+                        series_interval=series_interval)
              for i in indices]
     try:
         while True:
@@ -551,10 +637,17 @@ def _worker_main(conn, scenario: ParallelScenario, indices: list[int],
                 if trace:
                     for p in parts:
                         records.extend(p.trace or [])
+                # Per-partition observability rides home on the stop reply,
+                # tagged with the partition index so the parent can restore
+                # global partition order across worker groups.
+                obs = [(p.index,
+                        p.metrics_snapshot() if collect_metrics else None,
+                        p.series.to_dict() if p.series is not None else None)
+                       for p in parts]
                 conn.send((sum(p.sim.events_processed for p in parts),
                            [p.sim.events_processed for p in parts],
                            max(p.sim.now for p in parts),
-                           all(p.at_cap for p in parts), records))
+                           all(p.at_cap for p in parts), records, obs))
                 return
     finally:
         conn.close()
@@ -562,6 +655,8 @@ def _worker_main(conn, scenario: ParallelScenario, indices: list[int],
 
 def _run_multiprocess(scenario: ParallelScenario, n_partitions: int,
                       n_workers: int, trace: bool,
+                      collect_metrics: bool = False,
+                      series_interval: float | None = None,
                       ) -> tuple[ParallelRunReport, list[tuple]]:
     import multiprocessing as mp
 
@@ -573,7 +668,8 @@ def _run_multiprocess(scenario: ParallelScenario, n_partitions: int,
     for g in groups:
         parent, child = ctx.Pipe()
         proc = ctx.Process(target=_worker_main,
-                           args=(child, scenario, g, n_partitions, trace))
+                           args=(child, scenario, g, n_partitions, trace,
+                                 collect_metrics, series_interval))
         proc.start()
         child.close()
         pipes.append(parent)
@@ -612,17 +708,25 @@ def _run_multiprocess(scenario: ParallelScenario, n_partitions: int,
     sim_time = max(f[2] for f in finals)
     completed = all(f[3] for f in finals)
     records = [r for f in finals for r in f[4]]
+    obs = sorted((o for f in finals for o in f[5]), key=lambda o: o[0])
     report = ParallelRunReport(
         completed=completed, sim_time=sim_time, events_processed=events,
         windows=windows, wall_s=0.0, cpu_count=os.cpu_count() or 1,
         requested_workers=n_workers, effective_workers=n_workers,
         partitions=n_partitions, per_partition_events=per_part)
+    if collect_metrics:
+        report.partition_metrics = [snap for _, snap, _ in obs]
+    if series_interval:
+        report.series = merge_series(
+            [series for _, _, series in obs if series is not None])
     return report, records
 
 
 def run_parallel(scenario: ParallelScenario, *, partitions: int = 1,
                  workers: int | None = 1, trace: bool = False,
-                 force_processes: bool = False) -> ParallelRunReport:
+                 force_processes: bool = False,
+                 collect_metrics: bool = False,
+                 series_interval: float | None = None) -> ParallelRunReport:
     """Run a :class:`ParallelScenario` over ``partitions`` rank ranges.
 
     ``workers`` is the *requested* process count; like the campaign runner it
@@ -631,6 +735,16 @@ def run_parallel(scenario: ParallelScenario, *, partitions: int = 1,
     partition in-process — same windows, same trace, no fork — which is what
     1-CPU runners exercise.  ``trace=True`` collects the canonical merged
     event trace (byte-identical across any partition/worker decomposition).
+
+    ``collect_metrics=True`` ships each partition's decomposition-invariant
+    counter snapshot home (``report.partition_metrics``, partition order)
+    and merges them (``report.metrics``) — the merged snapshot equals the
+    1-partition run's snapshot for any decomposition.  ``series_interval``
+    additionally samples those counters on each partition's clock every
+    ``series_interval`` simulated seconds; the merged series lands on
+    ``report.series``.  Sampling adds timer events to each partition's queue
+    (so ``events_processed`` grows by the tick count) but reads counters
+    passively — the canonical trace and its digest are unchanged.
     """
     if partitions < 1:
         raise ConfigurationError("partitions must be >= 1")
@@ -644,10 +758,14 @@ def run_parallel(scenario: ParallelScenario, *, partitions: int = 1,
         eff = min(requested, partitions)
     t0 = time.perf_counter()
     if eff <= 1:
-        report, records = _run_inprocess(scenario, partitions, trace)
+        report, records = _run_inprocess(scenario, partitions, trace,
+                                         collect_metrics, series_interval)
     else:
-        report, records = _run_multiprocess(scenario, partitions, eff, trace)
+        report, records = _run_multiprocess(scenario, partitions, eff, trace,
+                                            collect_metrics, series_interval)
     report.wall_s = time.perf_counter() - t0
+    if collect_metrics and report.partition_metrics is not None:
+        report.metrics = merge_snapshots(report.partition_metrics)
     report.requested_workers = requested
     report.effective_workers = eff
     if trace:

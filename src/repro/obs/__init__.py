@@ -14,9 +14,21 @@ Three pieces:
 * export helpers behind ``repro run --trace-out/--metrics-out`` and the
   ``repro report`` subcommand.
 
-Telemetry is off by default: :data:`NULL_TRACER` and :data:`NULL_METRICS`
-are shared no-ops, so an un-instrumented run pays only a no-op call on phase
-boundaries (verified by the ``tests/obs`` smoke tests).
+PR 8 adds the *streaming* layer on top (see docs/observability.md
+"Streaming telemetry"):
+
+* :class:`TimeSeriesRecorder` — periodic snapshots of the registry over
+  simulated time, columnar, mergeable (:func:`merge_series`), exported as
+  JSONL or Prometheus/OpenMetrics text;
+* :class:`FlightRecorder` — bounded ring of recent timeline events, dumped
+  as a replayable artifact when a chaos invariant fires or a run raises;
+* :class:`ProgressTracker` — live per-cell campaign progress (cells/s,
+  cache-hit rate, ETA) behind ``repro campaign --progress``.
+
+Telemetry is off by default: :data:`NULL_TRACER`, :data:`NULL_METRICS` and
+:data:`NULL_SERIES` are shared no-ops, so an un-instrumented run pays only a
+no-op call on phase boundaries and schedules zero sampling events (verified
+by the ``tests/obs`` smoke tests and the golden digests).
 """
 
 from repro.obs.export import (
@@ -29,6 +41,13 @@ from repro.obs.export import (
     write_metrics,
     write_trace,
 )
+from repro.obs.flight import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    is_flight_artifact,
+    load_flight,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -39,7 +58,22 @@ from repro.obs.metrics import (
     NullMetrics,
     merge_snapshots,
     metric_key,
+    parse_metric_key,
     snapshot_percentile,
+)
+from repro.obs.progress import (
+    PROGRESS_FORMAT,
+    ProgressTracker,
+    render_progress_line,
+)
+from repro.obs.series import (
+    DEFAULT_SERIES_INTERVAL,
+    NULL_SERIES,
+    NullSeriesRecorder,
+    SERIES_FORMAT,
+    TimeSeriesRecorder,
+    merge_series,
+    write_series,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanTracer
 
@@ -61,7 +95,23 @@ __all__ = [
     "NullMetrics",
     "merge_snapshots",
     "metric_key",
+    "parse_metric_key",
     "snapshot_percentile",
+    "DEFAULT_FLIGHT_CAPACITY",
+    "FLIGHT_FORMAT",
+    "FlightRecorder",
+    "is_flight_artifact",
+    "load_flight",
+    "PROGRESS_FORMAT",
+    "ProgressTracker",
+    "render_progress_line",
+    "DEFAULT_SERIES_INTERVAL",
+    "NULL_SERIES",
+    "NullSeriesRecorder",
+    "SERIES_FORMAT",
+    "TimeSeriesRecorder",
+    "merge_series",
+    "write_series",
     "NULL_TRACER",
     "NullTracer",
     "Span",

@@ -1,0 +1,122 @@
+"""Flight recorder: a bounded ring of recent timeline events for forensics.
+
+When a chaos invariant fires, a run raises, or an outcome fails, the last
+thing anyone wants is to re-run a multi-minute campaign with tracing on just
+to see what led up to the failure.  The :class:`FlightRecorder` keeps a
+bounded ring buffer of the most recent :class:`~repro.core.events.Timeline`
+events (plus phase transitions), costing O(capacity) memory regardless of
+run length, and :meth:`dump` writes a *replayable* JSON artifact: the
+failing :class:`~repro.chaos.fuzzer.ChaosSchedule` plan is embedded, so
+``repro chaos --replay <artifact>`` reproduces the exact execution whose
+tail the artifact shows.
+
+The recorder is passive — it subscribes to the timeline and never schedules
+simulator events, so attaching it cannot perturb a deterministic run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+FLIGHT_FORMAT = "repro-flight/1"
+
+#: Default ring capacity: enough to span several checkpoint periods of
+#: events at paper-scale configs while staying trivially small in memory.
+DEFAULT_FLIGHT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent timeline events + phase transitions."""
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"flight capacity must be > 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._ring: deque = deque(maxlen=self.capacity)
+        self.recorded = 0
+        self._acr = None
+
+    # -- recording -----------------------------------------------------------
+    def record(self, t: float, kind: str, detail: dict | None = None) -> None:
+        """Append one entry, evicting the oldest when the ring is full."""
+        self._ring.append(
+            {"t": float(t), "kind": str(kind), "detail": dict(detail or {})})
+        self.recorded += 1
+
+    @property
+    def evicted(self) -> int:
+        """How many entries have been pushed out of the ring so far."""
+        return self.recorded - len(self._ring)
+
+    def events(self) -> list[dict]:
+        """Ring contents oldest-first (eviction order)."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- wiring --------------------------------------------------------------
+    def _on_timeline_event(self, event) -> None:
+        self.record(event.time, str(event.kind), event.detail)
+
+    def on_phase_change(self, acr, old: str, new: str) -> None:
+        """Observer hook (``ACR.attach_observer`` protocol)."""
+        self.record(acr.sim.now, "phase_change", {"from": old, "to": new})
+
+    def attach(self, acr) -> None:
+        """Subscribe to a run's timeline and phase transitions."""
+        self._acr = acr
+        acr.timeline.subscribe(self._on_timeline_event)
+        acr.attach_observer(self)
+
+    def detach(self) -> None:
+        if self._acr is not None:
+            self._acr.timeline.unsubscribe(self._on_timeline_event)
+            if self in self._acr.observers:
+                self._acr.observers.remove(self)
+            self._acr = None
+
+    # -- dumping -------------------------------------------------------------
+    def dump_dict(self, *, reason: str, invariant: str | None = None,
+                  violation: str | None = None, schedule: dict | None = None,
+                  context: dict | None = None) -> dict:
+        """The artifact payload (see docs/observability.md for the format)."""
+        return {
+            "format": FLIGHT_FORMAT,
+            "reason": reason,
+            "invariant": invariant,
+            "violation": violation,
+            "schedule": schedule,
+            "context": dict(context or {}),
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "evicted": self.evicted,
+            "events": self.events(),
+        }
+
+    def dump(self, path, *, reason: str, invariant: str | None = None,
+             violation: str | None = None, schedule: dict | None = None,
+             context: dict | None = None) -> Path:
+        """Write the artifact to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = self.dump_dict(reason=reason, invariant=invariant,
+                                 violation=violation, schedule=schedule,
+                                 context=context)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        return path
+
+
+def is_flight_artifact(payload: dict) -> bool:
+    """True when a loaded JSON payload is a flight-recorder dump."""
+    return payload.get("format") == FLIGHT_FORMAT
+
+
+def load_flight(path) -> dict:
+    """Load and minimally validate a flight-recorder artifact."""
+    payload = json.loads(Path(path).read_text())
+    if not is_flight_artifact(payload):
+        raise ValueError(f"{path}: not a {FLIGHT_FORMAT} artifact")
+    return payload

@@ -3,9 +3,10 @@
 The registry is fed by instrumentation hooks in the framework, the DES, the
 transport and the checkpoint store.  Snapshots are plain JSON-serializable
 dicts, snapshotable mid-run, and **mergeable** across campaign workers
-(:func:`merge_snapshots`): counters and histogram buckets add, gauges keep
-the maximum (every sampled gauge here is a high-water mark or an end-of-run
-total, for which max is the meaningful aggregate).
+(:func:`merge_snapshots`): counters and histogram buckets add (both merges
+are associative and order-independent), while gauges resolve conflicts by
+**last-writer-by-worker-index** — the snapshot latest in the list wins, so
+the merge is deterministic for any fixed worker ordering.
 
 Instruments are addressed by name plus optional labels
 (``registry.counter("transport.bytes", kind="app")`` → key
@@ -34,6 +35,21 @@ def metric_key(name: str, labels: dict) -> str:
     return f"{name}{{{inner}}}"
 
 
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`metric_key`: split ``name{k=v,...}`` back into
+    ``(name, labels)``.  Keys without a label block parse to ``(key, {})``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels: dict[str, str] = {}
+    for pair in inner.split(","):
+        if not pair:
+            continue
+        k, _, v = pair.partition("=")
+        labels[k] = v
+    return name, labels
+
+
 class Counter:
     """Monotonically increasing count."""
 
@@ -53,7 +69,7 @@ class Counter:
 
 
 class Gauge:
-    """Last-set value (merged across workers by maximum)."""
+    """Last-set value (merged across workers by last-writer-by-worker-index)."""
 
     __slots__ = ("value",)
 
@@ -218,9 +234,15 @@ class MetricsRegistry:
 def merge_snapshots(snapshots: list[dict]) -> dict:
     """Merge per-worker metric snapshots into one campaign-wide snapshot.
 
-    Counters add; gauges take the maximum; histograms add bucket counts
-    element-wise (snapshots with differing bucket layouts for the same key
-    are rejected — they came from incompatible instrument definitions).
+    Counters add and histograms add bucket counts element-wise — both merges
+    are associative and independent of snapshot order.  Gauges are
+    *last-writer-by-worker-index*: when two snapshots carry the same gauge
+    key, the value from the snapshot appearing later in ``snapshots`` wins.
+    Callers pass snapshots in worker-index order (campaigns and parallel-DES
+    partitions both do), which makes conflicting gauges deterministic without
+    pretending a max or mean is meaningful for a last-set value.  Histogram
+    snapshots with differing bucket layouts for the same key are rejected —
+    they came from incompatible instrument definitions.
     """
     merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
     for snap in snapshots:
@@ -229,8 +251,7 @@ def merge_snapshots(snapshots: list[dict]) -> dict:
         for key, value in snap.get("counters", {}).items():
             merged["counters"][key] = merged["counters"].get(key, 0.0) + value
         for key, value in snap.get("gauges", {}).items():
-            prior = merged["gauges"].get(key)
-            merged["gauges"][key] = value if prior is None else max(prior, value)
+            merged["gauges"][key] = value
         for key, h in snap.get("histograms", {}).items():
             into = merged["histograms"].get(key)
             if into is None:

@@ -1,0 +1,139 @@
+"""Live campaign progress: per-cell events, rates, ETA, machine-readable file.
+
+Campaigns are the long-running surface of this repo — a resumed figure sweep
+or chaos soak can occupy a machine for hours with nothing on the terminal
+until the final summary.  :class:`ProgressTracker` hangs off the campaign
+commit path (``fan_out``/``run_campaign``/``run_chaos_campaign``): every
+cell that completes, fails, or is served from the result-store cache ticks
+the tracker, which
+
+* invokes an ``on_event`` callback with a progress snapshot (the
+  ``repro campaign --progress`` / ``repro chaos --progress`` live renderer),
+  and
+* atomically rewrites an optional JSON *progress file* so an external poller
+  (the future ``repro serve``) can watch a campaign without attaching to the
+  process.
+
+Rates deliberately count only *computed* cells (completed + failed): cache
+hits land in microseconds and would otherwise make the ETA of a resumed
+sweep wildly optimistic right up until the cached prefix runs out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+PROGRESS_FORMAT = "repro-progress/1"
+
+
+class ProgressTracker:
+    """Track per-cell campaign progress and derive rate / ETA estimates."""
+
+    def __init__(self, total: int, *, on_event=None, path=None,
+                 label: str = "campaign", clock=time.monotonic) -> None:
+        self.total = int(total)
+        self.label = label
+        self.on_event = on_event
+        self.path = Path(path) if path else None
+        self._clock = clock
+        self._t0 = clock()
+        self.completed = 0
+        self.cached = 0
+        self.failed = 0
+        self.done = False
+
+    # -- ticking -------------------------------------------------------------
+    def cell_completed(self, n: int = 1) -> None:
+        self.completed += n
+        self._emit()
+
+    def cell_cached(self, n: int = 1) -> None:
+        self.cached += n
+        self._emit()
+
+    def cell_failed(self, n: int = 1) -> None:
+        self.failed += n
+        self._emit()
+
+    def finish(self) -> None:
+        """Mark the campaign done and emit one final snapshot."""
+        self.done = True
+        self._emit()
+
+    # -- derived view --------------------------------------------------------
+    @property
+    def processed(self) -> int:
+        return self.completed + self.cached + self.failed
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.processed)
+
+    def snapshot(self) -> dict:
+        """One progress event: counts, rates, cache-hit rate, ETA."""
+        elapsed = max(self._clock() - self._t0, 1e-9)
+        computed = self.completed + self.failed
+        cells_per_s = computed / elapsed
+        eta_s: float | None
+        if self.remaining == 0:
+            eta_s = 0.0
+        elif cells_per_s > 0:
+            eta_s = self.remaining / cells_per_s
+        else:
+            eta_s = None  # nothing computed yet: no basis for an estimate
+        return {
+            "format": PROGRESS_FORMAT,
+            "label": self.label,
+            "total": self.total,
+            "completed": self.completed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "processed": self.processed,
+            "remaining": self.remaining,
+            "elapsed_s": elapsed,
+            "cells_per_s": cells_per_s,
+            "cache_hit_rate": (self.cached / self.processed
+                               if self.processed else 0.0),
+            "eta_s": eta_s,
+            "done": self.done,
+        }
+
+    # -- sinks ---------------------------------------------------------------
+    def _emit(self) -> None:
+        event = self.snapshot()
+        if self.on_event is not None:
+            self.on_event(event)
+        if self.path is not None:
+            self._write_file(event)
+
+    def _write_file(self, event: dict) -> None:
+        """Atomic replace so a poller never reads a torn progress file."""
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(event, indent=2) + "\n")
+        os.replace(tmp, self.path)
+
+
+def render_progress_line(event: dict) -> str:
+    """One-line terminal rendering of a progress event (\\r-refreshed)."""
+    total = event["total"]
+    width = len(str(total))
+    parts = [
+        f"{event['label']}: {event['processed']:{width}d}/{total}",
+        f"ok={event['completed']}",
+        f"cached={event['cached']}",
+    ]
+    if event["failed"]:
+        parts.append(f"failed={event['failed']}")
+    parts.append(f"{event['cells_per_s']:.1f} cells/s")
+    parts.append(f"hit={100.0 * event['cache_hit_rate']:.0f}%")
+    eta = event["eta_s"]
+    if event["done"]:
+        parts.append(f"done in {event['elapsed_s']:.1f}s")
+    elif eta is None:
+        parts.append("eta --")
+    else:
+        parts.append(f"eta {eta:.0f}s")
+    return "  ".join(parts)

@@ -103,6 +103,7 @@ def report_to_dict(report: RunReport) -> dict:
         "phase_times": dict(report.phase_times),
         "metrics_snapshot": sanitize_snapshot(report.metrics_snapshot),
         "storage_counters": dict(report.storage_counters),
+        "series": report.series,
     }
 
 
@@ -150,6 +151,8 @@ def report_from_dict(payload: dict) -> RunReport:
         storage_counters={str(k): float(v)
                           for k, v in (payload.get("storage_counters")
                                        or {}).items()},
+        # .get: absent in payloads written before streaming telemetry.
+        series=payload.get("series"),
     )
 
 
@@ -175,6 +178,7 @@ def outcome_to_dict(outcome: ChaosOutcome) -> dict:
         "fingerprint": outcome.fingerprint,
         "schedule": to_jsonable(outcome.schedule),
         "metrics": sanitize_snapshot(outcome.metrics) or {},
+        "flight_path": outcome.flight_path,
     }
 
 

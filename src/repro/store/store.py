@@ -193,6 +193,23 @@ class ResultStore:
     def quarantine_dir(self) -> Path:
         return self.root / "quarantine"
 
+    def add_quarantine_artifact(self, name: str, payload: dict) -> Path:
+        """Write a forensic artifact (e.g. a flight-recorder dump) into
+        ``quarantine/`` and return its path.
+
+        Quarantine is the store's "needs a human" shelf: undecodable objects
+        are moved here, and chaos campaigns drop their flight recordings for
+        failing seeds alongside them.  Artifacts are atomically replaced so a
+        crashed writer never leaves a torn file, and ``verify`` reports them
+        informationally instead of flagging them as corruption.
+        """
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        path = self.quarantine_dir / name
+        tmp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+        return path
+
     def _quarantine(self, path: Path) -> None:
         """Move an undecodable object aside for post-mortem instead of leaving
         it to shadow its address (a re-run would hit the corrupt file again
@@ -296,6 +313,10 @@ class ResultStore:
                     f"{tmp.name}: orphaned temp file (interrupted write)")
         if self.quarantine_dir.is_dir():
             for q in sorted(self.quarantine_dir.iterdir()):
+                # Flight-recorder dumps are deliberate forensic artifacts
+                # (add_quarantine_artifact), not corruption.
+                if q.name.startswith("flight-"):
+                    continue
                 problems.append(
                     f"quarantine/{q.name}: undecodable object set aside")
         _, journal_problems = self.journal_entries()

@@ -95,6 +95,46 @@ class TestTraceDeterminism:
         assert multi.trace_digest == single.trace_digest
 
 
+class TestPartitionMetrics:
+    """Decomposition invariance of per-partition metric snapshots: the
+    merged snapshot must equal the single-partition one for every partition
+    count and for forked workers (the counters exported by
+    ``_Partition.metrics_snapshot`` are chosen to be decomposition-invariant
+    — see the module for what is deliberately excluded)."""
+
+    def test_merged_snapshot_equals_single_partition(self):
+        scenario = _scenario("strong")
+        single = run_parallel(scenario, partitions=1, collect_metrics=True)
+        assert single.metrics is not None
+        assert single.metrics["counters"], "snapshot exported no counters"
+        for p in (2, 4, 8):
+            split = run_parallel(scenario, partitions=p,
+                                 collect_metrics=True)
+            assert split.partition_metrics is not None
+            assert len(split.partition_metrics) == p
+            assert split.metrics == single.metrics, f"partitions={p} diverged"
+
+    def test_forked_workers_merge_identically(self):
+        scenario = _scenario("strong", nodes_per_replica=32, horizon=14.0)
+        inproc = run_parallel(scenario, partitions=4, collect_metrics=True)
+        forked = run_parallel(scenario, partitions=4, workers=2,
+                              collect_metrics=True, force_processes=True)
+        assert forked.metrics == inproc.metrics
+
+    def test_series_sampling_keeps_trace_identical(self):
+        """Arming per-partition series sampling adds heap events but must
+        not perturb the canonical trace, and the merged series covers the
+        run's counters."""
+        scenario = _scenario("strong", n_faults=0, horizon=10.0)
+        plain = run_parallel(scenario, partitions=4, trace=True)
+        sampled = run_parallel(scenario, partitions=4, trace=True,
+                               collect_metrics=True, series_interval=2.0)
+        assert sampled.trace_digest == plain.trace_digest
+        assert sampled.series is not None
+        assert sampled.series["times"], "no samples recorded"
+        assert any(k.startswith("tasks.") for k in sampled.series["counters"])
+
+
 class TestWorkerAccounting:
     def test_clamp_mirrors_campaign_rule(self):
         cpus = os.cpu_count() or 1

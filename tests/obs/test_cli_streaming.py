@@ -1,0 +1,144 @@
+"""CLI surface of the streaming-telemetry layer.
+
+``repro run --series-out``, ``repro report --series/--format json``,
+``repro campaign --progress-file``, and ``repro chaos --replay`` on a
+flight-recorder artifact.
+"""
+
+import dataclasses
+import json
+
+from repro.cli import main
+from repro.obs.series import SERIES_FORMAT
+
+
+def _run_with_series(tmp_path, fmt=None, extra=()):
+    series_path = tmp_path / {"json": "s.json", "jsonl": "s.jsonl",
+                              "openmetrics": "s.prom"}.get(fmt or "json")
+    argv = ["run", "--app", "jacobi3d-charm", "--nodes", "2",
+            "--iterations", "60", "--interval", "2", "--seed", "1",
+            "--series-out", str(series_path), "--series-interval", "1"]
+    if fmt:
+        argv += ["--series-format", fmt]
+    argv += list(extra)
+    return main(argv), series_path
+
+
+class TestRunSeriesOut:
+    def test_json_series_file(self, tmp_path, capsys):
+        code, path = _run_with_series(tmp_path)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "series written to" in out
+        payload = json.loads(path.read_text())
+        assert payload["format"] == SERIES_FORMAT
+        assert len(payload["times"]) > 2
+        assert "sim.events_processed" in payload["counters"]
+
+    def test_jsonl_series_file(self, tmp_path, capsys):
+        code, path = _run_with_series(tmp_path, fmt="jsonl")
+        capsys.readouterr()
+        assert code == 0
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) > 2
+        assert all("t" in row for row in rows)
+
+    def test_openmetrics_series_file(self, tmp_path, capsys):
+        code, path = _run_with_series(tmp_path, fmt="openmetrics")
+        capsys.readouterr()
+        assert code == 0
+        text = path.read_text()
+        assert "# TYPE sim_events_processed_total counter" in text
+        assert text.endswith("# EOF\n")
+
+    def test_series_interval_requires_series_out(self, capsys):
+        code = main(["run", "--nodes", "2", "--iterations", "10",
+                     "--series-interval", "1"])
+        capsys.readouterr()
+        assert code == 2
+
+
+class TestReportSeries:
+    def test_sparkline_trend_table(self, tmp_path, capsys):
+        _, path = _run_with_series(tmp_path)
+        capsys.readouterr()
+        code = main(["report", "--series", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "time-series trends" in out
+        assert "sim.events_processed" in out
+
+    def test_format_json_document(self, tmp_path, capsys):
+        _, path = _run_with_series(tmp_path)
+        capsys.readouterr()
+        code = main(["report", "--series", str(path), "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        trends = doc["series"]
+        assert trends["samples"] > 2
+        ev = trends["counters"]["sim.events_processed"]
+        assert ev["last"] >= ev["first"]
+        assert ev["delta"] == ev["last"] - ev["first"]
+
+    def test_format_json_with_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        code = main(["run", "--nodes", "2", "--iterations", "40",
+                     "--interval", "2", "--seed", "1",
+                     "--metrics-out", str(metrics_path)])
+        capsys.readouterr()
+        assert code == 0
+        code = main(["report", "--metrics", str(metrics_path),
+                     "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert "counters" in doc["metrics"]
+
+
+class TestCampaignProgressCli:
+    def test_progress_file_written_and_resumed_sweep_reports_hits(
+            self, tmp_path, capsys):
+        progress_path = tmp_path / "progress.json"
+        argv = ["campaign", "--seeds", "2", "--nodes", "2",
+                "--iterations", "10", "--cache-dir",
+                str(tmp_path / "cache"),
+                "--progress-file", str(progress_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        event = json.loads(progress_path.read_text())
+        assert event["done"] is True
+        assert event["completed"] == 2
+        # Resumed: same sweep now comes entirely from the store.
+        assert main(argv) == 0
+        capsys.readouterr()
+        event = json.loads(progress_path.read_text())
+        assert event["cached"] == 2
+        assert event["cache_hit_rate"] == 1.0
+
+
+class TestChaosFlightReplayCli:
+    def test_replay_flight_artifact_reproduces_verdict(
+            self, tmp_path, capsys):
+        from repro.chaos.fuzzer import fuzz_schedule
+        from repro.chaos.runner import run_schedule
+
+        schedule = dataclasses.replace(fuzz_schedule(7), horizon=0.5)
+        outcome = run_schedule(schedule, flight_dir=str(tmp_path))
+        assert outcome.flight_path
+        code = main(["chaos", "--replay", outcome.flight_path])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "replaying embedded schedule" in out
+        assert "FAIL [liveness]" in out
+        assert outcome.fingerprint[:16] in out
+
+    def test_replay_plain_plan_still_works(self, tmp_path, capsys):
+        from repro.chaos.fuzzer import fuzz_schedule
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(fuzz_schedule(0).to_json())
+        code = main(["chaos", "--replay", str(plan)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict" in out

@@ -1,0 +1,182 @@
+"""FlightRecorder unit + trigger tests.
+
+The ring-buffer mechanics are covered directly; the trigger path runs a real
+chaos schedule whose horizon is too short to finish, which fires the
+``liveness`` invariant on final check — a deterministic failure whose flight
+dump must point at the violating event window and replay to the same
+verdict.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs.flight import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    is_flight_artifact,
+    load_flight,
+)
+
+
+class TestRing:
+    def test_eviction_order_keeps_most_recent(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record(float(i), "tick", {"i": i})
+        assert len(rec) == 4
+        assert rec.recorded == 10
+        assert rec.evicted == 6
+        assert [e["detail"]["i"] for e in rec.events()] == [6, 7, 8, 9]
+        assert [e["t"] for e in rec.events()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_FLIGHT_CAPACITY
+
+    def test_dump_dict_shape(self):
+        rec = FlightRecorder(capacity=2)
+        rec.record(1.0, "a")
+        payload = rec.dump_dict(reason="unit", invariant="inv",
+                                violation="v", schedule={"seed": 1},
+                                context={"k": 2})
+        assert payload["format"] == FLIGHT_FORMAT
+        assert payload["reason"] == "unit"
+        assert payload["schedule"] == {"seed": 1}
+        assert payload["events"] == [
+            {"t": 1.0, "kind": "a", "detail": {}}]
+        assert is_flight_artifact(payload)
+
+    def test_dump_and_load_round_trip(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record(0.5, "x", {"n": 1})
+        path = rec.dump(tmp_path / "sub" / "flight.json", reason="unit")
+        loaded = load_flight(path)
+        assert loaded["events"] == rec.events()
+
+    def test_load_rejects_non_artifact(self, tmp_path):
+        p = tmp_path / "not-flight.json"
+        p.write_text(json.dumps({"format": "other/1"}))
+        with pytest.raises(ValueError):
+            load_flight(p)
+
+
+def _failing_schedule(seed: int = 7):
+    """A schedule that cannot complete by its horizon: deterministic
+    ``liveness`` violation on the monitor's final check."""
+    from repro.chaos.fuzzer import fuzz_schedule
+
+    return dataclasses.replace(fuzz_schedule(seed), horizon=0.5)
+
+
+class TestTrigger:
+    def test_invariant_violation_dumps_pointing_at_event_window(
+            self, tmp_path):
+        from repro.chaos.runner import run_schedule
+
+        schedule = _failing_schedule()
+        outcome = run_schedule(schedule, flight_dir=str(tmp_path))
+        assert not outcome.ok
+        assert outcome.invariant == "liveness"
+        assert outcome.flight_path is not None
+        payload = load_flight(outcome.flight_path)
+        assert payload["reason"] == "invariant_violation"
+        assert payload["invariant"] == "liveness"
+        assert payload["violation"] == outcome.violation
+        assert payload["context"]["seed"] == schedule.seed
+        assert payload["context"]["fingerprint"] == outcome.fingerprint
+        # The tail of the dump is the tail of the run's actual timeline.
+        rerun = run_schedule(schedule)  # no flight: identical execution
+        assert rerun.fingerprint == outcome.fingerprint
+        assert payload["events"], "flight dump recorded no events"
+
+    def test_tail_events_match_run_timeline(self, tmp_path):
+        """Dump events (timeline kinds only) equal the timeline's tail —
+        the recorder saw exactly what the run recorded, in order."""
+        from repro.chaos.fuzzer import fuzz_schedule
+        from repro.core.framework import ACR
+
+        schedule = _failing_schedule()
+        rec = FlightRecorder(capacity=8)
+        acr = ACR(schedule.app,
+                  nodes_per_replica=schedule.nodes_per_replica,
+                  config=schedule.config(),
+                  injection_plan=schedule.plan())
+        rec.attach(acr)
+        acr.run(until=schedule.horizon)
+        rec.detach()
+        timeline_tail = [
+            {"t": e.time, "kind": str(e.kind), "detail": dict(e.detail)}
+            for e in acr.timeline.events]
+        recorded = [e for e in rec.events() if e["kind"] != "phase_change"]
+        assert recorded == timeline_tail[-len(recorded):]
+        assert fuzz_schedule(schedule.seed).seed == schedule.seed
+
+    def test_passing_run_dumps_nothing(self, tmp_path):
+        from repro.chaos.fuzzer import fuzz_schedule
+        from repro.chaos.runner import run_schedule
+
+        outcome = run_schedule(fuzz_schedule(0), flight_dir=str(tmp_path))
+        assert outcome.ok
+        assert outcome.flight_path is None
+        assert not list(tmp_path.iterdir())
+
+    def test_detach_stops_recording(self):
+        from repro.chaos.fuzzer import fuzz_schedule
+        from repro.core.framework import ACR
+
+        schedule = _failing_schedule()
+        rec = FlightRecorder()
+        acr = ACR(schedule.app,
+                  nodes_per_replica=schedule.nodes_per_replica,
+                  config=schedule.config(),
+                  injection_plan=schedule.plan())
+        rec.attach(acr)
+        rec.detach()
+        acr.run(until=schedule.horizon)
+        assert rec.recorded == 0
+        assert rec._acr is None
+        assert fuzz_schedule is not None
+
+
+class TestQuarantineWiring:
+    def test_chaos_campaign_dumps_into_store_quarantine(self, tmp_path):
+        """With a store and no explicit flight_dir, dumps land in
+        ``quarantine/`` and ``verify`` does not flag them."""
+        from repro.chaos.campaign import run_chaos_campaign
+        from repro.chaos.runner import run_schedule
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "cache")
+        # Plant a failing artifact exactly the way run_schedule does.
+        schedule = _failing_schedule()
+        outcome = run_schedule(schedule,
+                               flight_dir=str(store.quarantine_dir))
+        assert outcome.flight_path is not None
+        assert outcome.flight_path.startswith(str(store.quarantine_dir))
+        assert store.verify() == []
+        # A green campaign over the same store also stays clean.
+        result = run_chaos_campaign(1, cache=store, shrink=False)
+        assert result.ok
+        assert store.verify() == []
+
+    def test_flight_path_serializes_through_store(self, tmp_path):
+        from repro.chaos.runner import run_schedule
+        from repro.store.serialization import (
+            outcome_from_dict,
+            outcome_to_dict,
+        )
+
+        outcome = run_schedule(_failing_schedule(),
+                               flight_dir=str(tmp_path))
+        back = outcome_from_dict(outcome_to_dict(outcome))
+        assert back.flight_path == outcome.flight_path
+        # Old payloads without the field still decode (dataclass default).
+        old = outcome_to_dict(outcome)
+        old.pop("flight_path")
+        assert outcome_from_dict(old).flight_path is None

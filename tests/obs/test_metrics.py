@@ -69,12 +69,47 @@ class TestRegistry:
 
 
 class TestMerge:
-    def test_counters_add_gauges_max(self):
+    def test_counters_add_gauges_last_writer(self):
         a = {"counters": {"c": 2}, "gauges": {"g": 5.0}, "histograms": {}}
         b = {"counters": {"c": 3}, "gauges": {"g": 4.0}, "histograms": {}}
         merged = merge_snapshots([a, b])
         assert merged["counters"]["c"] == 5
-        assert merged["gauges"]["g"] == 5.0
+        # Conflicting gauges: last-writer-by-worker-index — the later
+        # snapshot in the list wins (the documented, deterministic contract).
+        assert merged["gauges"]["g"] == 4.0
+        assert merge_snapshots([b, a])["gauges"]["g"] == 5.0
+
+    def test_gauge_absent_from_later_snapshot_survives(self):
+        a = {"counters": {}, "gauges": {"only_a": 7.0}, "histograms": {}}
+        b = {"counters": {}, "gauges": {"only_b": 1.0}, "histograms": {}}
+        merged = merge_snapshots([a, b])
+        assert merged["gauges"] == {"only_a": 7.0, "only_b": 1.0}
+
+    def test_counter_and_histogram_merge_is_order_independent(self):
+        """Counters/histograms must aggregate identically however the
+        per-worker snapshots are ordered or grouped (associativity) —
+        gauges are the *only* order-dependent kind, by contract."""
+        regs = []
+        for i in range(3):
+            reg = MetricsRegistry()
+            reg.counter("c").inc(i + 1)
+            reg.counter("only", worker=str(i)).inc(10)
+            reg.histogram("h", buckets=(1.0, 2.0)).observe(0.5 * (i + 1))
+            regs.append(reg.snapshot())
+
+        def strip_gauges(snap):
+            return {"counters": snap["counters"],
+                    "histograms": snap["histograms"]}
+
+        flat = merge_snapshots(regs)
+        reordered = merge_snapshots([regs[2], regs[0], regs[1]])
+        # Associativity: merging a pre-merged pair with the third snapshot
+        # equals the flat three-way merge.
+        nested = merge_snapshots([merge_snapshots(regs[:2]), regs[2]])
+        assert strip_gauges(flat) == strip_gauges(reordered)
+        assert strip_gauges(flat) == strip_gauges(nested)
+        assert flat["counters"]["c"] == 6
+        assert flat["histograms"]["h"]["count"] == 3
 
     def test_histograms_merge_bucketwise(self):
         reg1, reg2 = MetricsRegistry(), MetricsRegistry()

@@ -1,0 +1,145 @@
+"""ProgressTracker unit tests: counts, rates, ETA, sinks, rendering."""
+
+import json
+
+from repro.obs.progress import (
+    PROGRESS_FORMAT,
+    ProgressTracker,
+    render_progress_line,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestCounts:
+    def test_tick_accounting(self):
+        p = ProgressTracker(10)
+        p.cell_completed()
+        p.cell_cached(3)
+        p.cell_failed()
+        assert p.processed == 5
+        assert p.remaining == 5
+        snap = p.snapshot()
+        assert snap["format"] == PROGRESS_FORMAT
+        assert snap["completed"] == 1
+        assert snap["cached"] == 3
+        assert snap["failed"] == 1
+        assert snap["done"] is False
+
+    def test_finish_marks_done(self):
+        p = ProgressTracker(1)
+        p.cell_completed()
+        p.finish()
+        assert p.snapshot()["done"] is True
+
+
+class TestRatesAndEta:
+    def test_rate_counts_only_computed_cells(self):
+        """Cache hits land in microseconds; counting them would make the
+        ETA of a resumed sweep wildly optimistic."""
+        clock = FakeClock()
+        p = ProgressTracker(20, clock=clock)
+        clock.t = 2.0
+        p.cell_cached(10)   # instant cache prefix
+        p.cell_completed(4)  # 4 computed in 2 s
+        snap = p.snapshot()
+        assert snap["cells_per_s"] == 2.0
+        assert snap["cache_hit_rate"] == 10 / 14
+        # 6 remaining at 2 computed cells/s.
+        assert snap["eta_s"] == 3.0
+
+    def test_eta_none_until_something_computed(self):
+        clock = FakeClock()
+        p = ProgressTracker(5, clock=clock)
+        clock.t = 1.0
+        p.cell_cached()
+        assert p.snapshot()["eta_s"] is None
+
+    def test_eta_zero_when_done(self):
+        p = ProgressTracker(1)
+        p.cell_completed()
+        assert p.snapshot()["eta_s"] == 0.0
+
+
+class TestSinks:
+    def test_on_event_called_per_tick(self):
+        events = []
+        p = ProgressTracker(3, on_event=events.append)
+        p.cell_completed()
+        p.cell_cached()
+        p.finish()
+        assert len(events) == 3
+        assert [e["processed"] for e in events] == [1, 2, 2]
+        assert events[-1]["done"] is True
+
+    def test_progress_file_atomically_rewritten(self, tmp_path):
+        path = tmp_path / "progress.json"
+        p = ProgressTracker(2, path=path)
+        p.cell_completed()
+        first = json.loads(path.read_text())
+        assert first["processed"] == 1
+        p.cell_completed()
+        p.finish()
+        final = json.loads(path.read_text())
+        assert final["processed"] == 2
+        assert final["done"] is True
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestRendering:
+    def test_line_contains_rates_and_eta(self):
+        clock = FakeClock()
+        p = ProgressTracker(8, clock=clock, label="campaign")
+        clock.t = 1.0
+        p.cell_cached(2)
+        p.cell_completed(2)
+        line = render_progress_line(p.snapshot())
+        assert "campaign: 4/8" in line
+        assert "cached=2" in line
+        assert "2.0 cells/s" in line
+        assert "hit=50%" in line
+        assert "eta 2s" in line
+
+    def test_done_line_and_failures(self):
+        p = ProgressTracker(2)
+        p.cell_completed()
+        p.cell_failed()
+        p.finish()
+        line = render_progress_line(p.snapshot())
+        assert "failed=1" in line
+        assert "done in" in line
+
+
+class TestCampaignIntegration:
+    def test_campaign_ticks_per_cell_and_resume_counts_cache(self, tmp_path):
+        from repro.harness.campaign import run_campaign
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "cache")
+        kwargs = dict(nodes_per_replica=2, total_iterations=10,
+                      checkpoint_interval=2.0)
+        events = []
+        p1 = ProgressTracker(3, on_event=events.append)
+        run_campaign("jacobi3d-charm", seeds=range(3), cache=store,
+                     progress=p1, **kwargs)
+        assert p1.completed == 3 and p1.cached == 0 and p1.done
+        # Resume: every cell now comes from the store.
+        p2 = ProgressTracker(3)
+        run_campaign("jacobi3d-charm", seeds=range(3), cache=store,
+                     progress=p2, **kwargs)
+        assert p2.cached == 3 and p2.completed == 0 and p2.done
+        assert p2.snapshot()["cache_hit_rate"] == 1.0
+
+    def test_chaos_campaign_ticks_progress(self):
+        from repro.chaos.campaign import run_chaos_campaign
+
+        p = ProgressTracker(2, label="chaos")
+        result = run_chaos_campaign(2, progress=p)
+        assert p.processed == 2 and p.done
+        assert p.completed + p.failed == len(result.outcomes)

@@ -1,0 +1,223 @@
+"""TimeSeriesRecorder unit tests: sampling, derivation, merge, export."""
+
+import json
+
+import pytest
+
+from repro.obs.series import (
+    DEFAULT_SERIES_INTERVAL,
+    NULL_SERIES,
+    SERIES_FORMAT,
+    TimeSeriesRecorder,
+    merge_series,
+    write_series,
+)
+
+
+def _snap(counters=None, gauges=None):
+    return {"counters": counters or {}, "gauges": gauges or {},
+            "histograms": {}}
+
+
+class TestNullSeries:
+    def test_disabled_and_inert(self):
+        assert NULL_SERIES.enabled is False
+        NULL_SERIES.sample(1.0, _snap({"c": 1}))
+        assert NULL_SERIES.to_dict()["times"] == []
+
+
+class TestSampling:
+    def test_columnar_append(self):
+        rec = TimeSeriesRecorder(interval=2.0)
+        rec.sample(2.0, _snap({"c": 1}, {"g": 5.0}))
+        rec.sample(4.0, _snap({"c": 3}, {"g": 2.0}))
+        assert len(rec) == 2
+        assert rec.times == [2.0, 4.0]
+        assert rec.column("c") == [1.0, 3.0]
+        assert rec.column("g") == [5.0, 2.0]
+        assert rec.keys() == ["c", "g"]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(interval=0.0)
+
+    def test_late_counter_zero_padded_late_gauge_value_padded(self):
+        rec = TimeSeriesRecorder()
+        rec.sample(1.0, _snap({"c": 1}))
+        rec.sample(2.0, _snap({"c": 2, "new": 7}, {"g": 3.0}))
+        assert rec.column("new") == [0.0, 7.0]
+        # A gauge that did not exist yet has no meaningful zero.
+        assert rec.column("g") == [3.0, 3.0]
+
+    def test_absent_key_carries_forward(self):
+        rec = TimeSeriesRecorder()
+        rec.sample(1.0, _snap({"c": 4}))
+        rec.sample(2.0, _snap({"other": 1}))
+        assert rec.column("c") == [4.0, 4.0]
+
+    def test_duplicate_time_collapses_onto_last_row(self):
+        """The final end-of-run sample often coincides with the last
+        periodic tick; it must overwrite, not duplicate."""
+        rec = TimeSeriesRecorder()
+        rec.sample(1.0, _snap({"c": 1}))
+        rec.sample(2.0, _snap({"c": 2}))
+        rec.sample(2.0, _snap({"c": 5}, {"g": 1.0}))
+        assert rec.times == [1.0, 2.0]
+        assert rec.column("c") == [1.0, 5.0]
+        assert rec.column("g") == [1.0, 1.0]
+
+
+class TestDerivation:
+    def test_deltas_and_rates(self):
+        rec = TimeSeriesRecorder()
+        rec.sample(0.0, _snap({"c": 0}))
+        rec.sample(2.0, _snap({"c": 6}))
+        rec.sample(6.0, _snap({"c": 10}))
+        assert rec.deltas("c") == [6.0, 4.0]
+        assert rec.rates("c") == [3.0, 1.0]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        rec = TimeSeriesRecorder(interval=3.0)
+        rec.sample(3.0, _snap({"c": 1}, {"g": 2.0}))
+        rec.sample(6.0, _snap({"c": 4}, {"g": 1.0}))
+        payload = rec.to_dict()
+        assert payload["format"] == SERIES_FORMAT
+        back = TimeSeriesRecorder.from_dict(json.loads(json.dumps(payload)))
+        assert back.to_dict() == payload
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder.from_dict({"format": "bogus/9"})
+
+    def test_jsonl_rows(self):
+        rec = TimeSeriesRecorder()
+        rec.sample(1.0, _snap({"c": 2}))
+        rec.sample(2.0, _snap({"c": 3}))
+        rows = [json.loads(line) for line in rec.to_jsonl().splitlines()]
+        assert rows == [{"t": 1.0, "c": 2.0}, {"t": 2.0, "c": 3.0}]
+
+    def test_openmetrics_last_sample(self):
+        rec = TimeSeriesRecorder()
+        rec.sample(1.0, _snap({"transport.messages_sent{kind=hb}": 2},
+                              {"sim.queue-depth": 7.0}))
+        rec.sample(5.0, _snap({"transport.messages_sent{kind=hb}": 9},
+                              {"sim.queue-depth": 3.0}))
+        text = rec.to_openmetrics()
+        assert "# TYPE transport_messages_sent_total counter" in text
+        assert 'transport_messages_sent_total{kind="hb"} 9 5' in text
+        assert "# TYPE sim_queue_depth gauge" in text
+        assert "sim_queue_depth 3 5" in text
+        assert text.endswith("# EOF\n")
+
+    def test_openmetrics_empty(self):
+        assert TimeSeriesRecorder().to_openmetrics() == "# EOF\n"
+
+    def test_write_series_formats(self, tmp_path):
+        rec = TimeSeriesRecorder()
+        rec.sample(1.0, _snap({"c": 1}))
+        payload = rec.to_dict()
+        j = tmp_path / "s.json"
+        write_series(j, payload, fmt="json")
+        assert json.loads(j.read_text()) == payload
+        jl = tmp_path / "s.jsonl"
+        write_series(jl, payload, fmt="jsonl")
+        assert json.loads(jl.read_text().splitlines()[0])["c"] == 1.0
+        om = tmp_path / "s.prom"
+        write_series(om, payload, fmt="openmetrics")
+        assert om.read_text().endswith("# EOF\n")
+        with pytest.raises(ValueError):
+            write_series(tmp_path / "s.x", payload, fmt="csv")
+
+
+class TestMergeSeries:
+    def test_empty(self):
+        merged = merge_series([None, {}])
+        assert merged["times"] == []
+
+    def test_counters_add_on_union_grid(self):
+        a = TimeSeriesRecorder()
+        a.sample(1.0, _snap({"c": 1}))
+        a.sample(3.0, _snap({"c": 3}))
+        b = TimeSeriesRecorder()
+        b.sample(2.0, _snap({"c": 10}))
+        merged = merge_series([a.to_dict(), b.to_dict()])
+        assert merged["times"] == [1.0, 2.0, 3.0]
+        # a forward-fills 1->1->3; b fills 0 (not yet sampled), 10, 10.
+        assert merged["counters"]["c"] == [1.0, 11.0, 13.0]
+
+    def test_gauges_last_writer_where_observed(self):
+        a = TimeSeriesRecorder()
+        a.sample(1.0, _snap(gauges={"g": 5.0}))
+        a.sample(3.0, _snap(gauges={"g": 6.0}))
+        b = TimeSeriesRecorder()
+        b.sample(3.0, _snap(gauges={"g": 1.0}))
+        merged = merge_series([a.to_dict(), b.to_dict()])
+        # Before b's first sample the earlier worker's value survives;
+        # afterwards the later input wins (last-writer-by-worker-index).
+        assert merged["gauges"]["g"] == [5.0, 1.0]
+
+    def test_merge_keeps_max_interval(self):
+        a = TimeSeriesRecorder(interval=2.0)
+        a.sample(2.0, _snap({"c": 1}))
+        b = TimeSeriesRecorder(interval=5.0)
+        b.sample(5.0, _snap({"c": 1}))
+        assert merge_series([a.to_dict(), b.to_dict()])["interval"] == 5.0
+
+
+class TestFrameworkIntegration:
+    def test_sampled_run_lands_series_on_report(self):
+        from repro.harness.experiment import run_acr_experiment
+
+        series = TimeSeriesRecorder(interval=1.0)
+        res = run_acr_experiment(
+            "jacobi3d-charm", nodes_per_replica=2, total_iterations=30,
+            checkpoint_interval=2.0, hard_mtbf=20.0, seed=1, series=series)
+        rep = res.report
+        assert rep.series is not None
+        assert rep.series["format"] == SERIES_FORMAT
+        assert len(rep.series["times"]) == len(series) > 1
+        # The final sample is taken at end of run, so the last column value
+        # agrees with the end-of-run aggregate snapshot.
+        counters = rep.series["counters"]
+        assert (counters["sim.events_processed"][-1]
+                == rep.metrics_snapshot["counters"]["sim.events_processed"])
+        # Sampling implies metrics even when the caller passed none.
+        assert res.acr.metrics.enabled
+
+    def test_sampled_run_is_deterministic(self):
+        from repro.harness.experiment import run_acr_experiment
+
+        def go():
+            return run_acr_experiment(
+                "jacobi3d-charm", nodes_per_replica=2, total_iterations=30,
+                checkpoint_interval=2.0, hard_mtbf=20.0, seed=1,
+                series=TimeSeriesRecorder(interval=1.0))
+
+        assert go().report.series == go().report.series
+
+    def test_campaign_merges_cell_series(self):
+        from repro.harness.campaign import run_campaign
+
+        result = run_campaign(
+            "jacobi3d-charm", seeds=range(2), nodes_per_replica=2,
+            total_iterations=20, checkpoint_interval=2.0,
+            collect_series=2.0)
+        merged = result.summary.series
+        assert merged is not None
+        assert merged["times"]
+        # Two cells' event counters added on the union grid: the merged
+        # final value is the sum of the per-report finals.
+        total = sum(r.series["counters"]["sim.events_processed"][-1]
+                    for r in result.reports)
+        assert merged["counters"]["sim.events_processed"][-1] == total
+
+    def test_unsampled_campaign_has_no_series(self):
+        from repro.harness.campaign import run_campaign
+
+        result = run_campaign(
+            "jacobi3d-charm", seeds=range(1), nodes_per_replica=2,
+            total_iterations=10, checkpoint_interval=2.0)
+        assert result.summary.series is None
+        assert DEFAULT_SERIES_INTERVAL > 0

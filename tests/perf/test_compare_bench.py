@@ -20,7 +20,8 @@ def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
              parallel=2.5, cpu_count=4, scale_speedup=4.0,
              scale_completed=True, trace_identical=True,
              scale_parallel=1.8, scale_cpu_count=4,
-             safety_overhead=1.6, fallback_correct=True):
+             safety_overhead=1.6, fallback_correct=True,
+             obs_ratio=0.99):
     return {
         "pack": {
             "pack_speedup_vs_legacy": pack,
@@ -43,6 +44,9 @@ def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
         "des_messages": {"fastpath_speedup": fastpath},
         "des_acr": {"events_per_s": 4.0e4,
                     "legacy_equivalent_events_per_s": 1.1e5},
+        "obs_stream": {"sampled_rate_ratio": obs_ratio,
+                       "sampled_events_per_s": 3.9e4,
+                       "unsampled_events_per_s": 4.0e4},
         "bench_scale": {"events_speedup_vs_des_acr": scale_speedup,
                         "completed": scale_completed,
                         "parallel_trace_identical": trace_identical,
@@ -148,6 +152,17 @@ class TestCompare:
             _results(safety_overhead=0.95), fresh, 0.30)
         assert any("below required floor 1.0" in f for f in failures)
 
+    def test_obs_stream_sampling_overhead_floor(self):
+        # Sampling at the default cadence costing >5% of engine throughput
+        # is a regression regardless of what the baseline machine measured.
+        _, failures = compare_bench.compare(
+            _results(), _results(obs_ratio=0.90), 0.30)
+        assert any("obs_stream.sampled_rate_ratio" in f
+                   and "below required floor 0.95" in f for f in failures)
+        _, failures = compare_bench.compare(
+            _results(), _results(obs_ratio=0.96), 0.30)
+        assert failures == []
+
     def test_tiered_persist_fallback_flag_gated(self):
         _, failures = compare_bench.compare(
             _results(), _results(fallback_correct=False), 0.30)
@@ -186,8 +201,10 @@ class TestMain:
     def test_gated_metrics_exist_in_committed_baseline(self):
         baseline = json.loads(
             (REPO_ROOT / "BENCH_checkpoint.json").read_text())["results"]
+        minimums = tuple((section, metric) for section, metric, _
+                         in compare_bench.GATED_MINIMUMS)
         for section, metric in (compare_bench.GATED_RATIOS
-                                + compare_bench.GATED_FLAGS):
+                                + compare_bench.GATED_FLAGS + minimums):
             assert compare_bench._lookup(baseline, section, metric) is not None, (
                 f"committed baseline lacks gated metric {section}.{metric}"
             )

@@ -162,6 +162,49 @@ class TestTelemetryNeutral:
                 == plain.acr.sim.events_processed)
         assert traced.report.final_time == plain.report.final_time
 
+    def test_disabled_series_schedules_no_sampling_events(self):
+        """``series=None`` (the NULL_SERIES default) must leave the run
+        bit-identical: same event count, same final time, no series on the
+        report."""
+        from repro.harness.experiment import run_acr_experiment
+
+        plain = run_acr_experiment(
+            "jacobi3d-charm", nodes_per_replica=2, total_iterations=40,
+            checkpoint_interval=2.0, seed=1)
+        explicit_null = run_acr_experiment(
+            "jacobi3d-charm", nodes_per_replica=2, total_iterations=40,
+            checkpoint_interval=2.0, seed=1, series=None)
+        assert (explicit_null.acr.sim.events_processed
+                == plain.acr.sim.events_processed)
+        assert explicit_null.report.final_time == plain.report.final_time
+        assert plain.report.series is None
+        assert explicit_null.report.series is None
+
+    def test_enabled_series_only_adds_sampling_ticks(self):
+        """Sampling is a different (still deterministic) execution: the
+        outcome is unchanged and the event count grows by exactly the
+        sampling ticks the periodic timer fired."""
+        from repro.harness.experiment import run_acr_experiment
+        from repro.obs import TimeSeriesRecorder
+
+        plain = run_acr_experiment(
+            "jacobi3d-charm", nodes_per_replica=2, total_iterations=40,
+            checkpoint_interval=2.0, seed=1)
+        series = TimeSeriesRecorder(interval=1.0)
+        sampled = run_acr_experiment(
+            "jacobi3d-charm", nodes_per_replica=2, total_iterations=40,
+            checkpoint_interval=2.0, seed=1, series=series)
+        assert sampled.report.final_time == plain.report.final_time
+        assert sampled.report.completed == plain.report.completed
+        # Every extra event is one sampling tick; the final end-of-run
+        # sample happens outside the event loop (and collapses onto the
+        # last tick when they coincide), so ticks >= samples - 1.
+        extra = (sampled.acr.sim.events_processed
+                 - plain.acr.sim.events_processed)
+        assert extra >= len(series) - 1 > 0
+        assert sampled.report.series is not None
+        assert sampled.report.series["times"] == series.times
+
 
 class TestRunBenchEntryPoint:
     def test_quick_mode_writes_json(self, tmp_path):
@@ -172,7 +215,10 @@ class TestRunBenchEntryPoint:
         assert set(payload["results"]) == {
             "pack", "fletcher", "incremental_checksum", "tiered_persist",
             "campaign", "des_dispatch", "des_periodic", "des_messages",
-            "des_acr", "bench_scale"}
+            "des_acr", "obs_stream", "bench_scale"}
+        obs = payload["results"]["obs_stream"]
+        assert obs["samples"] > 0
+        assert obs["sampled_rate_ratio"] > 0
         tier = payload["results"]["tiered_persist"]
         assert tier["restore_fallback_correct"]
         assert tier["sim_safety_overhead"] >= 1.0
