@@ -60,6 +60,17 @@ GATED_FLAGS = (
     ("tiered_persist", "restore_fallback_correct"),
     ("bench_scale", "completed"),
     ("bench_scale", "parallel_trace_identical"),
+    # Every benchmark submit must have been a pure cache hit, or the
+    # serve.cache_hit_rps measurement is of the wrong path.
+    ("serve", "all_hits"),
+)
+
+#: Absolute floors gated only on multi-core machines.  The served cache-hit
+#: path is pure hashing + one socket round-trip, but on a single core the
+#: client and server threads contend for the same CPU and the rate is
+#: dominated by scheduler noise.
+CPU_GATED_MINIMUMS = (
+    ("serve", "cache_hit_rps", 1000.0),
 )
 
 #: Gated only when the machine can actually go parallel: on a 1-CPU runner
@@ -84,6 +95,9 @@ INFORMATIONAL = (
     ("bench_scale", "legacy_equivalent_events_per_s"),
     ("bench_scale", "node_iterations_per_s"),
     ("bench_scale", "peak_rss_mib"),
+    ("serve", "cache_hit_rps"),
+    ("serve", "p50_ms"),
+    ("serve", "p99_ms"),
 )
 
 
@@ -121,6 +135,21 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list, list]:
     for section, metric, floor in GATED_MINIMUMS:
         name = f"{section}.{metric}"
         new = _lookup(fresh, section, metric)
+        ok = new is not None and new >= floor
+        if not ok:
+            failures.append(f"{name}: {new!r} below required floor {floor}")
+        rows.append([f"{name} >= {floor}", floor,
+                     None if new is None else round(new, 3), "-",
+                     "ok" if ok else "REGRESSION"])
+    for section, metric, floor in CPU_GATED_MINIMUMS:
+        name = f"{section}.{metric}"
+        new = _lookup(fresh, section, metric)
+        cpus = _lookup(fresh, section, "cpu_count") or 1
+        if cpus <= 1:
+            rows.append([f"{name} >= {floor}", floor,
+                         None if new is None else round(new, 3), "-",
+                         "skipped (cpu_count==1)"])
+            continue
         ok = new is not None and new >= floor
         if not ok:
             failures.append(f"{name}: {new!r} below required floor {floor}")

@@ -34,6 +34,7 @@ from benchmarks.perf.bench_checkpoint import run_all  # noqa: E402
 from benchmarks.perf.bench_des import run_all_des  # noqa: E402
 from benchmarks.perf.bench_obs_stream import run_all_obs  # noqa: E402
 from benchmarks.perf.bench_scale import run_all_scale  # noqa: E402
+from benchmarks.perf.bench_serve import run_all_serve  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -59,6 +60,8 @@ def main(argv: list[str] | None = None) -> int:
         quick=args.quick,
         reference_events_per_s=(
             results["des_acr"]["legacy_equivalent_events_per_s"])))
+    results.update(run_all_serve(quick=args.quick,
+                                 repeats=min(args.repeats, 3)))
     payload = {
         "benchmark": "checkpoint_hot_path",
         "quick": args.quick,
@@ -117,6 +120,12 @@ def main(argv: list[str] | None = None) -> int:
           f"({scale['parallel']['effective_workers']}/"
           f"{scale['parallel']['requested_workers']} workers "
           f"on {scale['cpu_count']} core(s))")
+    serve = results["serve"]
+    print(f"serve       {serve['requests']} submits x"
+          f"{serve['seeds_per_job']} seeds  "
+          f"{serve['cache_hit_rps']:.0f} cache-hit req/s "
+          f"(p50 {serve['p50_ms']:.2f} ms, p99 {serve['p99_ms']:.2f} ms, "
+          f"all_hits={serve['all_hits']})")
     return 0
 
 

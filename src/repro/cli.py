@@ -16,6 +16,10 @@ Usage (also via ``python -m repro``):
     python -m repro golden check
     python -m repro chaos --seeds 500 --workers 8
     python -m repro chaos --replay repro-seed42.json
+    python -m repro serve --port 8737 --workers 4
+    python -m repro submit --server 127.0.0.1:8737 --seeds 16 --wait
+    python -m repro jobs --server 127.0.0.1:8737
+    python -m repro cancel --server 127.0.0.1:8737 job-000000
 """
 
 from __future__ import annotations
@@ -221,7 +225,75 @@ def _build_parser() -> argparse.ArgumentParser:
                               "when caching is on)")
     _add_progress_flags(chaos_p)
     _add_cache_flags(chaos_p, default_off=True)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant campaign server over the result store")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8737,
+                         help="listen port; 0 asks the OS for an ephemeral "
+                              "one (the bound port is printed on startup)")
+    serve_p.add_argument("--workers", type=int, default=None,
+                         help="simulation worker width (default: cpu count)")
+    serve_p.add_argument("--queue-limit", type=int, default=None,
+                         help="global bound on queued cells (backpressure)")
+    serve_p.add_argument("--tenant-quota", type=int, default=None,
+                         help="per-tenant bound on outstanding cells")
+    serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result-store root (default: $REPRO_CACHE_DIR "
+                              "or .repro-cache)")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a sweep to a running campaign server")
+    _add_server_flag(submit_p)
+    submit_p.add_argument("--tenant", default="default")
+    submit_p.add_argument("--priority", type=int, default=None,
+                          help="job priority (lower runs sooner)")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="block until the job finishes, then print "
+                               "its campaign summary")
+    submit_p.add_argument("--timeout", type=float, default=600.0,
+                          help="--wait deadline in seconds")
+    submit_p.add_argument("--app", default="jacobi3d-charm",
+                          choices=MINIAPP_NAMES)
+    submit_p.add_argument("--seeds", type=int, default=8,
+                          help="number of seeds (cells) in the sweep")
+    submit_p.add_argument("--seed-start", type=int, default=0)
+    submit_p.add_argument("--nodes", type=int, default=4,
+                          help="nodes per replica")
+    submit_p.add_argument("--scheme", default="strong",
+                          choices=[s.value for s in ResilienceScheme])
+    submit_p.add_argument("--mapping", default="default",
+                          choices=["default", "column", "mixed"])
+    submit_p.add_argument("--iterations", type=int, default=200)
+    submit_p.add_argument("--interval", type=float, default=5.0,
+                          help="checkpoint period in simulated seconds")
+    submit_p.add_argument("--hard-mtbf", type=float, default=None)
+    submit_p.add_argument("--sdc-mtbf", type=float, default=None)
+    submit_p.add_argument("--checksum", action="store_true")
+    submit_p.add_argument("--horizon", type=float, default=10_000.0)
+    submit_p.add_argument("--spare-nodes", type=int, default=64)
+
+    jobs_p = sub.add_parser(
+        "jobs", help="list jobs on a running campaign server")
+    _add_server_flag(jobs_p)
+    jobs_p.add_argument("--tenant", default=None,
+                        help="only this tenant's jobs")
+    jobs_p.add_argument("--json", action="store_true",
+                        help="print raw JSON instead of a table")
+
+    cancel_p = sub.add_parser(
+        "cancel", help="cancel a job on a running campaign server")
+    _add_server_flag(cancel_p)
+    cancel_p.add_argument("job_id")
     return parser
+
+
+def _add_server_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--server", default="127.0.0.1:8737",
+                        metavar="HOST:PORT",
+                        help="campaign server address (as printed by "
+                             "`repro serve` on startup)")
 
 
 def _add_progress_flags(parser: argparse.ArgumentParser) -> None:
@@ -911,6 +983,116 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def _submit_config(args: argparse.Namespace) -> dict:
+    """``repro submit`` flags -> the experiment kwargs the cell is keyed by.
+
+    Deliberately the same shape ``repro campaign`` passes to
+    :func:`~repro.store.keys.experiment_cell_material`, so a sweep submitted
+    to the server shares cache cells with the same sweep run locally.
+    """
+    return {
+        "nodes_per_replica": args.nodes,
+        "scheme": args.scheme,
+        "mapping": args.mapping,
+        "use_checksum": args.checksum,
+        "total_iterations": args.iterations,
+        "checkpoint_interval": args.interval,
+        "hard_mtbf": args.hard_mtbf,
+        "sdc_mtbf": args.sdc_mtbf,
+        "horizon": args.horizon,
+        "spare_nodes": args.spare_nodes,
+    }
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import CampaignServer, ServeState, serve_forever
+    from repro.serve.state import DEFAULT_QUEUE_LIMIT, DEFAULT_TENANT_QUOTA
+    from repro.store import ResultStore, default_cache_dir
+
+    store = ResultStore(args.cache_dir or default_cache_dir())
+    state = ServeState(
+        store,
+        queue_limit=(args.queue_limit if args.queue_limit is not None
+                     else DEFAULT_QUEUE_LIMIT),
+        tenant_quota=(args.tenant_quota if args.tenant_quota is not None
+                      else DEFAULT_TENANT_QUOTA),
+    )
+    server = CampaignServer(state, host=args.host, port=args.port,
+                            workers=args.workers)
+    return serve_forever(server)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    with ServeClient(args.server) as client:
+        try:
+            job = client.submit(
+                tenant=args.tenant, app=args.app,
+                seed_start=args.seed_start, count=args.seeds,
+                config=_submit_config(args), priority=args.priority)
+        except ServeError as err:
+            if err.status == 429:
+                print(f"server busy: {err.payload.get('error')} "
+                      f"(retry after {err.retry_after:g}s)", file=sys.stderr)
+                return 75  # EX_TEMPFAIL
+            raise
+        print(f"{job['job_id']}: {job['status']} "
+              f"({job['cached_at_submit']} cached, "
+              f"{job['attached_at_submit']} shared in flight, "
+              f"{job['queued_at_submit']} queued)")
+        if not args.wait:
+            return 0
+        status = client.wait(job["job_id"], timeout=args.timeout)
+        if status["status"] != "done":
+            print(f"{job['job_id']}: {status['status']}"
+                  + (f" ({status['error']})" if status.get("error") else ""),
+                  file=sys.stderr)
+            return 1
+        result = client.result(job["job_id"])
+        summary = result["summary"]
+        print(format_table(
+            ["metric", "value"],
+            [[k, summary[k]] for k in sorted(summary)],
+            title=f"{job['job_id']}: {args.app}, "
+                  f"seeds {args.seed_start}.."
+                  f"{args.seed_start + args.seeds - 1}"))
+        print(f"summary digest: {result['summary_digest']}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    with ServeClient(args.server) as client:
+        jobs = client.jobs(tenant=args.tenant)
+    if args.json:
+        import json
+
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print(f"server {args.server}: no jobs")
+        return 0
+    print(format_table(
+        ["job", "tenant", "app", "status", "cells", "done", "cached",
+         "saved"],
+        [[j["job_id"], j["tenant"], j["app"], j["status"], j["cells_total"],
+          j["cells_done"], j["cached_at_submit"], j["saved_on_resume"]]
+         for j in jobs],
+        title=f"server {args.server}: {len(jobs)} job(s)"))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    with ServeClient(args.server) as client:
+        job = client.cancel(args.job_id)
+    print(f"{job['job_id']}: {job['status']}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -934,6 +1116,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_golden(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
+    if args.command == "cancel":
+        return _cmd_cancel(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -14,6 +14,7 @@ from repro.harness.campaign import (
     CampaignResult,
     CampaignSummary,
     FanOutError,
+    effective_workers,
     fan_out,
     run_campaign,
     summarize,
@@ -37,6 +38,7 @@ from repro.harness.figures import (
     fig10_data,
     fig12_data,
 )
+from repro.harness.pool import WorkerPool
 from repro.harness.report import format_table, print_table
 
 __all__ = [
@@ -51,6 +53,8 @@ __all__ = [
     "CampaignResult",
     "CampaignSummary",
     "FanOutError",
+    "WorkerPool",
+    "effective_workers",
     "fan_out",
     "run_campaign",
     "summarize",

@@ -1,0 +1,93 @@
+"""A long-lived worker pool for the campaign server.
+
+:func:`~repro.harness.campaign.fan_out` is the batch engine: it owns a
+``ProcessPoolExecutor`` for exactly one sweep and joins it before returning.
+The campaign server needs the same workers with a different lifecycle — a
+pool that outlives any single request, hands out futures the asyncio event
+loop can await via ``run_in_executor``, and degrades the same way ``fan_out``
+does when process pools are unavailable (serial → here, a thread pool; the
+work is deterministic either way because every cell re-derives its
+randomness from its own seed).
+
+The width clamp is shared with campaigns
+(:func:`~repro.harness.campaign.effective_workers`): never more processes
+than cores.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+
+def _watch_for_orphaning(parent_pid: int, poll_s: float = 2.0) -> None:
+    """Pool-worker initializer: exit if the parent process disappears.
+
+    A SIGKILLed server cannot shut its pool down, and an orphaned
+    ``ProcessPoolExecutor`` worker blocks on the call queue forever (the
+    feeder keeps the pipe's write end open inside the worker itself, so it
+    never reads EOF).  The server's whole durability story is "kill -9 me",
+    so every worker watches its parent and exits once it is re-parented.
+    """
+
+    def watch() -> None:
+        while os.getppid() == parent_pid:
+            time.sleep(poll_s)
+        os._exit(0)
+
+    threading.Thread(target=watch, daemon=True,
+                     name="orphan-watchdog").start()
+
+
+class WorkerPool:
+    """Lazily-created process pool with a thread fallback.
+
+    ``pool.executor`` is a live :class:`concurrent.futures.Executor`; the
+    first submission that reveals a broken or unsupported process pool flips
+    the pool to threads permanently (``pool.mode`` says which one is active).
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        requested = workers if workers and workers > 0 else (os.cpu_count() or 1)
+        self.width = min(requested, os.cpu_count() or 1)
+        self.mode = "unstarted"
+        self._executor: Executor | None = None
+
+    @property
+    def executor(self) -> Executor:
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.width,
+                    initializer=_watch_for_orphaning,
+                    initargs=(os.getpid(),))
+                self.mode = "processes"
+            except (ImportError, NotImplementedError, OSError):
+                self._executor = ThreadPoolExecutor(max_workers=self.width)
+                self.mode = "threads"
+        return self._executor
+
+    def fall_back_to_threads(self) -> Executor:
+        """Replace a broken process pool with threads (one-way)."""
+        old, self._executor = self._executor, None
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+        self._executor = ThreadPoolExecutor(max_workers=self.width)
+        self.mode = "threads"
+        return self._executor
+
+    def submit(self, fn, *args):
+        """Submit work, transparently recovering from a dead process pool."""
+        try:
+            return self.executor.submit(fn, *args)
+        except (BrokenProcessPool, RuntimeError):
+            return self.fall_back_to_threads().submit(fn, *args)
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self.mode = "shutdown"

@@ -36,6 +36,7 @@ from repro.obs.export import (
     CHROME_TRACE_REQUIRED_KEYS,
     load_json,
     sanitize_snapshot,
+    snapshot_to_openmetrics,
     trace_phase_summary,
     validate_chrome_trace,
     write_metrics,
@@ -82,6 +83,7 @@ __all__ = [
     "CHROME_TRACE_REQUIRED_KEYS",
     "load_json",
     "sanitize_snapshot",
+    "snapshot_to_openmetrics",
     "trace_phase_summary",
     "validate_chrome_trace",
     "write_metrics",

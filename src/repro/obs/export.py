@@ -59,6 +59,70 @@ def load_json(path: str) -> dict:
         return json.load(fh)
 
 
+def _openmetrics_name(name: str) -> str:
+    """Metric names limited to the Prometheus charset."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _openmetrics_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{{{inner}}}"
+
+
+def snapshot_to_openmetrics(snapshot: dict) -> str:
+    """Prometheus/OpenMetrics text exposition of one metrics snapshot.
+
+    The scrape-endpoint sibling of
+    :meth:`~repro.obs.series.TimeSeriesRecorder.to_openmetrics` (which
+    exports the last *sample* of a time series): this renders a live
+    :meth:`MetricsRegistry.snapshot` directly, so a long-running service can
+    serve ``GET /metrics`` without arming a series recorder.  Histograms are
+    exposed as Prometheus classic histograms (``_bucket``/``_sum``/
+    ``_count``).
+    """
+    from repro.obs.metrics import parse_metric_key
+
+    lines: list[str] = []
+    for kind, suffix in (("counter", "_total"), ("gauge", "")):
+        cols = snapshot.get(f"{kind}s", {})
+        seen: set[str] = set()
+        for key in sorted(cols):
+            name, labels = parse_metric_key(key)
+            om_name = _openmetrics_name(name) + suffix
+            if om_name not in seen:
+                seen.add(om_name)
+                lines.append(f"# TYPE {om_name} {kind}")
+            lines.append(
+                f"{om_name}{_openmetrics_labels(labels)} {cols[key]:g}")
+    seen = set()
+    for key in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][key]
+        name, labels = parse_metric_key(key)
+        om_name = _openmetrics_name(name)
+        if om_name not in seen:
+            seen.add(om_name)
+            lines.append(f"# TYPE {om_name} histogram")
+        cumulative = 0.0
+        for edge, count in zip(hist.get("buckets", []),
+                               hist.get("counts", [])):
+            cumulative += count
+            bucket_labels = dict(labels, le=f"{edge:g}")
+            lines.append(f"{om_name}_bucket"
+                         f"{_openmetrics_labels(bucket_labels)} "
+                         f"{cumulative:g}")
+        lines.append(f"{om_name}_bucket"
+                     f"{_openmetrics_labels(dict(labels, le='+Inf'))} "
+                     f"{hist.get('count', 0):g}")
+        lines.append(f"{om_name}_sum{_openmetrics_labels(labels)} "
+                     f"{hist.get('sum', 0.0):g}")
+        lines.append(f"{om_name}_count{_openmetrics_labels(labels)} "
+                     f"{hist.get('count', 0):g}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
 def validate_chrome_trace(payload: dict) -> list[str]:
     """Return a list of schema problems (empty = valid Chrome trace)."""
     problems = []

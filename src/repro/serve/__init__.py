@@ -1,0 +1,52 @@
+"""Campaign-as-a-service: a multi-tenant sweep server over the store.
+
+The campaign engine turned into a long-running service: ``repro serve``
+starts an asyncio HTTP/JSON server that accepts sweep submissions from many
+tenants, expands them to the same content-addressed cells ``repro campaign``
+uses, and dedupes *across clients* — cells already in the store are cache
+hits, cells another tenant is currently computing are shared in flight, and
+only genuine misses hit the prioritized work queue (per-tenant quotas +
+global bound, surfaced as 429 + Retry-After).
+
+Jobs are durable: submissions with outstanding work are journaled through
+the store's job journal and their in-flight cells leave lease records, so a
+``kill -9``'d server resumes on restart, counting already-stored cells as
+saved work — the service-level mirror of ACR's checkpoint/restart story.
+
+Layout: :mod:`~repro.serve.state` (transport-free scheduling core),
+:mod:`~repro.serve.server` (asyncio HTTP front end + worker loop),
+:mod:`~repro.serve.client` (stdlib keep-alive client used by the CLI, tests
+and benchmarks).  See ``docs/serving.md``.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import CampaignServer, serve_forever
+from repro.serve.state import (
+    DEFAULT_PRIORITY,
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_TENANT_QUOTA,
+    Cell,
+    Job,
+    QueueFull,
+    QuotaExceeded,
+    ServeRejection,
+    ServeState,
+    UnknownJob,
+)
+
+__all__ = [
+    "ServeClient",
+    "ServeError",
+    "CampaignServer",
+    "serve_forever",
+    "DEFAULT_PRIORITY",
+    "DEFAULT_QUEUE_LIMIT",
+    "DEFAULT_TENANT_QUOTA",
+    "Cell",
+    "Job",
+    "QueueFull",
+    "QuotaExceeded",
+    "ServeRejection",
+    "ServeState",
+    "UnknownJob",
+]

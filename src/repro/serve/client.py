@@ -1,0 +1,142 @@
+"""Stdlib HTTP client for the campaign server.
+
+``http.client`` with keep-alive, so the CLI (``repro submit`` / ``repro
+jobs`` / ``repro cancel``), the tests and the benchmarks all talk to the
+server over one persistent connection — which is also what makes the
+cache-hit throughput benchmark honest (no per-request TCP handshake).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+
+class ServeError(Exception):
+    """A non-2xx response from the campaign server."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+        self.retry_after = float(payload.get("retry_after_s") or 0)
+
+
+class ServeClient:
+    """Thin JSON client over one keep-alive connection.
+
+    ``address`` is ``host:port`` (as printed by ``repro serve`` on startup).
+    Retries exactly once on a stale keep-alive connection; every other
+    failure surfaces to the caller.
+    """
+
+    def __init__(self, address: str, *, timeout: float = 60.0) -> None:
+        host, _, port = address.rpartition(":")
+        self.host = host or "127.0.0.1"
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing -------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        payload = (json.dumps(body).encode("utf-8")
+                   if body is not None else None)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # Stale keep-alive socket (server restarted or idled us out):
+                # reconnect once, then let real failures propagate.
+                self.close()
+                if attempt == 2:
+                    raise
+        content_type = response.getheader("Content-Type", "")
+        if "json" in content_type:
+            decoded = json.loads(data.decode("utf-8")) if data else {}
+        else:
+            decoded = data.decode("utf-8", errors="replace")
+        if response.status >= 400:
+            if not isinstance(decoded, dict):
+                decoded = {"error": str(decoded)}
+            retry_after = response.getheader("Retry-After")
+            if retry_after and "retry_after_s" not in decoded:
+                decoded["retry_after_s"] = retry_after
+            raise ServeError(response.status, decoded)
+        return decoded
+
+    # -- API ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def submit(self, *, tenant: str = "default",
+               app: str = "jacobi3d-charm", seeds=None, seed_start: int = 0,
+               count: int | None = None, config: dict | None = None,
+               priority: int | None = None) -> dict:
+        body: dict = {"tenant": tenant, "app": app,
+                      "config": config or {}}
+        if seeds is not None:
+            body["seeds"] = [int(s) for s in seeds]
+        else:
+            body["seed_start"] = int(seed_start)
+            body["count"] = int(count if count is not None else 1)
+        if priority is not None:
+            body["priority"] = int(priority)
+        return self._request("POST", "/v1/jobs", body)
+
+    def jobs(self, *, tenant: str | None = None) -> list[dict]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._request("GET", path)["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def job_metrics(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/metrics")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, *, timeout: float = 300.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns its status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["status"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['status']} after "
+                    f"{timeout:g}s ({status['cells_pending']} cell(s) "
+                    f"pending)")
+            time.sleep(poll)

@@ -32,6 +32,14 @@ from repro.store.keys import (
     experiment_cell_material,
     material_key,
 )
+from repro.store.leases import (
+    JOB_ACTIVE_STATES,
+    JOB_FORMAT,
+    JOB_TERMINAL_STATES,
+    LEASE_FORMAT,
+    JobJournal,
+    LeaseRegistry,
+)
 from repro.store.serialization import (
     PAYLOAD_FORMAT,
     decode_array,
@@ -47,7 +55,10 @@ from repro.store.store import (
     GcResult,
     ResultStore,
     StoreEntry,
+    append_journal_line,
+    atomic_write_json,
     default_cache_dir,
+    read_journal_lines,
 )
 
 __all__ = [
@@ -69,5 +80,14 @@ __all__ = [
     "GcResult",
     "ResultStore",
     "StoreEntry",
+    "append_journal_line",
+    "atomic_write_json",
     "default_cache_dir",
+    "read_journal_lines",
+    "JOB_ACTIVE_STATES",
+    "JOB_FORMAT",
+    "JOB_TERMINAL_STATES",
+    "LEASE_FORMAT",
+    "JobJournal",
+    "LeaseRegistry",
 ]

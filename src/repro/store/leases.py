@@ -1,0 +1,159 @@
+"""In-flight cell leases and the durable job journal for ``repro serve``.
+
+The campaign server adds two kinds of durable state next to the cached
+cells, both living under the same cache root and written with the store's
+own crash-consistency protocols (:func:`~repro.store.store.atomic_write_json`
+and :func:`~repro.store.store.append_journal_line`)::
+
+    leases/<key>.json    # one record per cell currently being computed
+    jobs/<job-id>.json   # one record per job with work still outstanding
+    jobs.jsonl           # append-only journal of job lifecycle events
+
+**Leases** mark work in flight so a second client requesting an overlapping
+sweep attaches to the running computation instead of starting its own.  They
+are advisory within one server process (the in-memory cell table is
+authoritative) but durable across a crash: a restarted server finds the
+stale leases of its predecessor, sweeps them, and re-enqueues the cells —
+exactly the protocol's "dead node's work is re-executed from the last
+checkpoint" move, applied to the service itself.
+
+**Job records** are written only for jobs that still owe work (a submission
+served entirely from cache completes in-response and needs no durability —
+the client already has the answer and every cell is in the store).  A killed
+server therefore resumes precisely the jobs that were incomplete, validates
+each recorded cell against the store (work finished before the kill is
+*saved*, shelf-style), and recomputes only the rest.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.store.store import (
+    append_journal_line,
+    atomic_write_json,
+    read_journal_lines,
+)
+
+#: On-disk job record format; bump on incompatible changes.
+JOB_FORMAT = "repro-job/1"
+
+#: On-disk lease record format.
+LEASE_FORMAT = "repro-lease/1"
+
+#: Job lifecycle states.  ``queued`` and ``running`` are resumable; the rest
+#: are terminal.
+JOB_ACTIVE_STATES = ("queued", "running")
+JOB_TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class LeaseRegistry:
+    """Durable in-flight markers, one file per cell being computed."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.dir = Path(root) / "leases"
+
+    def path(self, key: str) -> Path:
+        return self.dir / f"{key}.json"
+
+    def acquire(self, key: str, *, jobs: list[str], tenant: str) -> None:
+        """Record that this process is computing ``key``.
+
+        Lease loss is tolerable (the cell is recomputed), so the write skips
+        fsync — it must merely never appear torn, which the atomic rename
+        guarantees.
+        """
+        atomic_write_json(
+            self.path(key),
+            {
+                "format": LEASE_FORMAT,
+                "key": key,
+                "pid": os.getpid(),
+                "jobs": sorted(jobs),
+                "tenant": tenant,
+                "acquired": time.time(),
+            },
+            fsync=False,
+        )
+
+    def release(self, key: str) -> None:
+        try:
+            self.path(key).unlink()
+        except OSError:
+            pass
+
+    def active(self) -> dict[str, dict]:
+        """Every readable lease record, keyed by cell key."""
+        import json
+
+        out: dict[str, dict] = {}
+        if not self.dir.is_dir():
+            return out
+        for path in sorted(self.dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if record.get("format") == LEASE_FORMAT:
+                out[str(record.get("key", path.stem))] = record
+        return out
+
+    def sweep(self) -> list[str]:
+        """Remove every lease (stale after a crash); returns swept keys."""
+        swept = []
+        for key in list(self.active()):
+            swept.append(key)
+            self.release(key)
+        return swept
+
+
+class JobJournal:
+    """Durable job records plus an append-only lifecycle journal."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.dir = self.root / "jobs"
+        self.journal_path = self.root / "jobs.jsonl"
+
+    def path(self, job_id: str) -> Path:
+        return self.dir / f"{job_id}.json"
+
+    # -- write ----------------------------------------------------------------
+    def write_job(self, payload: dict, *, durable: bool = True) -> None:
+        """Persist one job record atomically.
+
+        ``durable`` controls the fsync: jobs with outstanding work must
+        survive a kill -9, while a job that completed within its submit
+        request may ride on the next natural flush.
+        """
+        record = dict(payload)
+        record["format"] = JOB_FORMAT
+        atomic_write_json(self.path(str(record["job_id"])), record,
+                          fsync=durable)
+
+    def append_event(self, event: dict, *, durable: bool = True) -> None:
+        """One lifecycle line (submitted / done / cancelled / ...)."""
+        append_journal_line(self.journal_path, event, fsync=durable)
+
+    # -- read -----------------------------------------------------------------
+    def load_jobs(self) -> dict[str, dict]:
+        """Every readable job record, keyed by job id."""
+        import json
+
+        out: dict[str, dict] = {}
+        if not self.dir.is_dir():
+            return out
+        for path in sorted(self.dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if record.get("format") == JOB_FORMAT and "job_id" in record:
+                out[str(record["job_id"])] = record
+        return out
+
+    def journal_entries(self) -> tuple[list[dict], list[str]]:
+        """Decoded lifecycle journal plus any problems (torn tail, etc.)."""
+        return read_journal_lines(self.journal_path)

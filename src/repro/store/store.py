@@ -38,6 +38,94 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
 
 
+def fsync_dir(directory: Path) -> None:
+    """Sync a directory entry; tolerated as best-effort (some filesystems
+    refuse O_RDONLY fsync on directories)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(path: Path, payload: dict, *, fsync: bool = True) -> None:
+    """Crash-consistent JSON write: same-directory temp file, fsynced before
+    ``os.replace``, directory entry synced after.
+
+    The store's object-write protocol, factored out so every durable record
+    in the cache root (cells, job records, lease records) lands the same way.
+    ``fsync=False`` skips both syncs for records whose loss a crash may
+    tolerate (they still never appear torn — the rename is still atomic).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    data = json.dumps(payload, sort_keys=True).encode("utf-8")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, data)
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, path)
+    if fsync:
+        fsync_dir(path.parent)
+
+
+def append_journal_line(path: Path, record: dict, *, fsync: bool = True) -> None:
+    """Append one JSONL record as a single ``os.write`` of the encoded line.
+
+    Appends of one small buffer land atomically, so a crash can tear at most
+    the final line — which :func:`read_journal_lines` tolerates.  With
+    ``fsync`` (the default) the line is durable before this returns;
+    ``fsync=False`` is for high-rate journals of reconstructible events.
+    """
+    line = json.dumps(record, sort_keys=True)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = (line + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, payload)
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_journal_lines(path: Path) -> tuple[list[dict], list[str]]:
+    """Decoded JSONL records plus any problems found.
+
+    A torn trailing line (interrupted append) is reported, not raised; whole
+    lines before it are still returned.
+    """
+    entries: list[dict] = []
+    problems: list[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+    except OSError:
+        return entries, problems
+    # A well-formed journal ends with "\n", so the final split element is
+    # empty; anything else is the torn tail of an interrupted append.
+    for i, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            where = ("torn trailing line" if i == len(lines) - 1
+                     else f"undecodable line {i + 1}")
+            problems.append(f"{path.name}: {where} ({line[:40]!r}...)")
+            continue
+        entries.append(record)
+    return entries, problems
+
+
 @dataclass(frozen=True)
 class StoreEntry:
     """One cached cell, as listed by :meth:`ResultStore.entries`."""
@@ -99,57 +187,20 @@ class ResultStore:
             "material": dict(material),
             "payload": payload,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        data = json.dumps(record, sort_keys=True).encode("utf-8")
-        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
-        try:
-            os.write(fd, data)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        os.replace(tmp, path)
-        self._fsync_dir(path.parent)
+        atomic_write_json(path, record)
         self._journal(key, kind, material)
         return key
 
-    @staticmethod
-    def _fsync_dir(directory: Path) -> None:
-        """Sync a directory entry; tolerated as best-effort (some filesystems
-        refuse O_RDONLY fsync on directories)."""
-        try:
-            fd = os.open(directory, os.O_RDONLY)
-        except OSError:
-            return
-        try:
-            os.fsync(fd)
-        except OSError:
-            pass
-        finally:
-            os.close(fd)
-
     def _journal(self, key: str, kind: str, material: Mapping[str, Any]) -> None:
-        line = json.dumps(
+        append_journal_line(
+            self.index_path,
             {
                 "key": key,
                 "kind": kind,
                 "app": material.get("app"),
                 "seed": material.get("seed"),
             },
-            sort_keys=True,
         )
-        self.root.mkdir(parents=True, exist_ok=True)
-        # One O_APPEND os.write of the whole encoded line: appends of a
-        # single small buffer land atomically, so a crash can tear at most
-        # the final line of the journal — which journal_entries() tolerates —
-        # and the fsync makes the line durable before put() returns.
-        payload = (line + "\n").encode("utf-8")
-        fd = os.open(self.index_path,
-                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, payload)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
 
     def journal_entries(self) -> tuple[list[dict], list[str]]:
         """Decoded journal lines plus any problems found.
@@ -157,27 +208,7 @@ class ResultStore:
         A torn trailing line (interrupted append) is reported, not raised;
         whole lines before it are still returned.
         """
-        entries: list[dict] = []
-        problems: list[str] = []
-        try:
-            with open(self.index_path, "r", encoding="utf-8") as fh:
-                lines = fh.read().split("\n")
-        except OSError:
-            return entries, problems
-        # A well-formed journal ends with "\n", so the final split element is
-        # empty; anything else is the torn tail of an interrupted append.
-        for i, line in enumerate(lines):
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                where = ("torn trailing line" if i == len(lines) - 1
-                         else f"undecodable line {i + 1}")
-                problems.append(f"index.jsonl: {where} ({line[:40]!r}...)")
-                continue
-            entries.append(record)
-        return entries, problems
+        return read_journal_lines(self.index_path)
 
     # -- read -----------------------------------------------------------------
     def get(self, material: Mapping[str, Any]) -> dict | None:

@@ -1,0 +1,91 @@
+"""Tests for the campaign server's long-lived worker pool."""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+from repro.harness import WorkerPool
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+class TestWorkerPool:
+    def test_width_clamped_to_cores(self):
+        pool = WorkerPool(workers=10_000)
+        assert pool.width == (os.cpu_count() or 1)
+        assert pool.mode == "unstarted"
+
+    def test_submit_and_shutdown(self):
+        pool = WorkerPool(workers=1)
+        try:
+            assert pool.submit(abs, -3).result(timeout=60) == 3
+            assert pool.mode in ("processes", "threads")
+        finally:
+            pool.shutdown()
+        assert pool.mode == "shutdown"
+
+    def test_fall_back_to_threads_is_one_way(self):
+        pool = WorkerPool(workers=1)
+        try:
+            pool.fall_back_to_threads()
+            assert pool.mode == "threads"
+            assert pool.submit(abs, -5).result(timeout=60) == 5
+            assert pool.mode == "threads"
+        finally:
+            pool.shutdown()
+
+
+class TestOrphanWatchdog:
+    def test_workers_exit_when_parent_is_sigkilled(self, tmp_path):
+        """A SIGKILLed pool owner must not leave workers behind.
+
+        The server's durability contract is "kill -9 me and restart"; the
+        orphan watchdog is what keeps every such kill from stranding one
+        ProcessPoolExecutor worker blocked on the call queue forever.
+        """
+        script = textwrap.dedent("""
+            import os, sys, time
+            from repro.harness import WorkerPool
+
+            pool = WorkerPool(workers=1)
+            pool.submit(abs, -1).result(timeout=60)
+            if pool.mode != "processes":
+                print("WORKER -1", flush=True)  # no processes to orphan
+                sys.exit(0)
+            worker_pid = next(iter(pool.executor._processes))
+            print(f"WORKER {worker_pid}", flush=True)
+            time.sleep(300)
+        """)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen([sys.executable, "-u", "-c", script],
+                                stdout=subprocess.PIPE, text=True, env=env)
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("WORKER "), line
+            worker_pid = int(line.split()[1])
+            if worker_pid < 0:
+                return  # thread fallback on this platform: nothing to test
+            assert _alive(worker_pid)
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline and _alive(worker_pid):
+                time.sleep(0.2)
+            assert not _alive(worker_pid), \
+                "orphaned pool worker survived its parent's SIGKILL"
+        finally:
+            proc.stdout.close()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)

@@ -21,7 +21,8 @@ def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
              scale_completed=True, trace_identical=True,
              scale_parallel=1.8, scale_cpu_count=4,
              safety_overhead=1.6, fallback_correct=True,
-             obs_ratio=0.99):
+             obs_ratio=0.99, serve_rps=1500.0, serve_all_hits=True,
+             serve_cpu_count=4):
     return {
         "pack": {
             "pack_speedup_vs_legacy": pack,
@@ -56,6 +57,11 @@ def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
                         "legacy_equivalent_events_per_s": 4.4e5,
                         "node_iterations_per_s": 1.7e4,
                         "peak_rss_mib": 860.0},
+        "serve": {"cache_hit_rps": serve_rps,
+                  "all_hits": serve_all_hits,
+                  "cpu_count": serve_cpu_count,
+                  "p50_ms": 0.6,
+                  "p99_ms": 1.4},
     }
 
 
@@ -168,6 +174,31 @@ class TestCompare:
             _results(), _results(fallback_correct=False), 0.30)
         assert any("tiered_persist.restore_fallback_correct" in f
                    for f in failures)
+
+    def test_serve_rps_floor_on_multicore(self):
+        # Within tolerance of a weak baseline but below the absolute bar:
+        # the served cache-hit path must clear 1000 req/s outright.
+        _, failures = compare_bench.compare(
+            _results(serve_rps=1100.0), _results(serve_rps=900.0), 0.30)
+        assert any("serve.cache_hit_rps" in f
+                   and "below required floor 1000" in f for f in failures)
+        _, failures = compare_bench.compare(
+            _results(), _results(serve_rps=1000.0), 0.30)
+        assert failures == []
+
+    def test_serve_rps_floor_skipped_on_single_cpu(self):
+        # One core: client and server contend for the same CPU, so the
+        # rate is scheduler noise — reported, never gated.
+        rows, failures = compare_bench.compare(
+            _results(), _results(serve_rps=400.0, serve_cpu_count=1), 0.30)
+        assert failures == []
+        assert any("skipped" in str(r[-1]) for r in rows
+                   if str(r[0]).startswith("serve.cache_hit_rps"))
+
+    def test_serve_all_hits_flag_gated(self):
+        _, failures = compare_bench.compare(
+            _results(), _results(serve_all_hits=False), 0.30)
+        assert any("serve.all_hits" in f for f in failures)
 
     def test_scale_flags_gated(self):
         for kwargs, name in (

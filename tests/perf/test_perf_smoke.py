@@ -215,7 +215,7 @@ class TestRunBenchEntryPoint:
         assert set(payload["results"]) == {
             "pack", "fletcher", "incremental_checksum", "tiered_persist",
             "campaign", "des_dispatch", "des_periodic", "des_messages",
-            "des_acr", "obs_stream", "bench_scale"}
+            "des_acr", "obs_stream", "bench_scale", "serve"}
         obs = payload["results"]["obs_stream"]
         assert obs["samples"] > 0
         assert obs["sampled_rate_ratio"] > 0
@@ -226,6 +226,9 @@ class TestRunBenchEntryPoint:
         assert scale["completed"]
         assert scale["parallel_trace_identical"]
         assert scale["events_speedup_vs_des_acr"] > 0
+        serve = payload["results"]["serve"]
+        assert serve["all_hits"]
+        assert serve["cache_hit_rps"] > 0
 
     def test_run_all_quick_covers_every_benchmark(self):
         results = run_all(quick=True)

@@ -1,0 +1,1 @@
+"""Campaign-server tests: scheduling core, HTTP API, durability, smoke."""

@@ -1,0 +1,76 @@
+"""Lease registry + job journal: the store-level durability primitives."""
+
+from repro.store import (
+    JOB_FORMAT,
+    JobJournal,
+    LEASE_FORMAT,
+    LeaseRegistry,
+)
+
+
+class TestLeaseRegistry:
+    def test_acquire_release_roundtrip(self, tmp_path):
+        reg = LeaseRegistry(tmp_path)
+        reg.acquire("k1", jobs=["job-000001"], tenant="a")
+        assert list(reg.active()) == ["k1"]
+        record = reg.active()["k1"]
+        assert record["format"] == LEASE_FORMAT
+        assert record["jobs"] == ["job-000001"]
+        reg.release("k1")
+        assert reg.active() == {}
+
+    def test_release_is_idempotent(self, tmp_path):
+        reg = LeaseRegistry(tmp_path)
+        reg.release("never-acquired")  # no raise
+
+    def test_sweep_clears_everything(self, tmp_path):
+        reg = LeaseRegistry(tmp_path)
+        reg.acquire("k1", jobs=[], tenant="a")
+        reg.acquire("k2", jobs=[], tenant="b")
+        assert sorted(reg.sweep()) == ["k1", "k2"]
+        assert reg.active() == {}
+
+    def test_corrupt_lease_is_ignored(self, tmp_path):
+        reg = LeaseRegistry(tmp_path)
+        reg.acquire("k1", jobs=[], tenant="a")
+        (reg.dir / "junk.json").write_text("{not json")
+        assert list(reg.active()) == ["k1"]
+
+
+class TestJobJournal:
+    def test_write_load_roundtrip(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.write_job({"job_id": "job-000001", "status": "running",
+                           "cells": {"k": 0}})
+        loaded = journal.load_jobs()
+        assert loaded["job-000001"]["status"] == "running"
+        assert loaded["job-000001"]["format"] == JOB_FORMAT
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.write_job({"job_id": "job-000001", "status": "running"})
+        journal.write_job({"job_id": "job-000001", "status": "done"})
+        assert journal.load_jobs()["job-000001"]["status"] == "done"
+        assert len(list(journal.dir.glob("*.json"))) == 1
+
+    def test_non_durable_write_still_lands(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.write_job({"job_id": "job-000002", "status": "done"},
+                          durable=False)
+        assert "job-000002" in journal.load_jobs()
+
+    def test_corrupt_record_is_skipped(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.write_job({"job_id": "job-000001", "status": "running"})
+        (journal.dir / "job-000009.json").write_text("{torn")
+        assert list(journal.load_jobs()) == ["job-000001"]
+
+    def test_event_journal_tolerates_torn_tail(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.append_event({"event": "submitted", "job": "job-000001"})
+        journal.append_event({"event": "done", "job": "job-000001"})
+        with open(journal.journal_path, "a", encoding="utf-8") as fh:
+            fh.write('{"event": "torn')  # the kill -9 mid-append
+        entries, problems = journal.journal_entries()
+        assert [e["event"] for e in entries] == ["submitted", "done"]
+        assert len(problems) == 1 and "torn" in problems[0]

@@ -1,0 +1,164 @@
+"""Service smoke: a real ``repro serve`` subprocess, kill -9 and all.
+
+``pytest -m serve_smoke`` is the CI serve-smoke job's selector; the tests
+also run in the default suite.  Unlike ``tests/serve/test_resume.py`` (which
+*simulates* the crash by abandoning a ServeState), this boots the actual
+server process on an ephemeral port, drives it with two clients over real
+sockets, SIGKILLs it mid-job, restarts it over the same store, and checks
+the resumed job's summary digest against an uninterrupted oracle.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve import ServeClient, ServeState
+from repro.store import ResultStore
+
+pytestmark = pytest.mark.serve_smoke
+
+CFG = {"total_iterations": 6, "checkpoint_interval": 2.0, "horizon": 50.0}
+#: Heavy enough that a 60-cell job survives past the kill point.
+HEAVY_CFG = {"total_iterations": 300, "checkpoint_interval": 5.0,
+             "horizon": 500.0}
+
+
+def start_server(cache_dir, *extra):
+    """Boot ``repro serve`` on an ephemeral port; returns (proc, address)."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
+         "--workers", "1", "--cache-dir", str(cache_dir), *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    deadline = time.monotonic() + 60
+    banner = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise RuntimeError(f"server died at startup: {banner}")
+        banner += line
+        if "repro-serve listening on " in line:
+            address = line.split("listening on ", 1)[1].split()[0]
+            return proc, address
+    proc.kill()
+    raise RuntimeError(f"no listening banner within 60s: {banner}")
+
+
+def read_resume_line(proc) -> str:
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line.startswith("resumed "):
+            return line.strip()
+    raise RuntimeError("no resume line on restarted server")
+
+
+def stop(proc) -> None:
+    if proc.poll() is None:
+        proc.kill()
+    proc.stdout.close()
+    proc.wait(timeout=30)
+
+
+def cell_count(cache_dir) -> int:
+    return len(ResultStore(cache_dir).entries())
+
+
+def test_two_tenants_then_sigkill_then_resume(tmp_path):
+    cache = tmp_path / "cache"
+    proc, address = start_server(cache)
+    try:
+        alice = ServeClient(address, timeout=60)
+        bob = ServeClient(address, timeout=60)
+
+        # Two clients, overlapping sweeps: the shared cells are computed
+        # once and bob sees them as hits/attached, never as fresh work.
+        job_a = alice.submit(tenant="alice", seeds=[0, 1, 2, 3], config=CFG)
+        alice.wait(job_a["job_id"], timeout=120)
+        job_b = bob.submit(tenant="bob", seeds=[2, 3, 4, 5], config=CFG)
+        assert job_b["cached_at_submit"] + job_b["attached_at_submit"] == 2
+        bob.wait(job_b["job_id"], timeout=120)
+        assert cell_count(cache) == 6  # seeds 0..5, shared ones not doubled
+
+        # Overlapping resubmit from a third tenant: all hits, zero new
+        # cells, done within the request.
+        before = cell_count(cache)
+        job_c = alice.submit(tenant="carol", seeds=list(range(6)),
+                             config=CFG)
+        assert job_c["status"] == "done"
+        assert job_c["cached_at_submit"] == 6
+        assert cell_count(cache) == before
+
+        # A heavier job, killed mid-flight.
+        job_d = alice.submit(tenant="dave", seeds=list(range(100, 160)),
+                             config=HEAVY_CFG)
+        assert job_d["status"] == "running"
+        time.sleep(0.4)
+        alice.close()
+        bob.close()
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        done_before_kill = cell_count(cache) - 6
+        assert done_before_kill < 60, "job finished before the kill; " \
+            "raise HEAVY_CFG iterations"
+    finally:
+        stop(proc)
+
+    # Restart over the same store: the incomplete job resumes, cells done
+    # before the kill are saved, and the final summary digest is bitwise
+    # identical to an uninterrupted run.
+    proc2, address2 = start_server(cache)
+    try:
+        resume_line = read_resume_line(proc2)
+        assert "resumed 1 job(s)" in resume_line
+        client = ServeClient(address2, timeout=60)
+        status = client.wait(job_d["job_id"], timeout=300)
+        assert status["status"] == "done"
+        assert status["resumed"] is True
+        assert status["saved_on_resume"] == done_before_kill
+        digest = client.result(job_d["job_id"])["summary_digest"]
+        client.close()
+    finally:
+        stop(proc2)
+
+    oracle = ServeState(ResultStore(tmp_path / "oracle"))
+    job_o = oracle.submit(tenant="oracle", app="jacobi3d-charm",
+                          seeds=list(range(100, 160)), config=HEAVY_CFG)
+    from repro.harness.experiment import run_experiment_report
+    from repro.store import report_to_dict
+
+    while True:
+        cell = oracle.next_cell()
+        if cell is None:
+            break
+        oracle.complete_cell(cell.key, report_to_dict(
+            run_experiment_report(cell.app, cell.seed, cell.config)))
+    assert oracle.job_result(job_o.job_id)["summary_digest"] == digest
+
+    # The store survived a SIGKILL mid-traffic: every record must verify.
+    from repro.cli import main
+
+    assert main(["store", "verify", "--cache-dir", str(cache)]) == 0
+
+
+def test_backpressure_over_real_sockets(tmp_path):
+    proc, address = start_server(tmp_path / "cache", "--tenant-quota", "4")
+    try:
+        client = ServeClient(address, timeout=60)
+        client.submit(tenant="greedy", seeds=list(range(4)),
+                      config=HEAVY_CFG)
+        from repro.serve import ServeError
+
+        with pytest.raises(ServeError) as exc:
+            client.submit(tenant="greedy", seeds=[9], config=HEAVY_CFG)
+        assert exc.value.status == 429
+        assert exc.value.retry_after >= 1
+        client.close()
+    finally:
+        stop(proc)

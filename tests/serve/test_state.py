@@ -1,0 +1,248 @@
+"""ServeState scheduling core: dedup, quotas, backpressure, cancellation.
+
+These tests drive the state machine directly (no HTTP, no event loop):
+cells are claimed with ``next_cell`` and finished with ``complete_cell`` /
+``fail_cell`` by hand, so every interleaving is deterministic.
+"""
+
+import pytest
+
+from repro.serve import (
+    QueueFull,
+    QuotaExceeded,
+    ServeState,
+    UnknownJob,
+)
+from repro.store import ResultStore
+
+CFG = {"total_iterations": 6, "checkpoint_interval": 2.0, "horizon": 50.0}
+
+
+def make_state(tmp_path, **kwargs):
+    return ServeState(ResultStore(tmp_path / "cache"), **kwargs)
+
+
+def drain(state, payload=None):
+    """Run every queued cell to completion with a dummy payload."""
+    finished = []
+    while True:
+        cell = state.next_cell()
+        if cell is None:
+            return finished
+        finished.extend(
+            state.complete_cell(cell.key, payload or {"seed": cell.seed}))
+
+
+class TestSubmitClassification:
+    def test_fresh_cells_enqueue(self, tmp_path):
+        state = make_state(tmp_path)
+        job = state.submit(tenant="a", app="jacobi3d-charm",
+                           seeds=[0, 1, 2], config=CFG)
+        assert job.status == "running"
+        assert job.queued_at_submit == 3
+        assert state.queued_cells == 3
+
+    def test_duplicate_seeds_collapse(self, tmp_path):
+        state = make_state(tmp_path)
+        job = state.submit(tenant="a", app="jacobi3d-charm",
+                           seeds=[5, 5, 5, 6], config=CFG)
+        assert job.seeds == [5, 6]
+        assert len(job.cells) == 2
+
+    def test_overlap_attaches_to_in_flight(self, tmp_path):
+        state = make_state(tmp_path)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0, 1],
+                     config=CFG)
+        job_b = state.submit(tenant="b", app="jacobi3d-charm", seeds=[1, 2],
+                             config=CFG)
+        assert job_b.attached_at_submit == 1
+        assert job_b.queued_at_submit == 1
+        # One computation of seed 1, not two.
+        assert state.queued_cells == 3
+
+    def test_completed_cells_are_cache_hits(self, tmp_path):
+        state = make_state(tmp_path)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0, 1],
+                     config=CFG)
+        drain(state)
+        job = state.submit(tenant="b", app="jacobi3d-charm", seeds=[0, 1],
+                           config=CFG)
+        assert job.status == "done"
+        assert job.cached_at_submit == 2
+        assert state.queued_cells == 0
+
+    def test_different_config_is_a_different_cell(self, tmp_path):
+        state = make_state(tmp_path)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0], config=CFG)
+        other = dict(CFG, total_iterations=7)
+        job = state.submit(tenant="a", app="jacobi3d-charm", seeds=[0],
+                           config=other)
+        assert job.queued_at_submit == 1
+        assert state.queued_cells == 2
+
+    def test_shared_cell_completion_ticks_both_jobs(self, tmp_path):
+        state = make_state(tmp_path)
+        job_a = state.submit(tenant="a", app="jacobi3d-charm", seeds=[0],
+                             config=CFG)
+        job_b = state.submit(tenant="b", app="jacobi3d-charm", seeds=[0],
+                             config=CFG)
+        finished = drain(state)
+        assert {j.job_id for j in finished} == {job_a.job_id, job_b.job_id}
+        assert job_a.status == job_b.status == "done"
+
+
+class TestBackpressure:
+    def test_tenant_quota_rejects(self, tmp_path):
+        state = make_state(tmp_path, tenant_quota=2)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0, 1],
+                     config=CFG)
+        with pytest.raises(QuotaExceeded) as exc:
+            state.submit(tenant="a", app="jacobi3d-charm", seeds=[2],
+                         config=CFG)
+        assert exc.value.retry_after >= 1
+
+    def test_quota_is_per_tenant(self, tmp_path):
+        state = make_state(tmp_path, tenant_quota=2)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0, 1],
+                     config=CFG)
+        job = state.submit(tenant="b", app="jacobi3d-charm", seeds=[2, 3],
+                           config=CFG)
+        assert job.queued_at_submit == 2
+
+    def test_attaching_counts_against_the_new_tenants_quota(self, tmp_path):
+        state = make_state(tmp_path, tenant_quota=1)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0], config=CFG)
+        # b attaches to a's in-flight cell: still b's outstanding work.
+        state.submit(tenant="b", app="jacobi3d-charm", seeds=[0], config=CFG)
+        with pytest.raises(QuotaExceeded):
+            state.submit(tenant="b", app="jacobi3d-charm", seeds=[9],
+                         config=CFG)
+
+    def test_queue_bound_rejects(self, tmp_path):
+        state = make_state(tmp_path, queue_limit=3)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0, 1, 2],
+                     config=CFG)
+        with pytest.raises(QueueFull):
+            state.submit(tenant="b", app="jacobi3d-charm", seeds=[3],
+                         config=CFG)
+
+    def test_rejection_has_no_side_effects(self, tmp_path):
+        state = make_state(tmp_path, queue_limit=2)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0, 1],
+                     config=CFG)
+        jobs_before = set(state.jobs)
+        with pytest.raises(QueueFull):
+            state.submit(tenant="b", app="jacobi3d-charm", seeds=[2, 3],
+                         config=CFG)
+        assert set(state.jobs) == jobs_before
+        assert state.queued_cells == 2
+        assert state.stats()["outstanding_by_tenant"] == {"a": 2}
+
+    def test_completion_frees_quota(self, tmp_path):
+        state = make_state(tmp_path, tenant_quota=2)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0, 1],
+                     config=CFG)
+        drain(state)
+        job = state.submit(tenant="a", app="jacobi3d-charm", seeds=[2, 3],
+                           config=CFG)
+        assert job.queued_at_submit == 2
+
+
+class TestPriority:
+    def test_lower_priority_value_runs_first(self, tmp_path):
+        state = make_state(tmp_path)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0],
+                     config=CFG, priority=20)
+        state.submit(tenant="b", app="jacobi3d-charm", seeds=[1],
+                     config=CFG, priority=5)
+        first = state.next_cell()
+        assert first.seed == 1
+
+    def test_attach_boosts_shared_cell(self, tmp_path):
+        state = make_state(tmp_path)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0, 1],
+                     config=CFG, priority=20)
+        # b urgently wants seed 1 (already queued by a at priority 20).
+        state.submit(tenant="b", app="jacobi3d-charm", seeds=[1],
+                     config=CFG, priority=1)
+        first = state.next_cell()
+        assert first.seed == 1
+        # The stale duplicate heap entry is skipped, not double-claimed.
+        second = state.next_cell()
+        assert second.seed == 0
+        assert state.next_cell() is None
+
+
+class TestFailureAndCancel:
+    def test_fail_cell_fails_every_waiter(self, tmp_path):
+        state = make_state(tmp_path)
+        job_a = state.submit(tenant="a", app="jacobi3d-charm", seeds=[0],
+                             config=CFG)
+        job_b = state.submit(tenant="b", app="jacobi3d-charm", seeds=[0],
+                             config=CFG)
+        cell = state.next_cell()
+        failed = state.fail_cell(cell.key, "boom")
+        assert {j.job_id for j in failed} == {job_a.job_id, job_b.job_id}
+        assert job_a.status == "failed" and "boom" in job_a.error
+        assert state.stats()["outstanding_by_tenant"] == {}
+
+    def test_cancel_drops_unshared_queued_cells(self, tmp_path):
+        state = make_state(tmp_path)
+        job = state.submit(tenant="a", app="jacobi3d-charm", seeds=[0, 1],
+                           config=CFG)
+        cancelled = state.cancel_job(job.job_id)
+        assert cancelled.status == "cancelled"
+        assert state.queued_cells == 0
+        assert state.next_cell() is None
+
+    def test_cancel_keeps_shared_cells(self, tmp_path):
+        state = make_state(tmp_path)
+        job_a = state.submit(tenant="a", app="jacobi3d-charm", seeds=[0],
+                             config=CFG)
+        job_b = state.submit(tenant="b", app="jacobi3d-charm", seeds=[0],
+                             config=CFG)
+        state.cancel_job(job_a.job_id)
+        assert state.queued_cells == 1  # b still wants it
+        finished = drain(state)
+        assert [j.job_id for j in finished] == [job_b.job_id]
+
+    def test_cancel_unknown_job_raises(self, tmp_path):
+        state = make_state(tmp_path)
+        with pytest.raises(UnknownJob):
+            state.cancel_job("job-999999")
+
+    def test_cancel_terminal_job_is_a_no_op(self, tmp_path):
+        state = make_state(tmp_path)
+        job = state.submit(tenant="a", app="jacobi3d-charm", seeds=[0],
+                           config=CFG)
+        drain(state)
+        assert state.cancel_job(job.job_id).status == "done"
+
+
+class TestDurabilityRecords:
+    def test_outstanding_job_is_journaled(self, tmp_path):
+        state = make_state(tmp_path)
+        job = state.submit(tenant="a", app="jacobi3d-charm", seeds=[0],
+                           config=CFG)
+        records = state.journal.load_jobs()
+        assert records[job.job_id]["status"] == "running"
+        assert len(records[job.job_id]["cells"]) == 1
+
+    def test_all_cache_hit_job_skips_the_job_record(self, tmp_path):
+        state = make_state(tmp_path)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0], config=CFG)
+        drain(state)
+        before = set(state.journal.load_jobs())
+        job = state.submit(tenant="b", app="jacobi3d-charm", seeds=[0],
+                           config=CFG)
+        assert job.status == "done"
+        # Nothing new to resume: no durable record for an all-hit job.
+        assert set(state.journal.load_jobs()) == before
+
+    def test_running_cell_leaves_a_lease(self, tmp_path):
+        state = make_state(tmp_path)
+        state.submit(tenant="a", app="jacobi3d-charm", seeds=[0], config=CFG)
+        cell = state.next_cell()
+        assert list(state.leases.active()) == [cell.key]
+        state.complete_cell(cell.key, {"ok": True})
+        assert state.leases.active() == {}
