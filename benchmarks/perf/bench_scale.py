@@ -24,6 +24,24 @@ merged trace is byte-identical to the single-partition run and recording the
 worker clamp (``cpu_count`` / requested / effective / partitions) plus the
 multi-process speedup (CPU-gated in ``compare_bench.py``, like
 ``campaign.parallel_speedup``).
+
+The shared-memory data plane gets three dedicated measurements:
+
+* ``window_stress`` — the copy-based (pickled pipes) and shared-memory
+  planes on the *same* window-heavy 2×64Ki-node coordinated-cadence
+  scenario, forced multiprocess.  Windows are numerous and nearly empty, so
+  the measurement isolates per-window data-plane overhead; the loop-wall
+  ratio is ``shm_speedup_vs_copy`` (CPU-gated ≥ 1.3 in compare_bench).
+  Per-window barrier-overhead and per-worker peak-RSS breakdowns ride on
+  the shm report.
+* ``parallel_xl`` — a 2×128Ki-node run (beyond the single-process bench's
+  paper scale) under the shm plane, with the same breakdowns; its
+  completion is the gated ``xl_completed`` flag.
+* the trace-identity matrix inside ``parallel`` — merged-trace digests
+  across 1/4/8 partitions with the shm plane forced on and off, in-process
+  and forked, plus a coordinated-checkpoint run executing under the
+  parallel mode (``coordinated_parallel_ok``: consensus rounds > 0, no
+  single-process fallback, digest unchanged).
 """
 
 from __future__ import annotations
@@ -100,7 +118,15 @@ def bench_parallel_mode(
     partitions: int = 4,
     seed: int = 7,
 ) -> dict:
-    """Partitioned-mode determinism check + speedup on a mid-size scenario."""
+    """Partitioned-mode determinism check + speedup on a mid-size scenario.
+
+    On top of the original 1-vs-N wall comparison, computes the merged-trace
+    digest across 1/4/8 partitions with the shared-memory plane forced on
+    and off (in-process) and across both forked data planes, and runs a
+    coordinated-checkpoint scenario under the forced-multiprocess shm plane
+    — ``modes_trace_identical`` and ``coordinated_parallel_ok`` are the
+    gated flags.
+    """
     scenario = ParallelScenario(
         nodes_per_replica=nodes_per_replica,
         total_iterations=total_iterations,
@@ -112,6 +138,44 @@ def bench_parallel_mode(
     requested = min(partitions, cpus) if cpus > 1 else partitions
     multi = run_parallel(scenario, partitions=partitions, workers=requested,
                          trace=True)
+    assert single.wall_s > 0 and multi.wall_s > 0
+
+    # Trace-identity matrix: every decomposition × data-plane combination
+    # must reproduce the single-partition digest byte for byte.
+    digests: dict[str, str] = {}
+    for parts in (1, 4, 8):
+        for shm in (False, True):
+            rep = run_parallel(scenario, partitions=parts, workers=1,
+                               trace=True, shared_memory=shm)
+            digests[f"p{parts}-{rep.data_plane}"] = rep.trace_digest
+    for shm in (False, True):
+        rep = run_parallel(scenario, partitions=4, workers=2, trace=True,
+                           force_processes=True, shared_memory=shm)
+        digests[f"p4w2-{rep.data_plane}"] = rep.trace_digest
+    modes_identical = len(set(digests.values())) == 1 \
+        and single.trace_digest in digests.values()
+
+    # Coordinated checkpoint-consensus under the parallel mode: rounds must
+    # actually execute in forked workers (no single-process fallback) and
+    # the golden digest must match the in-process reference.
+    coord_scenario = ParallelScenario(
+        nodes_per_replica=max(nodes_per_replica // 8, 8),
+        total_iterations=total_iterations,
+        iteration_seconds=0.5, n_faults=2, fault_window=(0.1, 0.4),
+        scheme="coordinated", coordinated_interval=1.0,
+        coordinated_pause=0.1,
+        horizon=total_iterations * 0.5 * 6.0, seed=seed)
+    coord_ref = run_parallel(coord_scenario, partitions=1, trace=True)
+    coord_par = run_parallel(coord_scenario, partitions=4, workers=2,
+                             trace=True, force_processes=True,
+                             shared_memory=True)
+    coordinated_ok = bool(
+        coord_par.data_plane == "shm"
+        and coord_par.consensus_rounds > 0
+        and coord_par.consensus_rounds == coord_ref.consensus_rounds
+        and coord_par.trace_digest == coord_ref.trace_digest
+        and coord_par.completed)
+
     return {
         "nodes": 2 * nodes_per_replica,
         "partitions": partitions,
@@ -127,6 +191,122 @@ def bench_parallel_mode(
         "parallel_speedup": single.wall_s / multi.wall_s,
         "events_single": single.events_processed,
         "events_partitioned": multi.events_processed,
+        "mode_digests": digests,
+        "modes_trace_identical": modes_identical,
+        "coordinated_rounds": coord_par.consensus_rounds,
+        "coordinated_data_plane": coord_par.data_plane,
+        "coordinated_parallel_ok": coordinated_ok,
+    }
+
+
+def bench_window_stress(
+    *,
+    nodes_per_replica: int = 64 * KIB,
+    horizon: float = 12.0,
+    iteration_seconds: float = 10.0,
+    coordinated_interval: float = 0.01,
+    partitions: int = 2,
+    workers: int = 2,
+    seed: int = 5,
+) -> dict:
+    """Copy-based vs shared-memory data plane on a window-heavy scenario.
+
+    Long compute iterations plus a fast coordinated-round cadence make the
+    windows numerous and nearly empty, so per-window data-plane overhead
+    (pickled pipe round-trips vs scalar barrier waits) dominates the loop
+    wall — which is exactly what the shm rework targets.  Both runs are
+    forced multiprocess so the comparison measures the planes, not the
+    in-process fallback; the ratio is only *gated* on multi-core machines.
+    """
+    scenario = ParallelScenario(
+        nodes_per_replica=nodes_per_replica, total_iterations=1,
+        iteration_seconds=iteration_seconds, horizon=horizon,
+        coordinated_interval=coordinated_interval, scheme="strong",
+        seed=seed)
+    shm = run_parallel(scenario, partitions=partitions, workers=workers,
+                       force_processes=True, shared_memory=True)
+    copy = run_parallel(scenario, partitions=partitions, workers=workers,
+                        force_processes=True, shared_memory=False)
+    assert shm.wall_s > 0 and copy.wall_s > 0
+    assert shm.data_plane == "shm" and copy.data_plane == "pipes"
+    barrier_total = sum(shm.barrier_wait_s or [])
+    window_barrier = shm.window_barrier_s or []
+    return {
+        "nodes": 2 * nodes_per_replica,
+        "partitions": partitions,
+        "workers": workers,
+        "windows": shm.windows,
+        "consensus_rounds": shm.consensus_rounds,
+        "completed": bool(shm.completed and copy.completed),
+        "copy_wall_s": copy.wall_s,
+        "shm_wall_s": shm.wall_s,
+        "copy_loop_wall_s": copy.loop_wall_s,
+        "shm_loop_wall_s": shm.loop_wall_s,
+        "copy_events_per_s": copy.events_processed / copy.loop_wall_s,
+        "shm_events_per_s": shm.events_processed / shm.loop_wall_s,
+        "shm_speedup_vs_copy": copy.loop_wall_s / shm.loop_wall_s,
+        "barrier_wait_share": (
+            barrier_total / (len(shm.barrier_wait_s or [1]) * shm.loop_wall_s)
+            if shm.loop_wall_s else 0.0),
+        "mean_window_barrier_s": (sum(window_barrier) / len(window_barrier)
+                                  if window_barrier else 0.0),
+        "max_window_barrier_s": max(window_barrier, default=0.0),
+        "worker_peak_rss_mib": shm.worker_peak_rss_mib,
+        "max_worker_rss_mib": max(shm.worker_peak_rss_mib or [0.0]),
+    }
+
+
+#: Per-worker RSS ceiling for the shm plane at full scale: the seed's
+#: single-process 2×64Ki run peaked at 865 MiB, so two shm workers splitting
+#: a 2×128Ki scenario must each stay well under it.
+XL_WORKER_RSS_CEILING_MIB = 700.0
+
+
+def bench_parallel_xl(
+    *,
+    nodes_per_replica: int = 128 * KIB,
+    horizon: float = 12.0,
+    coordinated_interval: float = 0.1,
+    partitions: int = 2,
+    workers: int = 2,
+    seed: int = 5,
+) -> dict:
+    """A 2×128Ki-node run under the shared-memory plane.
+
+    Twice the single-process bench's paper scale — the regime the shm
+    rework exists for.  Reports the per-window barrier-overhead and
+    per-worker peak-RSS breakdowns; completion and the RSS ceiling are the
+    gated outcomes.
+    """
+    scenario = ParallelScenario(
+        nodes_per_replica=nodes_per_replica, total_iterations=1,
+        iteration_seconds=10.0, horizon=horizon,
+        coordinated_interval=coordinated_interval, scheme="strong",
+        seed=seed)
+    report = run_parallel(scenario, partitions=partitions, workers=workers,
+                          force_processes=True, shared_memory=True)
+    assert report.wall_s > 0
+    window_barrier = report.window_barrier_s or []
+    max_rss = max(report.worker_peak_rss_mib or [0.0])
+    return {
+        "nodes": 2 * nodes_per_replica,
+        "partitions": partitions,
+        "workers": workers,
+        "windows": report.windows,
+        "consensus_rounds": report.consensus_rounds,
+        "completed": report.completed,
+        "data_plane": report.data_plane,
+        "wall_s": report.wall_s,
+        "loop_wall_s": report.loop_wall_s,
+        "events": report.events_processed,
+        "barrier_wait_s": report.barrier_wait_s,
+        "mean_window_barrier_s": (sum(window_barrier) / len(window_barrier)
+                                  if window_barrier else 0.0),
+        "max_window_barrier_s": max(window_barrier, default=0.0),
+        "worker_peak_rss_mib": report.worker_peak_rss_mib,
+        "max_worker_rss_mib": max_rss,
+        "rss_ceiling_mib": XL_WORKER_RSS_CEILING_MIB,
+        "rss_within_ceiling": max_rss <= XL_WORKER_RSS_CEILING_MIB,
     }
 
 
@@ -143,13 +323,32 @@ def run_all_scale(*, quick: bool = False,
             reference_events_per_s=reference_events_per_s)
         parallel = bench_parallel_mode(nodes_per_replica=256,
                                        total_iterations=6, partitions=4)
+        # The trimmed 16Ki-node shm exercise the CI scale_smoke lane runs
+        # inside its 120 s budget; the 2×128Ki xl run is full-bench only.
+        stress = bench_window_stress(nodes_per_replica=8 * KIB,
+                                     horizon=6.0, iteration_seconds=5.0,
+                                     coordinated_interval=0.02)
+        xl = None
     else:
         scale = bench_scale_run(reference_events_per_s=reference_events_per_s)
         parallel = bench_parallel_mode()
+        stress = bench_window_stress()
+        xl = bench_parallel_xl()
     scale["quick"] = quick
     scale["parallel"] = parallel
+    scale["window_stress"] = stress
     # Surface the gated metrics at the section's top level for compare_bench.
     scale["parallel_trace_identical"] = parallel["trace_identical"]
     scale["parallel_speedup"] = parallel["parallel_speedup"]
     scale["cpu_count"] = parallel["cpu_count"]
+    scale["modes_trace_identical"] = parallel["modes_trace_identical"]
+    scale["coordinated_parallel_ok"] = parallel["coordinated_parallel_ok"]
+    scale["shm_speedup_vs_copy"] = stress["shm_speedup_vs_copy"]
+    scale["shm_events_per_s"] = stress["shm_events_per_s"]
+    scale["copy_events_per_s"] = stress["copy_events_per_s"]
+    scale["max_worker_rss_mib"] = stress["max_worker_rss_mib"]
+    if xl is not None:
+        scale["parallel_xl"] = xl
+        scale["xl_completed"] = bool(xl["completed"]
+                                     and xl["rss_within_ceiling"])
     return {"bench_scale": scale}

@@ -60,6 +60,14 @@ GATED_FLAGS = (
     ("tiered_persist", "restore_fallback_correct"),
     ("bench_scale", "completed"),
     ("bench_scale", "parallel_trace_identical"),
+    # The shm/pipes × partitions trace-identity matrix and the
+    # coordinated-consensus-under-parallel check are pure correctness
+    # oracles — they must hold on every machine, including 1-CPU runners
+    # (forced multiprocess exercises the real planes there too).
+    ("bench_scale", "modes_trace_identical"),
+    ("bench_scale", "coordinated_parallel_ok"),
+    # 2×128Ki completion including the per-worker RSS ceiling.
+    ("bench_scale", "xl_completed"),
     # Every benchmark submit must have been a pure cache hit, or the
     # serve.cache_hit_rps measurement is of the wrong path.
     ("serve", "all_hits"),
@@ -71,6 +79,10 @@ GATED_FLAGS = (
 #: dominated by scheduler noise.
 CPU_GATED_MINIMUMS = (
     ("serve", "cache_hit_rps", 1000.0),
+    # Shared-memory plane vs the copy-based pipe plane on the window-heavy
+    # 2×64Ki scenario.  On one CPU both planes serialize and the ratio is
+    # scheduler noise; with real cores the shm plane must win by 1.3×.
+    ("bench_scale", "shm_speedup_vs_copy", 1.3),
 )
 
 #: Gated only when the machine can actually go parallel: on a 1-CPU runner
@@ -95,6 +107,9 @@ INFORMATIONAL = (
     ("bench_scale", "legacy_equivalent_events_per_s"),
     ("bench_scale", "node_iterations_per_s"),
     ("bench_scale", "peak_rss_mib"),
+    ("bench_scale", "shm_events_per_s"),
+    ("bench_scale", "copy_events_per_s"),
+    ("bench_scale", "max_worker_rss_mib"),
     ("serve", "cache_hit_rps"),
     ("serve", "p50_ms"),
     ("serve", "p99_ms"),

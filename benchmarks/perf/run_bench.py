@@ -120,6 +120,22 @@ def main(argv: list[str] | None = None) -> int:
           f"({scale['parallel']['effective_workers']}/"
           f"{scale['parallel']['requested_workers']} workers "
           f"on {scale['cpu_count']} core(s))")
+    stress = scale["window_stress"]
+    print(f"shm plane   {stress['nodes']} nodes x{stress['windows']} windows: "
+          f"shm {stress['shm_loop_wall_s']:.2f}s vs "
+          f"copy {stress['copy_loop_wall_s']:.2f}s "
+          f"({stress['shm_speedup_vs_copy']:.2f}x, "
+          f"barrier share {stress['barrier_wait_share']:.2f}, "
+          f"worker rss {stress['max_worker_rss_mib']:.0f} MiB), "
+          f"modes identical={scale['modes_trace_identical']}, "
+          f"coordinated parallel ok={scale['coordinated_parallel_ok']}")
+    xl = scale.get("parallel_xl")
+    if xl is not None:
+        print(f"shm xl      {xl['nodes']} nodes in {xl['wall_s']:.1f}s "
+              f"({xl['windows']} windows, {xl['consensus_rounds']} rounds, "
+              f"completed={xl['completed']}, max worker rss "
+              f"{xl['max_worker_rss_mib']:.0f} MiB "
+              f"<= {xl['rss_ceiling_mib']:.0f})")
     serve = results["serve"]
     print(f"serve       {serve['requests']} submits x"
           f"{serve['seeds_per_job']} seeds  "

@@ -24,7 +24,7 @@ from dead rounds are ignored by round-id filtering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
@@ -32,6 +32,34 @@ from repro.runtime.messages import Message, MsgKind
 from repro.runtime.node import Node
 from repro.runtime.task import TaskState
 from repro.util.errors import SimulationError
+
+
+def merge_progress_bounds(
+    bounds: Iterable[tuple[int, int] | None],
+) -> tuple[int, int] | None:
+    """Associative merge of per-scope ``(min, max)`` progress bounds.
+
+    This is the scalar decision rule shared by both consensus embodiments.
+    The message-passing tree reduction below merges the *max* side on its
+    way to the root (the decided checkpoint iteration, Phase 3).  The
+    space-partitioned parallel mode (:mod:`repro.harness.parallel`) runs
+    per-partition local sub-rounds instead, publishes each partition's
+    bounds through its conservative-window barrier, and takes the *min*
+    side as the globally safe recovery line for its time-cut coordinated
+    checkpoints.  ``None`` entries (scopes with no live tasks) are skipped;
+    the result is ``None`` when nothing contributed.
+    """
+    lo: int | None = None
+    hi: int | None = None
+    for pair in bounds:
+        if pair is None:
+            continue
+        b_lo, b_hi = pair
+        lo = b_lo if lo is None else min(lo, b_lo)
+        hi = b_hi if hi is None else max(hi, b_hi)
+    if lo is None or hi is None:
+        return None
+    return lo, hi
 
 
 @dataclass
@@ -192,7 +220,10 @@ class ConsensusController:
         nid = msg.dst
         agent = self._agents[nid]
         agent.pending_max.discard(msg.src)
-        agent.subtree_max = max(agent.subtree_max, child_max)
+        merged = merge_progress_bounds(
+            [(agent.subtree_max, agent.subtree_max), (child_max, child_max)])
+        assert merged is not None
+        agent.subtree_max = merged[1]
         self._maybe_send_max_up(nid)
 
     def _maybe_send_max_up(self, nid: int) -> None:

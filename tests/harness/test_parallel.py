@@ -14,8 +14,10 @@ import os
 
 import pytest
 
+import repro.harness.parallel as parallel_mod
 from repro.harness.parallel import (
     ParallelScenario,
+    ParallelWorkerError,
     effective_parallel_workers,
     fault_plan,
     run_parallel,
@@ -157,6 +159,164 @@ class TestWorkerAccounting:
         scenario = _scenario("strong", nodes_per_replica=4, n_faults=2)
         with pytest.raises(ConfigurationError):
             run_parallel(scenario, partitions=8)
+
+
+class TestSharedMemoryPlane:
+    """The shm data plane must be a pure representation change: same trace,
+    same metrics, different bytes-ownership — in-process and forked."""
+
+    def test_inprocess_shm_trace_identical(self):
+        scenario = _scenario("strong")
+        plain = run_parallel(scenario, partitions=4, trace=True)
+        shm = run_parallel(scenario, partitions=4, trace=True,
+                           shared_memory=True)
+        assert plain.data_plane == "inprocess"
+        assert shm.data_plane == "inprocess-shm"
+        assert shm.trace_digest == plain.trace_digest
+
+    def test_forked_planes_trace_identical(self):
+        """Both multiprocess planes, forced on so 1-CPU runners fork too,
+        against the in-process reference — with mid-run faults."""
+        scenario = _scenario("strong", nodes_per_replica=32, horizon=14.0)
+        ref = run_parallel(scenario, partitions=4, trace=True)
+        pipes = run_parallel(scenario, partitions=4, workers=2, trace=True,
+                             force_processes=True, shared_memory=False)
+        shm = run_parallel(scenario, partitions=4, workers=2, trace=True,
+                           force_processes=True, shared_memory=True)
+        assert pipes.data_plane == "pipes"
+        assert shm.data_plane == "shm"
+        assert pipes.trace_digest == ref.trace_digest
+        assert shm.trace_digest == ref.trace_digest
+        # The shm report carries the barrier/RSS breakdowns.
+        assert shm.barrier_wait_s is not None and len(shm.barrier_wait_s) == 2
+        assert shm.window_barrier_s is not None
+        assert len(shm.window_barrier_s) == shm.windows
+        assert shm.worker_peak_rss_mib is not None
+        assert all(r > 0 for r in shm.worker_peak_rss_mib)
+
+    def test_wall_s_populated_once_by_run_parallel(self):
+        scenario = _scenario("strong", n_faults=0, nodes_per_replica=8,
+                             horizon=6.0)
+        for kwargs in ({}, {"shared_memory": True}):
+            report = run_parallel(scenario, partitions=2, **kwargs)
+            assert report.wall_s > 0.0
+            assert report.loop_wall_s > 0.0
+            assert report.wall_s >= report.loop_wall_s
+
+    def test_ring_overflow_raises_clean_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_RING_SLOTS", "1")
+        scenario = _scenario("strong", n_faults=0, horizon=8.0)
+        with pytest.raises(ParallelWorkerError, match="RING_SLOTS"):
+            run_parallel(scenario, partitions=4, shared_memory=True)
+
+
+class TestWorkerCrash:
+    """A worker dying mid-window must surface a clean error naming its
+    partitions — on both planes — instead of hanging the barrier or pipe."""
+
+    @pytest.mark.parametrize("shared_memory", [False, True])
+    def test_crash_names_partitions(self, monkeypatch, shared_memory):
+        monkeypatch.setattr(parallel_mod, "_TEST_CRASH", (1, 2))
+        scenario = _scenario("strong", n_faults=0, nodes_per_replica=16,
+                             horizon=10.0)
+        with pytest.raises(ParallelWorkerError) as err:
+            run_parallel(scenario, partitions=4, workers=2,
+                         force_processes=True, shared_memory=shared_memory)
+        # Worker 1 owns partitions [1, 3] (pipes, round-robin) or [2, 3]
+        # (shm, contiguous); either way the error names them.
+        assert err.value.partitions, "error did not name any partition"
+        assert all(p in (1, 2, 3) for p in err.value.partitions)
+        assert "partition" in str(err.value)
+
+
+class TestCoordinatedConsensus:
+    """The partitioned checkpoint-consensus protocol: byte-identical traces
+    across decompositions and planes, invariant round counts, and restores
+    that honor the globally decided line."""
+
+    def _coord(self, **overrides) -> ParallelScenario:
+        # Pauses stall ~17% of compute time and coordinated restores roll
+        # further back than strong snapshots, so give the run more headroom
+        # than the strong-scheme scenarios.
+        overrides.setdefault("horizon", 30.0)
+        overrides.setdefault("coordinated_interval", 1.5)
+        overrides.setdefault("coordinated_pause", 0.25)
+        return _scenario("coordinated", **overrides)
+
+    def test_trace_identical_across_partition_counts(self):
+        scenario = self._coord()
+        reports = {p: run_parallel(scenario, partitions=p, trace=True)
+                   for p in (1, 4, 8)}
+        baseline = reports[1]
+        assert baseline.completed
+        assert baseline.consensus_rounds > 0
+        for p, report in reports.items():
+            assert report.trace_digest == baseline.trace_digest, \
+                f"partitions={p} diverged"
+            assert report.consensus_rounds == baseline.consensus_rounds
+        kinds = {line.split()[1] for line in baseline.trace}
+        assert {"iter", "kill", "detect", "revive", "restore", "ckpt"} \
+            <= kinds
+
+    def test_forked_planes_match_inprocess(self):
+        scenario = self._coord(nodes_per_replica=32, horizon=14.0)
+        ref = run_parallel(scenario, partitions=4, trace=True)
+        for shm in (False, True):
+            forked = run_parallel(scenario, partitions=4, workers=2,
+                                  trace=True, force_processes=True,
+                                  shared_memory=shm)
+            assert forked.trace_digest == ref.trace_digest
+            assert forked.consensus_rounds == ref.consensus_rounds
+
+    def test_restores_use_decided_checkpoint_line(self):
+        """Every coordinated restore target must be a previously decided
+        global checkpoint line (never a partition-local snapshot)."""
+        report = run_parallel(self._coord(), partitions=4, trace=True)
+        decided: set[int] = set()
+        restores = 0
+        for line in report.trace:
+            parts = line.split()
+            kind, value = parts[1], int(parts[5][1:])
+            if kind == "ckpt":
+                decided.add(value)
+            elif kind == "restore":
+                restores += 1
+                assert value in decided | {0}, \
+                    f"restore to {value}, decided lines {sorted(decided)}"
+        assert restores > 0
+
+    def test_checkpoint_metrics_invariant(self):
+        scenario = self._coord()
+        single = run_parallel(scenario, partitions=1, collect_metrics=True)
+        key = "consensus.task_checkpoints"
+        assert single.metrics["counters"][key] > 0
+        for p in (4, 8):
+            split = run_parallel(scenario, partitions=p,
+                                 collect_metrics=True)
+            assert split.metrics == single.metrics
+
+    def test_pause_does_not_break_determinism(self):
+        with_pause = self._coord(n_faults=0, horizon=10.0)
+        no_pause = self._coord(n_faults=0, horizon=10.0,
+                               coordinated_pause=0.0)
+        a1 = run_parallel(with_pause, partitions=1, trace=True)
+        a4 = run_parallel(with_pause, partitions=4, trace=True)
+        assert a1.trace_digest == a4.trace_digest
+        b1 = run_parallel(no_pause, partitions=1, trace=True)
+        assert b1.trace_digest != a1.trace_digest or not a1.completed, \
+            "pause had no observable effect — scenario too short?"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _scenario("coordinated")  # no interval
+        with pytest.raises(ConfigurationError):
+            _scenario("strong", coordinated_interval=-1.0)
+        with pytest.raises(ConfigurationError):
+            _scenario("coordinated", coordinated_interval=1.0,
+                      coordinated_pause=1.0)  # pause >= interval
+        with pytest.raises(ConfigurationError):
+            _scenario("strong", coordinated_interval=1.0,
+                      coordinated_pause=-0.1)
 
 
 class TestFaultPlan:

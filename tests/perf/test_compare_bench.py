@@ -22,7 +22,8 @@ def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
              scale_parallel=1.8, scale_cpu_count=4,
              safety_overhead=1.6, fallback_correct=True,
              obs_ratio=0.99, serve_rps=1500.0, serve_all_hits=True,
-             serve_cpu_count=4):
+             serve_cpu_count=4, modes_identical=True, coordinated_ok=True,
+             xl_completed=True, shm_speedup=1.8):
     return {
         "pack": {
             "pack_speedup_vs_legacy": pack,
@@ -53,6 +54,13 @@ def _results(pack=2.0, pack_into=6.0, incremental=15.0, identical=True,
                         "parallel_trace_identical": trace_identical,
                         "parallel_speedup": scale_parallel,
                         "cpu_count": scale_cpu_count,
+                        "modes_trace_identical": modes_identical,
+                        "coordinated_parallel_ok": coordinated_ok,
+                        "xl_completed": xl_completed,
+                        "shm_speedup_vs_copy": shm_speedup,
+                        "shm_events_per_s": 6.5e4,
+                        "copy_events_per_s": 5.0e4,
+                        "max_worker_rss_mib": 450.0,
                         "events_per_s": 5.0e4,
                         "legacy_equivalent_events_per_s": 4.4e5,
                         "node_iterations_per_s": 1.7e4,
@@ -204,10 +212,33 @@ class TestCompare:
         for kwargs, name in (
             ({"scale_completed": False}, "bench_scale.completed"),
             ({"trace_identical": False}, "bench_scale.parallel_trace_identical"),
+            ({"modes_identical": False}, "bench_scale.modes_trace_identical"),
+            ({"coordinated_ok": False}, "bench_scale.coordinated_parallel_ok"),
+            ({"xl_completed": False}, "bench_scale.xl_completed"),
         ):
             _, failures = compare_bench.compare(
                 _results(), _results(**kwargs), 0.30)
             assert any(name in f for f in failures)
+
+    def test_shm_speedup_floor_on_multicore(self):
+        # Within tolerance of a weak baseline but below the acceptance bar:
+        # the shm plane must beat the copy-based plane by 1.3× outright.
+        _, failures = compare_bench.compare(
+            _results(shm_speedup=1.4), _results(shm_speedup=1.1), 0.30)
+        assert any("bench_scale.shm_speedup_vs_copy" in f
+                   and "below required floor 1.3" in f for f in failures)
+        _, failures = compare_bench.compare(
+            _results(shm_speedup=1.4), _results(shm_speedup=1.3), 0.30)
+        assert failures == []
+
+    def test_shm_speedup_floor_skipped_on_single_cpu(self):
+        # One core: both planes serialize behind the same CPU, so the
+        # loop-wall ratio is scheduler noise — reported, never gated.
+        rows, failures = compare_bench.compare(
+            _results(), _results(shm_speedup=0.9, scale_cpu_count=1), 0.30)
+        assert failures == []
+        assert any("skipped" in str(r[-1]) for r in rows
+                   if str(r[0]).startswith("bench_scale.shm_speedup_vs_copy"))
 
 
 class TestMain:
